@@ -1,0 +1,25 @@
+# Convenience targets for the repro toolkit.
+
+PROFILE ?= small
+
+.PHONY: install test bench experiments csv examples all
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments.runner $(PROFILE)
+
+csv:
+	python -m repro.experiments.runner $(PROFILE) --csv results/
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; python $$ex; done
+
+all: test bench

@@ -1,0 +1,1 @@
+"""Benchmark package: one benchmark per table/figure of the paper."""

@@ -1,0 +1,34 @@
+"""Benchmark fixtures: shared experiment contexts.
+
+Contexts are built once per session (the full §4 measurement pipeline) and
+shared across benchmarks via the module-level cache in
+``repro.experiments.context``.  Set ``REPRO_PROFILE=year2020`` to run the
+benchmarks at full scenario scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.context import cached_context
+from repro.netgen import companion_2015
+
+PROFILE = os.environ.get("REPRO_PROFILE", "small")
+
+
+@pytest.fixture(scope="session")
+def ctx2020():
+    return cached_context(PROFILE)
+
+
+@pytest.fixture(scope="session")
+def ctx2015():
+    return cached_context(companion_2015(PROFILE))
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

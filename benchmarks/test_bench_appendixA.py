@@ -1,0 +1,24 @@
+"""E13 — Appendix A: simulated paths contain observed traceroute paths."""
+
+from repro.experiments import appendixA_paths
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_appendixA_path_containment(benchmark, ctx2020):
+    result = run_once(
+        benchmark, appendixA_paths.run, ctx2020, max_traces_per_cloud=2000
+    )
+
+    rates = {row.name: row.match_rate for row in result.rows}
+    assert {"Google", "Microsoft", "IBM", "Amazon"} <= set(rates)
+
+    # paper shape: high containment overall (73-92%), with Amazon lowest
+    # because early exit makes its paths location-dependent
+    for name, rate in rates.items():
+        assert rate > 0.6, (name, rate)
+    assert rates["Amazon"] == min(rates.values())
+    assert rates["Amazon"] < max(rates.values())
+
+    print()
+    print(result.render())

@@ -1,0 +1,29 @@
+"""E14 — Appendix B: Tier-1 reliance on Tier-2 ISPs."""
+
+from repro.experiments import appendixB_tier1
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_appendixB_tier1_reliance(benchmark, ctx2020):
+    result = run_once(benchmark, appendixB_tier1.run, ctx2020)
+
+    names = {case.name for case in result.cases}
+    assert "Sprint" in names
+    assert "Level 3" in names
+
+    sprint = result.case("Sprint")
+    level3 = result.case("Level 3")
+
+    # paper shape: Sprint collapses without the Tier-2s; Level 3 does not
+    assert sprint.hierarchy_free < 0.3 * sprint.tier1_free
+    assert level3.hierarchy_free > 0.5 * level3.tier1_free
+
+    # bypassing only Sprint's six highest-reliance Tier-2s explains most
+    # of its drop
+    assert sprint.drop_explained_by_top6 > 0.6
+    assert len(sprint.top_tier2_reliance) <= 6
+    assert all(asn in ctx2020.tiers.tier2 for asn, _ in sprint.top_tier2_reliance)
+
+    print()
+    print(result.render())

@@ -1,0 +1,21 @@
+"""E16 — Appendix D: active geolocation of router interfaces."""
+
+from repro.experiments import appendixD_geolocation
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_appendixD_geolocation(benchmark, ctx2020):
+    result = run_once(benchmark, appendixD_geolocation.run, ctx2020)
+
+    assert result.rows
+    for row in result.rows:
+        assert row.interfaces > 0
+        assert 0.0 <= row.coverage <= 1.0
+        # the 1 ms RTT bound is conservative: whenever the technique
+        # commits to a city, it is essentially always the right one
+        if row.coverage > 0:
+            assert row.accuracy > 0.95
+
+    print()
+    print(result.render())

@@ -1,0 +1,61 @@
+"""Ablation — the bitset cone engine vs the exact valley-free BFS.
+
+DESIGN.md calls out the all-AS sweep fast path as a design choice; this
+benchmark measures both implementations on the same sweep and checks they
+agree exactly.
+"""
+
+import pytest
+
+from repro.core import ConeEngine, hierarchy_free_reachability
+from repro.core.metrics import hierarchy_free_sweep
+
+
+@pytest.fixture(scope="module")
+def sample_origins(ctx2020):
+    nodes = sorted(ctx2020.graph.nodes())
+    return nodes[:: max(1, len(nodes) // 150)]
+
+
+def test_bench_sweep_bitset_engine(benchmark, ctx2020, sample_origins):
+    graph, tiers = ctx2020.graph, ctx2020.tiers
+    engine = ConeEngine(graph, excluded=tiers.hierarchy)
+
+    def sweep():
+        return hierarchy_free_sweep(
+            graph, tiers, origins=sample_origins, engine=engine
+        )
+
+    result = benchmark(sweep)
+    assert len(result) == len(sample_origins)
+
+
+def test_bench_sweep_exact_bfs(benchmark, ctx2020, sample_origins):
+    graph, tiers = ctx2020.graph, ctx2020.tiers
+
+    def sweep():
+        return {
+            origin: hierarchy_free_reachability(graph, origin, tiers)
+            for origin in sample_origins
+        }
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # exactness: the fast path returns identical values
+    engine = ConeEngine(graph, excluded=tiers.hierarchy)
+    fast = hierarchy_free_sweep(
+        graph, tiers, origins=sample_origins, engine=engine
+    )
+    assert fast == result
+
+
+def test_bench_measurement_pipeline(benchmark):
+    """E12's cost driver: the full scenario + campaign + inference build."""
+    from repro.experiments.context import build_context
+
+    def build():
+        return build_context("tiny", seed=99)
+
+    ctx = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert ctx.inferred
+    assert ctx.augmented_graph.edge_count() > 0

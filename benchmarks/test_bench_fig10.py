@@ -1,0 +1,26 @@
+"""E8 — regenerate Fig. 10 (Google leak resilience, 2015 vs 2020)."""
+
+from repro.experiments import fig7_10_leaks
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig10_resilience_over_time(benchmark, ctx2020, ctx2015):
+    result = run_once(
+        benchmark, fig7_10_leaks.run_fig10, ctx2020, ctx2015,
+        leaks_per_config=40,
+    )
+
+    assert result.curve_2015
+    assert result.curve_2020
+    for curve in (result.curve_2015, result.curve_2020):
+        assert all(0.0 <= x <= 1.0 for x in curve)
+
+    # paper shape: only a small change between the two topologies — Google
+    # was already well peered in 2015; no order-of-magnitude swing
+    mean_2015 = sum(result.curve_2015) / len(result.curve_2015)
+    mean_2020 = sum(result.curve_2020) / len(result.curve_2020)
+    assert abs(mean_2020 - mean_2015) < 0.25
+
+    print()
+    print(result.render())

@@ -1,0 +1,33 @@
+"""E9 — regenerate Fig. 11 (PoP deployments vs population density)."""
+
+from repro.experiments import fig11_map
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig11_pop_map(benchmark, ctx2020):
+    result = run_once(benchmark, fig11_map.run, ctx2020)
+
+    # paper shape: Shanghai and Beijing are cloud-only; transit providers
+    # have many more unique metros than the clouds
+    assert {"sha", "bjs"} <= result.cloud_only
+    assert len(result.transit_only) > len(result.cloud_only)
+
+    # both cohorts deploy near people: a PoP within 500 km of most of the
+    # world's (metro) population
+    assert result.population_near_cloud > 0.5
+    assert result.population_near_transit > 0.5
+
+    # clouds concentrate in NA/EU/Asia
+    from repro.geo import Continent
+
+    histogram = result.continent_histogram(result.cloud_cities)
+    core = (
+        histogram.get(Continent.NORTH_AMERICA, 0)
+        + histogram.get(Continent.EUROPE, 0)
+        + histogram.get(Continent.ASIA, 0)
+    )
+    assert core / sum(histogram.values()) > 0.8
+
+    print()
+    print(result.render())

@@ -1,0 +1,39 @@
+"""E10 — regenerate Fig. 12 (population coverage at 500/700/1000 km)."""
+
+from repro.experiments import fig12_coverage
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig12_population_coverage(benchmark, ctx2020):
+    result = run_once(benchmark, fig12_coverage.run, ctx2020)
+
+    clouds = result.cohort("clouds")
+    transit = result.cohort("transit")
+
+    # coverage grows with radius for both cohorts
+    for row in (clouds, transit):
+        assert row.percent(500) <= row.percent(700) <= row.percent(1000)
+
+    # paper shape: the transit cohort leads worldwide, but not by much
+    # relative to its much larger number of unique locations
+    assert transit.percent(500) >= clouds.percent(500)
+    assert transit.percent(500) - clouds.percent(500) < 30.0
+
+    # clouds have dense coverage in Europe and North America
+    assert result.cohort("clouds", "Europe").percent(500) > 60.0
+    assert result.cohort("clouds", "North America").percent(500) > 60.0
+
+    # individual clouds cover more population than the median individual
+    # transit provider
+    provider_500 = sorted(
+        row.percent(500)
+        for row in result.provider_rows
+        if row.region == "World"
+    )
+    median = provider_500[len(provider_500) // 2]
+    google = result.provider("Google").percent(500)
+    assert google > 0.5 * median
+
+    print()
+    print(result.render())

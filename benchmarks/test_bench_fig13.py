@@ -1,0 +1,29 @@
+"""E15 — Fig. 13: path-length mix over time."""
+
+from repro.experiments import fig13_pathlen
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig13_path_lengths(benchmark, ctx2020, ctx2015):
+    result = run_once(benchmark, fig13_pathlen.run, ctx2020, ctx2015)
+
+    assert 2020 in result.bars and 2015 in result.bars
+    # no 2015 Microsoft traceroute data (as in the paper)
+    assert "Microsoft" not in result.bars[2015]
+    assert "Microsoft" in result.bars[2020]
+
+    for year, clouds in result.bars.items():
+        for cloud, weightings in clouds.items():
+            for mix in weightings.values():
+                total = mix.one_hop + mix.two_hop + mix.three_plus
+                assert total == 0.0 or abs(total - 1.0) < 1e-9
+
+    # paper shape: Google has the largest user-population-weighted direct
+    # (1-hop) share in 2020, well ahead of Amazon
+    google = result.mix(2020, "Google", "population").one_hop
+    amazon = result.mix(2020, "Amazon", "population").one_hop
+    assert google > amazon
+
+    print()
+    print(result.render())

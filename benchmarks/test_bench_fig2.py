@@ -1,0 +1,35 @@
+"""E1 — regenerate Fig. 2 and check its shape."""
+
+from repro.experiments import fig2_reachability
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig2_reachability(benchmark, ctx2020):
+    result = run_once(benchmark, fig2_reachability.run, ctx2020)
+    total = max(result.total_ases - 1, 1)
+
+    # every row nests: full >= provider-free >= T1-free >= hierarchy-free
+    for row in result.rows:
+        rep = row.report
+        assert rep.hierarchy_free <= rep.tier1_free <= rep.provider_free
+
+    # Tier-1s have no providers: provider-free reach is the maximum seen
+    max_reach = max(r.report.provider_free for r in result.rows)
+    for row in result.rows:
+        if row.cohort == "tier1":
+            assert row.report.provider_free >= 0.9 * max_reach
+
+    # paper shape: the clouds are among the least affected networks —
+    # every cloud except Amazon lands in the top third by hierarchy-free
+    # reachability, and the best cloud retains the bulk of the Internet
+    ranked = [r.name for r in result.sorted_rows()]
+    for cloud in ("Google", "Microsoft", "IBM"):
+        assert ranked.index(cloud) < len(ranked) / 3, ranked
+    best_cloud = max(
+        r.report.hierarchy_free for r in result.cloud_rows()
+    )
+    assert best_cloud / total > 0.6
+
+    print()
+    print(result.render())

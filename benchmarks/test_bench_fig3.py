@@ -1,0 +1,30 @@
+"""E3 — regenerate Fig. 3 (hierarchy-free reachability vs customer cone)."""
+
+from repro.experiments import fig3_cone_vs_hfr
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig3_cone_vs_hfr(benchmark, ctx2020):
+    result = run_once(benchmark, fig3_cone_vs_hfr.run, ctx2020)
+
+    assert len(result.points) == len(ctx2020.graph)
+
+    # paper shape: far more networks clear the threshold on hierarchy-free
+    # reachability than on customer cone (8,374 vs 51 in the paper)
+    threshold = result.threshold
+    assert result.count_hfr_at_least(threshold) >= 1.5 * result.count_cone_at_least(
+        threshold
+    )
+
+    # the metrics decorrelate below the big transits
+    assert result.rank_correlation() < 0.8
+
+    # clouds: tiny cones, huge hierarchy-free reachability
+    cloud_points = [p for p in result.points if p.category == "cloud"]
+    assert cloud_points
+    for point in cloud_points:
+        assert point.customer_cone < point.hierarchy_free
+
+    print()
+    print(result.render())

@@ -1,0 +1,33 @@
+"""E4 — regenerate Fig. 4 (unreachable ASes by type)."""
+
+from repro.topology.astype import ASType
+from repro.experiments import fig4_unreachable
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig4_unreachable(benchmark, ctx2020):
+    result = run_once(benchmark, fig4_unreachable.run, ctx2020)
+
+    rows = {row.name: row for row in result.rows}
+    assert {"Google", "Microsoft", "IBM", "Amazon"} <= set(rows)
+
+    # paper shape: Amazon leaves the most ASes unreachable among clouds,
+    # and the eyeball-chasing clouds leave proportionally fewer access
+    # networks unreached than Amazon does
+    cloud_unreachable = {
+        name: rows[name].unreachable_total
+        for name in ("Google", "Microsoft", "IBM", "Amazon")
+    }
+    assert cloud_unreachable["Amazon"] == max(cloud_unreachable.values())
+    assert (
+        rows["Google"].fraction(ASType.ACCESS)
+        <= rows["Amazon"].fraction(ASType.ACCESS) + 0.05
+    )
+
+    # every breakdown accounts for the whole unreachable set
+    for row in result.rows:
+        assert sum(row.breakdown.values()) == row.unreachable_total
+
+    print()
+    print(result.render())

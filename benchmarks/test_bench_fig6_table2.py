@@ -1,0 +1,23 @@
+"""E5 — regenerate Fig. 6 + Table 2 (cloud reliance)."""
+
+from repro.experiments import fig6_table2_reliance
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig6_table2_reliance(benchmark, ctx2020):
+    result = run_once(benchmark, fig6_table2_reliance.run, ctx2020)
+
+    assert len(result.clouds) == 4
+    for cloud in result.clouds:
+        # paper shape: the overwhelming majority of networks have
+        # reliance 1 — far closer to the flat mesh than the hierarchy
+        assert cloud.fraction_at_one() > 0.7
+        # a handful of networks carry real reliance
+        assert cloud.max_reliance > 2.0
+        assert len(cloud.top3) == 3
+        # histogram covers every relied-on network
+        assert sum(cloud.histogram.values()) == len(cloud.values)
+
+    print()
+    print(result.render())

@@ -1,0 +1,111 @@
+"""E6 — regenerate Figs. 7/8 (route-leak resilience per configuration),
+plus the ablations DESIGN.md calls out (leak semantics, peer-lock
+semantics)."""
+
+import statistics
+
+from repro.bgpsim import LeakMode
+from repro.core import PeerLockSemantics, fraction_at_most, simulate_leak
+from repro.experiments import fig7_10_leaks
+
+from benchmarks.conftest import run_once
+
+LEAKS = 40
+
+
+def test_bench_fig7_fig8_resilience(benchmark, ctx2020):
+    result = run_once(
+        benchmark, fig7_10_leaks.run, ctx2020, leaks_per_config=LEAKS
+    )
+
+    by_name = {o.name: o for o in result.origins}
+    assert {"Google", "Microsoft", "IBM", "Amazon"} <= set(by_name)
+
+    for name in ("Google", "Microsoft", "IBM", "Amazon"):
+        origin = by_name[name]
+        # peer locking helps monotonically (erratum semantics)
+        assert origin.mean("announce_all_global_lock") <= origin.mean(
+            "announce_all_t1t2_lock"
+        ) + 1e-9
+        assert origin.mean("announce_all_t1t2_lock") <= origin.mean(
+            "announce_all_t1_lock"
+        ) + 1e-9
+        assert origin.mean("announce_all_t1_lock") <= origin.mean(
+            "announce_all"
+        ) + 1e-9
+        # announcing only to the hierarchy forfeits the peering footprint
+        assert origin.mean("announce_hierarchy_only") >= origin.mean(
+            "announce_all"
+        )
+
+    # clouds beat the random-origin average resilience
+    for name in ("Google", "Microsoft", "IBM", "Amazon"):
+        assert by_name[name].mean("announce_all") < result.average_mean
+
+    # global locking is near immunity: most leaks detour almost nobody
+    google = by_name["Google"]
+    assert fraction_at_most(
+        google.curves["announce_all_global_lock"], 0.05
+    ) > 0.7
+
+    print()
+    print(result.render())
+
+
+def test_bench_ablation_leak_semantics(benchmark, ctx2020):
+    """Hijack-mode leaks (origin announcement) detour at least as many ASes
+    as re-announced leaks (longer competing paths)."""
+    graph = ctx2020.graph
+    google = ctx2020.clouds["Google"]
+    leakers = fig7_10_leaks.sample_leakers(ctx2020, 25, seed=3)
+
+    def run_modes():
+        pairs = []
+        for leaker in leakers:
+            if leaker == google:
+                continue
+            leak = simulate_leak(graph, google, leaker, mode=LeakMode.REANNOUNCE)
+            hijack = simulate_leak(graph, google, leaker, mode=LeakMode.HIJACK)
+            if leak is not None and hijack is not None:
+                pairs.append((leak.fraction_detoured, hijack.fraction_detoured))
+        return pairs
+
+    pairs = benchmark.pedantic(run_modes, rounds=1, iterations=1)
+    assert pairs
+    assert statistics.mean(h for _, h in pairs) >= statistics.mean(
+        l for l, _ in pairs
+    )
+
+
+def test_bench_ablation_peerlock_semantics(benchmark, ctx2020):
+    """Erratum peer-lock filtering is at least as strong as the original
+    paper's (buggy) first-hop-only filtering."""
+    from repro.core import configuration_seed_and_locks
+
+    graph, tiers = ctx2020.graph, ctx2020.tiers
+    google = ctx2020.clouds["Google"]
+    seed, locks = configuration_seed_and_locks(
+        graph, google, tiers, "announce_all_t1t2_lock"
+    )
+    leakers = fig7_10_leaks.sample_leakers(ctx2020, 25, seed=5)
+
+    def run_semantics():
+        rows = []
+        for leaker in leakers:
+            if leaker == google:
+                continue
+            erratum = simulate_leak(
+                graph, seed, leaker, peer_locked=locks,
+                semantics=PeerLockSemantics.ERRATUM,
+            )
+            original = simulate_leak(
+                graph, seed, leaker, peer_locked=locks,
+                semantics=PeerLockSemantics.ORIGINAL,
+            )
+            if erratum is not None and original is not None:
+                rows.append((len(erratum.detoured), len(original.detoured)))
+        return rows
+
+    rows = benchmark.pedantic(run_semantics, rounds=1, iterations=1)
+    assert rows
+    assert sum(e for e, _ in rows) <= sum(o for _, o in rows)

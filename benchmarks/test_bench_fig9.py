@@ -1,0 +1,30 @@
+"""E7 — regenerate Fig. 9 (user-weighted leak resilience for Google)."""
+
+from repro.experiments import fig7_10_leaks
+from repro.experiments.report import cdf_summary
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig9_users_detoured(benchmark, ctx2020):
+    result = run_once(
+        benchmark, fig7_10_leaks.run_fig9, ctx2020, leaks_per_config=40
+    )
+
+    assert result.users_curves
+    for configuration, curve in result.users_curves.items():
+        assert all(0.0 <= x <= 1.0 for x in curve)
+
+    # paper shape: Google's peering footprint protects users; locking at
+    # T1+T2 protects more than no locking, and announce-hierarchy-only is
+    # the worst configuration for users too
+    def mean(config):
+        curve = result.users_curves[config]
+        return sum(curve) / len(curve) if curve else 0.0
+
+    assert mean("announce_all_t1t2_lock") <= mean("announce_all") + 1e-9
+    assert mean("announce_hierarchy_only") >= mean("announce_all")
+
+    print()
+    for configuration, curve in result.users_curves.items():
+        print(f"  {configuration}: {cdf_summary(curve)}")

@@ -1,0 +1,79 @@
+"""Ablation — AS-relationship inference from collector paths.
+
+The paper consumes CAIDA's inferred relationships; this bench regenerates
+that upstream step on the synthetic Internet: simulate collector RIBs from
+the scenario's monitors, run Gao's heuristic and the AS-Rank-style
+algorithm, and score both against ground truth.
+"""
+
+import random
+
+import pytest
+
+from repro.collectors import collect_ribs
+from repro.inference import (
+    evaluate_inference,
+    infer_asrank,
+    infer_gao,
+    infer_problink,
+)
+
+from benchmarks.conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def paths(ctx2020):
+    scenario = ctx2020.scenario
+    dump = collect_ribs(
+        scenario.graph,
+        scenario.monitors,
+        scenario.prefixes,
+        rng=random.Random(1),
+    )
+    return dump.paths()
+
+
+def test_bench_infer_gao(benchmark, ctx2020, paths):
+    result = run_once(benchmark, infer_gao, paths)
+    accuracy = evaluate_inference(ctx2020.scenario.graph, result.records)
+    assert accuracy.accuracy > 0.5
+    assert accuracy.unknown_edges == 0
+    print()
+    print("Gao:", accuracy.summary())
+
+
+def test_bench_infer_asrank(benchmark, ctx2020, paths):
+    result = run_once(benchmark, infer_asrank, paths)
+    accuracy = evaluate_inference(ctx2020.scenario.graph, result.records)
+
+    # the literature's shape: AS-Rank-style inference is highly accurate
+    # on transit edges and clearly better than Gao overall
+    assert accuracy.p2c_accuracy > 0.9
+    assert accuracy.accuracy > 0.8
+    gao_accuracy = evaluate_inference(
+        ctx2020.scenario.graph, infer_gao(paths).records
+    )
+    assert accuracy.accuracy > gao_accuracy.accuracy
+
+    # the inferred clique consists of real top-tier networks
+    for asn in result.clique:
+        assert not ctx2020.scenario.graph.is_stub(asn)
+
+    print()
+    print("AS-Rank-style:", accuracy.summary())
+
+
+def test_bench_infer_problink(benchmark, ctx2020, paths):
+    result = run_once(benchmark, infer_problink, paths)
+    accuracy = evaluate_inference(ctx2020.scenario.graph, result.records)
+
+    # ProbLink's claim: it improves on AS-Rank, mostly by fixing peerings
+    asrank_accuracy = evaluate_inference(
+        ctx2020.scenario.graph, infer_asrank(paths).records
+    )
+    assert accuracy.accuracy >= asrank_accuracy.accuracy
+    assert accuracy.p2p_accuracy > asrank_accuracy.p2p_accuracy
+    assert result.iterations >= 1
+
+    print()
+    print("ProbLink-style:", accuracy.summary())

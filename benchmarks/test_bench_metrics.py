@@ -1,0 +1,42 @@
+"""Extension bench — influence metrics side by side (§6.6 / §10).
+
+Regenerates the metric-comparison table (hierarchy-free reachability vs
+customer cone vs transit/node degree vs AS hegemony) and checks the
+decorrelation story: clouds dominate on HFR while being invisible to the
+transit-centric metrics.
+"""
+
+from repro.experiments import metrics_comparison
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_metrics_comparison(benchmark, ctx2020):
+    result = run_once(
+        benchmark, metrics_comparison.run, ctx2020, hegemony_sample=20
+    )
+
+    google = result.row("Google")
+    assert google.customer_cone == 0
+    assert google.transit_degree <= len(ctx2020.graph.providers(google.asn))
+    assert google.hierarchy_free > 0
+
+    # the paper's Sprint example: a big customer cone with a collapsed
+    # hierarchy-free rank
+    sprint_like = [
+        row
+        for row in result.rows
+        if row.cohort == "tier1"
+        and row.customer_cone > google.customer_cone
+        and row.hierarchy_free < google.hierarchy_free
+    ]
+    assert sprint_like, "no Tier-1 shows the cone/HFR inversion"
+
+    # hegemony is bounded and transit-heavy networks score highest
+    top_hegemony = max(result.rows, key=lambda r: r.hegemony)
+    assert top_hegemony.cohort in ("tier1", "tier2")
+    for row in result.rows:
+        assert 0.0 <= row.hegemony <= 1.0
+
+    print()
+    print(result.render())

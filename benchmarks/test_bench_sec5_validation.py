@@ -1,0 +1,29 @@
+"""E12 — §4.1 peer counts and the §5 methodology-iteration trajectory."""
+
+from repro.experiments import sec45_validation
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_sec45_validation(benchmark, ctx2020):
+    result = run_once(benchmark, sec45_validation.run, ctx2020)
+
+    # §4.1 shape: BGP feeds miss the bulk of every cloud's neighbors, and
+    # the traceroute-augmented view recovers most of them
+    counts = {row.name: row for row in result.peer_counts}
+    for name in ("Google", "Microsoft"):
+        assert counts[name].missed_by_bgp > 0.6
+    for row in result.peer_counts:
+        assert row.augmented > row.bgp_visible
+
+    # §5 shape: the initial methodology is very noisy (FDR near 50%) and
+    # the final stage cuts both error rates dramatically
+    assert result.mean_fdr("V0") > 0.25
+    assert result.mean_fdr("V4") < result.mean_fdr("V0") / 3
+    assert result.mean_fnr("V4") <= result.mean_fnr("V1")
+
+    # skipping unknown hops (V0→V1) was the leading FDR cause
+    assert result.mean_fdr("V1") < result.mean_fdr("V0") / 2
+
+    print()
+    print(result.render())

@@ -1,0 +1,30 @@
+"""E2 — regenerate Table 1 (top-20 hierarchy-free, 2015 vs 2020)."""
+
+from repro.experiments import table1_top20
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_table1_top20(benchmark, ctx2020, ctx2015):
+    result = run_once(benchmark, table1_top20.run, ctx2020, ctx2015)
+
+    assert len(result.entries_2020) == 20
+    assert len(result.entries_2015) == 20
+
+    names_2020 = [e.name for e in result.entries_2020]
+    names_2015 = [e.name for e in result.entries_2015]
+
+    # paper shape: Google is top-3 in BOTH years; all four clouds make the
+    # 2020 top-20; Amazon and Microsoft climb dramatically over the period
+    assert "Google" in names_2015[:5]
+    assert "Google" in names_2020[:5]
+    for cloud in ("Google", "Microsoft", "IBM", "Amazon"):
+        assert cloud in names_2020
+    assert result.cloud_ranks_2020["Microsoft"] < result.cloud_ranks_2015["Microsoft"]
+    assert result.cloud_ranks_2020["Amazon"] < result.cloud_ranks_2015["Amazon"]
+
+    # the top of the table keeps a big share of the Internet reachable
+    assert result.entries_2020[0].fraction > 0.6
+
+    print()
+    print(result.render())

@@ -1,0 +1,28 @@
+"""E11 — regenerate Table 3 (PoPs and rDNS confirmation)."""
+
+from repro.experiments import table3_rdns
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_table3_rdns(benchmark, ctx2020):
+    result = run_once(benchmark, table3_rdns.run, ctx2020)
+
+    providers = {row.provider for row in result.rows}
+    assert {"Google", "Microsoft", "IBM", "Amazon"} <= providers
+
+    # paper shape: Amazon publishes no router hostnames; overall roughly
+    # three quarters of consolidated PoPs are confirmed by rDNS
+    amazon = result.row("Amazon")
+    assert amazon.hostnames == 0
+    assert amazon.rdns_percent == 0.0
+    assert 50.0 < result.overall_rdns_percent < 95.0
+
+    # rows are sorted by confirmation rate and every provider has PoPs
+    rates = [row.rdns_percent for row in result.rows]
+    assert rates == sorted(rates, reverse=True)
+    for row in result.rows:
+        assert row.graph_pops > 0
+
+    print()
+    print(result.render())

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The paper's full measurement pipeline, end to end (§4-§6).
+
+1. Generate a synthetic Internet (ground truth known).
+2. Run traceroute campaigns from VMs inside each cloud provider.
+3. Infer each cloud's neighbors with the final §5 methodology and
+   validate against ground truth (FDR/FNR).
+4. Augment the BGP-visible (CAIDA-style) graph with the inferred peers.
+5. Compute hierarchy-free reachability on the augmented graph and compare
+   against what BGP data alone would have shown.
+
+Run:  python examples/cloud_measurement_pipeline.py [profile]
+(profiles: tiny, small, year2020 — tiny runs in seconds)
+"""
+
+import sys
+
+from repro.core import hierarchy_free_reachability
+from repro.experiments import build_context
+from repro.experiments.report import format_table, percent
+
+profile = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+print(f"building scenario + running campaign ({profile})...")
+ctx = build_context(profile)
+scenario = ctx.scenario
+
+rows = []
+for name, asn in scenario.clouds.items():
+    report = ctx.validation_reports()[asn]
+    bgp_only = len(scenario.visible_cloud_neighbors(asn))
+    hfr_bgp = hierarchy_free_reachability(
+        scenario.public_graph, asn, scenario.tiers
+    )
+    hfr_aug = hierarchy_free_reachability(ctx.graph, asn, scenario.tiers)
+    rows.append(
+        (
+            name,
+            bgp_only,
+            report.inferred_count,
+            report.truth_count,
+            percent(report.fdr),
+            percent(report.fnr),
+            hfr_bgp,
+            hfr_aug,
+        )
+    )
+
+print()
+print(
+    format_table(
+        (
+            "cloud",
+            "BGP peers",
+            "inferred",
+            "truth",
+            "FDR",
+            "FNR",
+            "HFR (BGP only)",
+            "HFR (augmented)",
+        ),
+        rows,
+        title="Cloud neighbor discovery and its effect on hierarchy-free "
+        "reachability",
+    )
+)
+total = len(ctx.graph) - 1
+print(f"\n({total + 1} ASes in the topology; HFR counts reachable ASes)")
+print(
+    "\nBGP feeds alone miss most cloud peerings, drastically"
+    " underestimating how much of the Internet the clouds can reach"
+    " without the Tier-1/Tier-2 hierarchy."
+)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""PoP geography study (§9): deployments, rDNS locations, user proximity.
+
+1. Consolidates each provider's PoP map from network maps, looking
+   glasses, PeeringDB facilities and rDNS hostnames (Table 3).
+2. Shows the rDNS location-extraction pipeline: MIDAR-style alias
+   resolution, sc_hoiho-style naming-convention learning, and the manual
+   regex it must agree with.
+3. Computes population coverage within 500/700/1000 km of each cohort's
+   PoPs (Figs. 11/12).
+
+Run:  python examples/pop_geography.py [profile]
+"""
+
+import random
+import sys
+
+from repro.experiments import build_context, fig11_map, fig12_coverage
+from repro.mapping import peeringdb_from_scenario
+from repro.pops import (
+    ConventionLearner,
+    ProbeSimulator,
+    alias_groups_to_hostnames,
+    collect_rdns,
+    consolidate_scenario,
+    convention_for,
+    extract_with_regex,
+    regex_for_convention,
+    resolve_aliases,
+)
+
+profile = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+print(f"building scenario ({profile})...")
+ctx = build_context(profile, measure=False)
+scenario = ctx.scenario
+
+# --- Table 3: consolidated PoP maps --------------------------------------
+pdb = peeringdb_from_scenario(scenario)
+consolidation = consolidate_scenario(scenario, pdb)
+print("\nTable 3 — consolidated PoPs and rDNS confirmation:")
+for row in consolidation.table3()[:8]:
+    print(
+        f"  {row.provider:22s} pops={row.graph_pops:3d} "
+        f"hostnames={row.hostnames:4d} rDNS={row.rdns_percent:5.1f}%"
+    )
+
+# --- rDNS location extraction --------------------------------------------
+provider = "Hurricane Electric"
+footprint = consolidation.footprints[provider]
+rdns = collect_rdns([footprint])
+routers = footprint.routers[:12]
+prober = ProbeSimulator(routers, seed=1)
+addresses = [ip for router in routers for ip in router.interfaces]
+groups = resolve_aliases(prober, addresses, seed=2)
+hostname_groups = alias_groups_to_hostnames(groups, rdns.lookup)
+hostnames = [name for group in hostname_groups for name in group]
+learned = ConventionLearner().learn([r.hostname for r in footprint.routers if r.hostname])
+manual = regex_for_convention(convention_for(provider))
+print(f"\n{provider}: {len(groups)} routers from {len(addresses)} interfaces")
+for name in hostnames[:3]:
+    code_learned = learned.extract(name) if learned else None
+    code_manual = extract_with_regex(name, manual)
+    agreement = "==" if code_learned == code_manual else "!="
+    print(f"  {name}: learned={code_learned} {agreement} manual={code_manual}")
+
+# --- Figs. 11/12 -----------------------------------------------------------
+print("\nFig. 11 — deployment overlap:")
+r11 = fig11_map.run(ctx)
+print(f"  cloud-only metros:   {sorted(r11.cloud_only)}")
+print(f"  shared metros:       {len(r11.both)}")
+print(f"  transit-only metros: {len(r11.transit_only)}")
+
+r12 = fig12_coverage.run(ctx)
+clouds = r12.cohort("clouds")
+transit = r12.cohort("transit")
+print("\nFig. 12 — population within X km of a PoP:")
+for radius in (500, 700, 1000):
+    print(
+        f"  {radius:4d} km: clouds {clouds.percent(radius):5.1f}%   "
+        f"transit {transit.percent(radius):5.1f}%"
+    )

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The upstream of the paper's dataset: inferring AS relationships.
+
+The paper consumes CAIDA's AS-relationship files, which are themselves
+inferred from AS paths observed at public route collectors.  This example
+regenerates that pipeline end to end on a synthetic Internet:
+
+1. simulate RouteViews-style collectors peering with the scenario's
+   monitor ASes and dump their RIBs (MRT-like text);
+2. run three generations of inference algorithms over the observed paths —
+   Gao (2001), an AS-Rank-style voter (2013), and a ProbLink-style
+   naive-Bayes classifier (2019);
+3. score each against the known ground truth.
+
+Expected shape (it mirrors the literature): Gao is weakest, especially on
+peerings; AS-Rank nails transit edges; ProbLink closes the p2p gap.
+
+Run:  python examples/relationship_inference.py [profile]
+"""
+
+import random
+import sys
+
+from repro.collectors import collect_ribs, dumps_mrt, parse_mrt
+from repro.inference import (
+    coverage,
+    evaluate_inference,
+    infer_asrank,
+    infer_gao,
+    infer_problink,
+)
+from repro.netgen import build_scenario, profile
+
+profile_name = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+print(f"building scenario ({profile_name})...")
+scenario = build_scenario(profile(profile_name))
+
+print(f"collecting RIBs from {len(scenario.monitors)} monitors...")
+dump = collect_ribs(
+    scenario.graph, scenario.monitors, scenario.prefixes,
+    rng=random.Random(1),
+)
+print(f"  {len(dump)} RIB entries")
+
+# round-trip through the MRT-style format, as a real pipeline would
+paths = parse_mrt(dumps_mrt(dump)).paths()
+
+print("\nalgorithm     accuracy   p2c        p2p        edge coverage")
+for name, algorithm in (
+    ("Gao 2001", infer_gao),
+    ("AS-Rank", infer_asrank),
+    ("ProbLink", infer_problink),
+):
+    result = algorithm(paths)
+    acc = evaluate_inference(scenario.graph, result.records)
+    cov = coverage(scenario.graph, result.records)
+    print(
+        f"{name:12s}  {acc.accuracy:7.1%}   {acc.p2c_accuracy:7.1%}   "
+        f"{acc.p2p_accuracy:7.1%}   {cov:7.1%}"
+    )
+
+print(
+    "\nNote the coverage column: collectors see every transit edge but"
+    " miss most peerings — the visibility gap that motivates the paper's"
+    " cloud-internal traceroute campaign (§4.1)."
+)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Route-leak resilience study (§8): announcement policy and peer locking.
+
+Simulates a misconfigured AS leaking a cloud provider's prefix under the
+paper's five configurations and prints, for each, the distribution of the
+fraction of ASes detoured — reproducing the qualitative result of Figs.
+7/8: the cloud's peering footprint protects it, peer locking (erratum
+semantics) caps the damage, and announcing only to the Tier-1/Tier-2
+hierarchy is *worse* than being an average network.
+
+Run:  python examples/route_leak_study.py [profile] [cloud]
+"""
+
+import random
+import sys
+
+from repro.core import (
+    LEAK_CONFIGURATIONS,
+    average_resilience_curve,
+    resilience_curve,
+)
+from repro.experiments import build_context
+from repro.experiments.report import cdf_summary
+
+profile = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+cloud_name = sys.argv[2] if len(sys.argv) > 2 else "Google"
+
+print(f"building scenario ({profile})...")
+ctx = build_context(profile)
+origin = ctx.clouds[cloud_name]
+
+rng = random.Random(42)
+nodes = sorted(ctx.graph.nodes())
+leakers = rng.sample(nodes, k=min(60, len(nodes)))
+
+print(f"\nleaking AS{origin} ({cloud_name})'s prefix from "
+      f"{len(leakers)} random misconfigured ASes:\n")
+for configuration in LEAK_CONFIGURATIONS:
+    curve = resilience_curve(
+        ctx.graph, origin, ctx.tiers, configuration, leakers
+    )
+    print(f"  {configuration:28s} {cdf_summary(curve)}")
+
+baseline = average_resilience_curve(
+    ctx.graph, random.Random(7), origins=10, leakers_per_origin=10
+)
+print(f"  {'average resilience':28s} {cdf_summary(baseline)}")
+print(
+    "\nReading: lower detoured fractions = more resilient.  Peer locking"
+    " tightens the tail; 'announce to hierarchy only' forfeits the"
+    " peering footprint and is the worst configuration."
+)

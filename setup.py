@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e . --no-build-isolation`` (and ``python setup.py develop``)
+work offline with older setuptools that lack PEP 660 editable-wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""repro — reproduction of "Cloud Provider Connectivity in the Flat Internet"
+(Arnold et al., IMC 2020).
+
+The package implements the paper's measurement and modeling stack:
+
+* :mod:`repro.topology` — AS-level graph, CAIDA relationship file I/O,
+  tier identification, traceroute augmentation;
+* :mod:`repro.bgpsim` — Gao-Rexford route propagation with all ties kept;
+* :mod:`repro.core` — hierarchy-free reachability, customer cones,
+  reliance, route-leak resilience, path-length mixes;
+* :mod:`repro.netgen` — synthetic Internet scenarios standing in for the
+  paper's proprietary/online datasets;
+* :mod:`repro.traceroute`, :mod:`repro.mapping`, :mod:`repro.neighbors` —
+  the cloud traceroute measurement pipeline and its validation;
+* :mod:`repro.geo`, :mod:`repro.pops` — PoP deployments, rDNS, geography;
+* :mod:`repro.experiments` — one module per table/figure of the paper.
+
+Quick taste::
+
+    from repro.netgen import build_scenario, tiny
+    from repro.core import hierarchy_free_reachability
+
+    scenario = build_scenario(tiny())
+    google = scenario.clouds["Google"]
+    print(hierarchy_free_reachability(scenario.graph, google, scenario.tiers))
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    bgpsim,
+    core,
+    geo,
+    mapping,
+    neighbors,
+    netgen,
+    pops,
+    topology,
+    traceroute,
+)
+
+__all__ = [
+    "__version__",
+    "bgpsim",
+    "core",
+    "geo",
+    "mapping",
+    "neighbors",
+    "netgen",
+    "pops",
+    "topology",
+    "traceroute",
+]

@@ -1,0 +1,24 @@
+"""Gao-Rexford BGP route-propagation simulator."""
+
+from .engine import propagate
+from .policies import (
+    LeakMode,
+    hierarchy_only_seed,
+    leak_seed,
+    origin_seed,
+    peer_lock_set,
+)
+from .routes import NodeRoute, RouteClass, RoutingState, Seed
+
+__all__ = [
+    "LeakMode",
+    "NodeRoute",
+    "RouteClass",
+    "RoutingState",
+    "Seed",
+    "hierarchy_only_seed",
+    "leak_seed",
+    "origin_seed",
+    "peer_lock_set",
+    "propagate",
+]

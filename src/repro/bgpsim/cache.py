@@ -1,0 +1,33 @@
+"""Shared per-origin routing-state cache.
+
+Several pipelines (traceroute campaigns, route collectors, path containment
+checks) need the propagation state for many origins over the same graph;
+this cache computes each origin once.
+"""
+
+from __future__ import annotations
+
+from ..topology.asgraph import ASGraph
+from .engine import propagate
+from .routes import RoutingState, Seed
+
+
+class RoutingStateCache:
+    """Memoized ``propagate(graph, Seed(origin))`` per origin."""
+
+    def __init__(self, graph: ASGraph) -> None:
+        self.graph = graph
+        self._states: dict[int, RoutingState] = {}
+
+    def state_for(self, origin: int) -> RoutingState:
+        state = self._states.get(origin)
+        if state is None:
+            state = propagate(self.graph, Seed(asn=origin))
+            self._states[origin] = state
+        return state
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def clear(self) -> None:
+        self._states.clear()

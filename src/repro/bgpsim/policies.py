@@ -1,0 +1,95 @@
+"""Announcement configurations and peer-locking policy helpers (§8).
+
+The route-leak experiments run each cloud provider under several
+configurations: announcing to all neighbors, announcing only to Tier-1s,
+Tier-2s and its transit providers, and announcing to all while subsets of
+its neighbors deploy peer locking.  This module builds the corresponding
+:class:`~repro.bgpsim.routes.Seed` objects and peer-lock AS sets.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..topology.asgraph import ASGraph
+from ..topology.tiers import TierAssignment
+from .engine import propagate
+from .routes import Seed
+
+
+class LeakMode(enum.Enum):
+    """How the misconfigured AS's announcement competes on path length.
+
+    ``REANNOUNCE`` is the paper's route-leak semantics: the leaker exports a
+    route it legitimately learned, so the competing path starts at the
+    leaker's best path length to the origin.  ``HIJACK`` makes the leaker
+    claim origination (length 0) — kept as an ablation of the design choice.
+    ``SUBPREFIX`` models a more-specific hijack: longest-prefix-match means
+    the leaked route wins wherever it arrives at all, regardless of the
+    legitimate route (the classic worst case, against which only filtering
+    — e.g. peer locking — helps).
+    """
+
+    REANNOUNCE = "reannounce"
+    HIJACK = "hijack"
+    SUBPREFIX = "subprefix"
+
+
+def origin_seed(asn: int) -> Seed:
+    """The default 'announce to all neighbors' configuration."""
+    return Seed(asn=asn, key="origin")
+
+
+def hierarchy_only_seed(
+    graph: ASGraph, asn: int, tiers: TierAssignment
+) -> Seed:
+    """'Announce to Tier-1, Tier-2, and providers' configuration (§8.2)."""
+    allowed = (tiers.hierarchy | graph.providers(asn)) & graph.neighbors(asn)
+    return Seed(asn=asn, key="origin", export_to=frozenset(allowed))
+
+
+def leak_seed(
+    graph: ASGraph,
+    origin: int,
+    leaker: int,
+    mode: LeakMode = LeakMode.REANNOUNCE,
+    legit_path_length: Optional[int] = None,
+) -> Seed:
+    """Build the misconfigured-AS seed for a leak of ``origin``'s prefix.
+
+    Under ``REANNOUNCE`` the initial path length is the leaker's tied-best
+    path length to the origin (computed here unless supplied); a leaker with
+    no route to the origin cannot re-announce anything and raises.
+    """
+    if mode is LeakMode.HIJACK:
+        return Seed(asn=leaker, key="leak", initial_length=0)
+    if legit_path_length is None:
+        state = propagate(graph, Seed(asn=origin, key="origin"))
+        legit_path_length = state.path_length(leaker)
+    if legit_path_length is None:
+        raise ValueError(f"AS{leaker} has no route to AS{origin}; nothing to leak")
+    return Seed(asn=leaker, key="leak", initial_length=legit_path_length)
+
+
+def peer_lock_set(
+    graph: ASGraph,
+    origin: int,
+    tiers: TierAssignment,
+    scope: str,
+) -> frozenset[int]:
+    """Neighbors of ``origin`` deploying peer locking for its prefixes.
+
+    ``scope`` is one of ``"none"``, ``"tier1"``, ``"tier1+tier2"``,
+    ``"all"`` — the three deployment scenarios of Fig. 8 plus the baseline.
+    """
+    neighbors = graph.neighbors(origin)
+    if scope == "none":
+        return frozenset()
+    if scope == "tier1":
+        return frozenset(neighbors & tiers.tier1)
+    if scope == "tier1+tier2":
+        return frozenset(neighbors & tiers.hierarchy)
+    if scope == "all":
+        return frozenset(neighbors)
+    raise ValueError(f"unknown peer-lock scope: {scope!r}")

@@ -1,0 +1,244 @@
+"""Command-line interface.
+
+Subcommands mirror the workflows a downstream user actually has:
+
+* ``repro generate`` — write a synthetic Internet as a CAIDA-format
+  relationship file (plus, optionally, a collector RIB dump);
+* ``repro reach`` — the reachability metric family for one origin in a
+  relationship file;
+* ``repro sweep`` — top-N networks by hierarchy-free reachability;
+* ``repro leak`` — route-leak resilience summary for one origin;
+* ``repro infer`` — AS-relationship inference from a collector dump;
+* ``repro experiments`` — run every table/figure reproduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+
+def _load_graph_and_tiers(path: str, tier2_count: int = 25):
+    from .topology import infer_tiers, load_graph
+
+    graph = load_graph(path)
+    tiers = infer_tiers(graph, tier2_count=tier2_count, min_tier1_adjacency=1)
+    return graph, tiers
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from .netgen import build_scenario, profile
+    from .topology import dump_graph
+
+    config = profile(args.profile, seed=args.seed)
+    scenario = build_scenario(config)
+    dump_graph(
+        scenario.graph,
+        args.output,
+        serial=args.serial,
+        header=f"synthetic Internet, profile={args.profile} seed={args.seed}",
+    )
+    print(
+        f"wrote {len(scenario.graph)} ASes / "
+        f"{scenario.graph.edge_count()} edges to {args.output}"
+    )
+    if args.mrt:
+        from .collectors import collect_ribs, dump_mrt
+
+        dump = collect_ribs(
+            scenario.graph,
+            scenario.monitors,
+            scenario.prefixes,
+            rng=random.Random(args.seed),
+        )
+        with open(args.mrt, "w", encoding="utf-8") as handle:
+            dump_mrt(dump, handle)
+        print(f"wrote {len(dump)} RIB entries to {args.mrt}")
+    return 0
+
+
+def cmd_reach(args: argparse.Namespace) -> int:
+    from .core import customer_cone_size, reachability_report
+
+    graph, tiers = _load_graph_and_tiers(args.file)
+    if args.origin not in graph:
+        print(f"error: AS{args.origin} not in {args.file}", file=sys.stderr)
+        return 1
+    report = reachability_report(graph, args.origin, tiers)
+    total = len(graph) - 1
+    print(f"AS{args.origin} ({len(graph)} ASes in topology)")
+    print(f"  customer cone:   {customer_cone_size(graph, args.origin)}")
+    print(f"  full:            {report.full}")
+    print(f"  provider-free:   {report.provider_free}")
+    print(f"  Tier-1-free:     {report.tier1_free}")
+    print(
+        f"  hierarchy-free:  {report.hierarchy_free} "
+        f"({report.hierarchy_free / max(total, 1):.1%})"
+    )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .core import hierarchy_free_sweep, rank_by
+
+    graph, tiers = _load_graph_and_tiers(args.file)
+    values = hierarchy_free_sweep(graph, tiers)
+    total = max(len(graph) - 1, 1)
+    print(f"top {args.top} by hierarchy-free reachability:")
+    for rank, (asn, value) in enumerate(rank_by(values)[: args.top], 1):
+        print(f"  {rank:3d}. AS{asn:<8d} {value:6d} ({value / total:.1%})")
+    return 0
+
+
+def cmd_leak(args: argparse.Namespace) -> int:
+    from .core import LEAK_CONFIGURATIONS, resilience_curve
+    from .experiments.report import cdf_summary
+
+    graph, tiers = _load_graph_and_tiers(args.file)
+    if args.origin not in graph:
+        print(f"error: AS{args.origin} not in {args.file}", file=sys.stderr)
+        return 1
+    rng = random.Random(args.seed)
+    nodes = sorted(graph.nodes())
+    leakers = rng.sample(nodes, k=min(args.leakers, len(nodes)))
+    configurations = (
+        [args.config] if args.config else list(LEAK_CONFIGURATIONS)
+    )
+    print(
+        f"leaking AS{args.origin}'s prefix from {len(leakers)} random ASes:"
+    )
+    for configuration in configurations:
+        curve = resilience_curve(
+            graph, args.origin, tiers, configuration, leakers
+        )
+        print(f"  {configuration:28s} {cdf_summary(curve)}")
+    return 0
+
+
+def cmd_infer(args: argparse.Namespace) -> int:
+    from .collectors import parse_mrt
+    from .inference import (
+        evaluate_inference,
+        infer_asrank,
+        infer_gao,
+        infer_problink,
+    )
+
+    text = Path(args.mrt).read_text(encoding="utf-8")
+    paths = parse_mrt(text).paths()
+    algorithm = {
+        "gao": infer_gao,
+        "asrank": infer_asrank,
+        "problink": infer_problink,
+    }[args.algorithm]
+    result = algorithm(paths)
+    records = result.records
+    p2c = sum(1 for r in records if r.is_transit)
+    print(
+        f"{args.algorithm}: inferred {len(records)} edges "
+        f"({p2c} p2c, {len(records) - p2c} p2p) from {len(paths)} paths"
+    )
+    if args.truth:
+        from .topology import load_graph
+
+        truth = load_graph(args.truth)
+        accuracy = evaluate_inference(truth, records)
+        print(f"vs truth: {accuracy.summary()}")
+    if args.output:
+        from .topology import dump_graph
+
+        dump_graph(result.as_graph(), args.output, serial=2)
+        print(f"wrote inferred relationships to {args.output}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.runner import main as runner_main
+
+    return runner_main([args.profile])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction toolkit for 'Cloud Provider Connectivity in the "
+            "Flat Internet' (IMC 2020)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="write a synthetic Internet as a CAIDA-format file"
+    )
+    generate.add_argument("profile", help="tiny | small | year2020 | year2015")
+    generate.add_argument("-o", "--output", required=True)
+    generate.add_argument("--seed", type=int, default=20200901)
+    generate.add_argument("--serial", type=int, choices=(1, 2), default=2)
+    generate.add_argument(
+        "--mrt", help="also write a collector RIB dump to this path"
+    )
+    generate.set_defaults(func=cmd_generate)
+
+    reach = sub.add_parser(
+        "reach", help="reachability metric family for one origin"
+    )
+    reach.add_argument("file", help="CAIDA serial-1/serial-2 file")
+    reach.add_argument("origin", type=int)
+    reach.set_defaults(func=cmd_reach)
+
+    sweep = sub.add_parser(
+        "sweep", help="top networks by hierarchy-free reachability"
+    )
+    sweep.add_argument("file")
+    sweep.add_argument("--top", type=int, default=20)
+    sweep.set_defaults(func=cmd_sweep)
+
+    leak = sub.add_parser("leak", help="route-leak resilience summary")
+    leak.add_argument("file")
+    leak.add_argument("origin", type=int)
+    leak.add_argument("--leakers", type=int, default=50)
+    leak.add_argument("--seed", type=int, default=7)
+    leak.add_argument(
+        "--config",
+        choices=(
+            "announce_all",
+            "announce_all_t1_lock",
+            "announce_all_t1t2_lock",
+            "announce_all_global_lock",
+            "announce_hierarchy_only",
+        ),
+    )
+    leak.set_defaults(func=cmd_leak)
+
+    infer = sub.add_parser(
+        "infer", help="infer AS relationships from a collector dump"
+    )
+    infer.add_argument("mrt", help="MRT-style text dump (repro generate --mrt)")
+    infer.add_argument(
+        "--algorithm", choices=("gao", "asrank", "problink"), default="asrank"
+    )
+    infer.add_argument("--truth", help="ground-truth relationship file")
+    infer.add_argument("-o", "--output", help="write inferred relationships")
+    infer.set_defaults(func=cmd_infer)
+
+    experiments = sub.add_parser(
+        "experiments", help="run every table/figure reproduction"
+    )
+    experiments.add_argument("profile", nargs="?", default="small")
+    experiments.set_defaults(func=cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""Route-collector simulation (RouteViews/RIS-style RIB snapshots)."""
+
+from .rib import (
+    CollectorDump,
+    MrtFormatError,
+    RibEntry,
+    collect_ribs,
+    dump_mrt,
+    dumps_mrt,
+    parse_mrt,
+    parse_mrt_line,
+)
+
+__all__ = [
+    "CollectorDump",
+    "MrtFormatError",
+    "RibEntry",
+    "collect_ribs",
+    "dump_mrt",
+    "dumps_mrt",
+    "parse_mrt",
+    "parse_mrt_line",
+]

@@ -1,0 +1,53 @@
+"""Customer cone, transit degree, and node degree (AS-Rank metrics).
+
+These are the incumbent influence metrics the paper contrasts with
+hierarchy-free reachability (§6.6): customer cone is the set of ASes
+reachable following only p2c links downward, transit degree counts unique
+neighbors on transit edges, node degree counts all unique neighbors.
+"""
+
+from __future__ import annotations
+
+from ..topology.asgraph import ASGraph
+from .reachability import ConeEngine
+
+
+def customer_cone(graph: ASGraph, asn: int) -> frozenset[int]:
+    """The ASes ``asn`` can reach using only p2c links (excluding itself)."""
+    if asn not in graph:
+        raise KeyError(f"AS{asn} not in graph")
+    cone: set[int] = set()
+    frontier = [asn]
+    while frontier:
+        next_frontier = []
+        for node in frontier:
+            for customer in graph.customers(node):
+                if customer not in cone and customer != asn:
+                    cone.add(customer)
+                    next_frontier.append(customer)
+        frontier = next_frontier
+    return frozenset(cone)
+
+
+def customer_cone_size(graph: ASGraph, asn: int) -> int:
+    """``|customer_cone(asn)|`` — the AS-Rank market-power metric."""
+    return len(customer_cone(graph, asn))
+
+
+def all_customer_cone_sizes(
+    graph: ASGraph, engine: ConeEngine | None = None
+) -> dict[int, int]:
+    """Customer-cone size for every AS, via the bitset engine."""
+    if engine is None or engine.excluded:
+        engine = ConeEngine(graph)
+    return {asn: engine.cone_size(asn) for asn in graph}
+
+
+def transit_degree(graph: ASGraph, asn: int) -> int:
+    """Unique neighbors appearing on transit (p2c) edges of ``asn``."""
+    return graph.transit_degree(asn)
+
+
+def node_degree(graph: ASGraph, asn: int) -> int:
+    """Raw number of unique neighbors of ``asn``."""
+    return graph.degree(asn)

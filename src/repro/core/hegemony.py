@@ -1,0 +1,114 @@
+"""AS hegemony (Fontugne et al., PAM 2018) — a third influence metric.
+
+The paper's related work (§10) contrasts hierarchy-free reachability with
+"inbetweenness" metrics like AS hegemony: the average fraction of paths
+toward an origin that cross a given AS, with the most- and least-biased
+vantage points trimmed before averaging.  Unlike the original (which works
+on observed BGP paths), this implementation evaluates hegemony on the
+simulated tied-best-path DAG, making it directly comparable with reliance
+and hierarchy-free reachability on the same topology.
+
+* **local hegemony** ``H(o, a)`` — how much origin *o* depends on AS *a*:
+  the trimmed mean over receivers *t* of the fraction of *t*'s tied-best
+  paths to *o* that cross *a*;
+* **global hegemony** ``H(a)`` — the mean of local hegemony over a sample
+  of origins; the paper's point is that such transit-centric scores and
+  hierarchy-free reachability capture different things.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Collection, Sequence
+from typing import Optional
+
+from ..bgpsim.cache import RoutingStateCache
+from ..bgpsim.routes import RoutingState
+from ..topology.asgraph import ASGraph
+from .reliance import path_counts
+
+#: default trimming fraction on each side (the original uses 10%)
+TRIM = 0.1
+
+
+def path_cross_fractions(
+    state: RoutingState, target: int
+) -> dict[int, float]:
+    """For every receiver ``t``: fraction of t's tied-best paths crossing
+    ``target`` (1.0 for t == target)."""
+    routes = state.routes
+    if target not in routes:
+        return {}
+    counts = path_counts(state)
+    fractions: dict[int, float] = {}
+    for asn in sorted(routes, key=lambda a: routes[a].length):
+        if asn == target:
+            fractions[asn] = 1.0
+            continue
+        parents = routes[asn].parents
+        if not parents:
+            fractions[asn] = 0.0  # the origin itself
+            continue
+        denom = sum(counts[p] for p in parents)
+        fractions[asn] = sum(
+            fractions[p] * counts[p] for p in parents
+        ) / denom
+    return fractions
+
+
+def trimmed_mean(values: Sequence[float], trim: float = TRIM) -> float:
+    """Mean with ``trim`` fraction removed from each end (hegemony's
+    defence against vantage-point bias)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    cut = int(len(ordered) * trim)
+    kept = ordered[cut : len(ordered) - cut] or ordered
+    return sum(kept) / len(kept)
+
+
+def local_hegemony(
+    graph: ASGraph,
+    origin: int,
+    target: int,
+    cache: Optional[RoutingStateCache] = None,
+    trim: float = TRIM,
+) -> float:
+    """``H(origin, target)`` on the tied-best-path DAG."""
+    if cache is None:
+        cache = RoutingStateCache(graph)
+    state = cache.state_for(origin)
+    fractions = path_cross_fractions(state, target)
+    samples = [
+        value
+        for asn, value in fractions.items()
+        if asn not in (origin, target)
+    ]
+    return trimmed_mean(samples, trim)
+
+
+def global_hegemony(
+    graph: ASGraph,
+    targets: Collection[int],
+    origins: Optional[Sequence[int]] = None,
+    sample: int = 50,
+    rng: Optional[random.Random] = None,
+    trim: float = TRIM,
+) -> dict[int, float]:
+    """``H(target)`` for each target, averaged over sampled origins."""
+    rng = rng or random.Random(0)
+    nodes = sorted(graph.nodes())
+    if origins is None:
+        origins = rng.sample(nodes, k=min(sample, len(nodes)))
+    cache = RoutingStateCache(graph)
+    scores: dict[int, float] = {}
+    for target in targets:
+        values = []
+        for origin in origins:
+            if origin == target:
+                continue
+            values.append(
+                local_hegemony(graph, origin, target, cache, trim)
+            )
+        scores[target] = sum(values) / len(values) if values else 0.0
+    return scores

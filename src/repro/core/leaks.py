@@ -1,0 +1,287 @@
+"""Route-leak resilience simulation (§8, with the erratum's semantics).
+
+A misconfigured AS leaks the origin's prefix (re-announcing its learned
+route to every neighbor); the leaked and legitimate routes then compete at
+every AS under Gao-Rexford preference and AS-path length.  An AS is
+*detoured* if **any** of its tied-best routes leads to the leaker (worst
+case; no tie-breaking).  Peer locking is modeled per the erratum: a
+peer-locking AS discards routes for the origin's prefix arriving from
+anyone but the origin itself, so leaked routes can never propagate through
+it — not merely never be announced to it.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections.abc import Collection, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Optional
+
+from ..bgpsim.engine import propagate
+from ..bgpsim.policies import LeakMode, hierarchy_only_seed, peer_lock_set
+from ..bgpsim.routes import Seed
+from ..topology.asgraph import ASGraph
+from ..topology.tiers import TierAssignment
+
+
+class PeerLockSemantics(enum.Enum):
+    """Erratum semantics (leak can never traverse a locking AS) vs the
+    original paper's buggy semantics (leak only filtered when announced
+    directly to a locking AS) — kept as an ablation."""
+
+    ERRATUM = "erratum"
+    ORIGINAL = "original"
+
+
+@dataclass(frozen=True)
+class LeakOutcome:
+    """Result of one leak simulation."""
+
+    origin: int
+    leaker: int
+    detoured: frozenset[int]
+    total_ases: int
+
+    @property
+    def eligible(self) -> int:
+        """ASes that could be detoured (everyone but origin and leaker)."""
+        return max(self.total_ases - 2, 1)
+
+    @property
+    def fraction_detoured(self) -> float:
+        return len(self.detoured) / self.eligible
+
+    def fraction_users_detoured(self, users: Mapping[int, int]) -> float:
+        """Fraction of users in detoured ASes (Fig. 9's weighting)."""
+        total = sum(
+            count
+            for asn, count in users.items()
+            if asn not in (self.origin, self.leaker)
+        )
+        if total == 0:
+            return 0.0
+        detoured_users = sum(users.get(asn, 0) for asn in self.detoured)
+        return detoured_users / total
+
+
+def simulate_leak(
+    graph: ASGraph,
+    origin: int | Seed,
+    leaker: int,
+    peer_locked: Collection[int] = frozenset(),
+    mode: LeakMode = LeakMode.REANNOUNCE,
+    semantics: PeerLockSemantics = PeerLockSemantics.ERRATUM,
+) -> Optional[LeakOutcome]:
+    """Simulate ``leaker`` leaking ``origin``'s prefix.
+
+    ``origin`` may be a :class:`Seed` to carry an announcement restriction
+    (the "announce to Tier-1, Tier-2, and providers" configuration).
+    Returns ``None`` when the leaker holds no route to the origin under the
+    given configuration (there is nothing to re-announce); a hijack-mode
+    leaker never needs a route.
+    """
+    legit = origin if isinstance(origin, Seed) else Seed(asn=origin, key="origin")
+    if leaker == legit.asn or leaker not in graph:
+        raise ValueError(f"invalid leaker AS{leaker}")
+
+    peer_locked = frozenset(peer_locked) - {legit.asn, leaker}
+
+    if mode is LeakMode.SUBPREFIX:
+        # a more-specific prefix wins everywhere it propagates; only the
+        # filtering (peer locking) limits it, so the legitimate route is
+        # irrelevant and the leak is simulated alone
+        if semantics is PeerLockSemantics.ORIGINAL and peer_locked:
+            export_to = frozenset(graph.neighbors(leaker) - peer_locked)
+            seed = Seed(asn=leaker, key="leak", initial_length=0,
+                        export_to=export_to)
+            state = propagate(graph, seed)
+        else:
+            seed = Seed(asn=leaker, key="leak", initial_length=0)
+            state = propagate(
+                graph, seed,
+                peer_locked=peer_locked, locked_origin=legit.asn,
+            )
+        detoured = state.reachable_ases() - {legit.asn}
+        return LeakOutcome(
+            origin=legit.asn,
+            leaker=leaker,
+            detoured=frozenset(detoured),
+            total_ases=len(graph),
+        )
+
+    baseline = propagate(graph, legit, peer_locked=peer_locked,
+                         locked_origin=legit.asn)
+    if mode is LeakMode.HIJACK:
+        initial = 0
+    else:
+        legit_length = baseline.path_length(leaker)
+        if legit_length is None:
+            return None
+        initial = legit_length
+
+    if semantics is PeerLockSemantics.ORIGINAL and peer_locked:
+        # Original (pre-erratum) behaviour: the leak is only filtered on
+        # direct announcement to a locking AS; emulate by removing locking
+        # ASes from the leaker's export set and disabling path filtering.
+        export_to = frozenset(graph.neighbors(leaker) - peer_locked)
+        leak = Seed(asn=leaker, key="leak", initial_length=initial,
+                    export_to=export_to)
+        state = propagate(graph, (legit, leak))
+    else:
+        leak = Seed(asn=leaker, key="leak", initial_length=initial)
+        state = propagate(
+            graph,
+            (legit, leak),
+            peer_locked=peer_locked,
+            locked_origin=legit.asn,
+        )
+
+    detoured = frozenset(
+        asn
+        for asn, route in state.routes.items()
+        if "leak" in route.origins and asn not in state.seed_asns
+    )
+    return LeakOutcome(
+        origin=legit.asn,
+        leaker=leaker,
+        detoured=detoured,
+        total_ases=len(graph),
+    )
+
+
+#: The five announcement/locking configurations plotted in Figs. 7-9.
+LEAK_CONFIGURATIONS = (
+    "announce_all",
+    "announce_all_t1_lock",
+    "announce_all_t1t2_lock",
+    "announce_all_global_lock",
+    "announce_hierarchy_only",
+)
+
+
+def configuration_seed_and_locks(
+    graph: ASGraph,
+    origin: int,
+    tiers: TierAssignment,
+    configuration: str,
+) -> tuple[Seed, frozenset[int]]:
+    """Map a Fig. 7/8 configuration name to (origin seed, peer-lock set)."""
+    if configuration == "announce_all":
+        return Seed(asn=origin, key="origin"), frozenset()
+    if configuration == "announce_all_t1_lock":
+        return Seed(asn=origin, key="origin"), peer_lock_set(
+            graph, origin, tiers, "tier1"
+        )
+    if configuration == "announce_all_t1t2_lock":
+        return Seed(asn=origin, key="origin"), peer_lock_set(
+            graph, origin, tiers, "tier1+tier2"
+        )
+    if configuration == "announce_all_global_lock":
+        return Seed(asn=origin, key="origin"), peer_lock_set(
+            graph, origin, tiers, "all"
+        )
+    if configuration == "announce_hierarchy_only":
+        return hierarchy_only_seed(graph, origin, tiers), frozenset()
+    raise ValueError(f"unknown leak configuration: {configuration!r}")
+
+
+def resilience_curve(
+    graph: ASGraph,
+    origin: int,
+    tiers: TierAssignment,
+    configuration: str,
+    leakers: Sequence[int],
+    mode: LeakMode = LeakMode.REANNOUNCE,
+    semantics: PeerLockSemantics = PeerLockSemantics.ERRATUM,
+) -> list[float]:
+    """Detoured-AS fractions over ``leakers`` for one configuration.
+
+    Leakers with no route to the origin under the configuration are skipped
+    (they cannot re-announce anything).
+    """
+    seed, locks = configuration_seed_and_locks(graph, origin, tiers, configuration)
+    fractions = []
+    for leaker in leakers:
+        if leaker == origin:
+            continue
+        outcome = simulate_leak(
+            graph, seed, leaker, peer_locked=locks, mode=mode, semantics=semantics
+        )
+        if outcome is not None:
+            fractions.append(outcome.fraction_detoured)
+    return sorted(fractions)
+
+
+def average_resilience_curve(
+    graph: ASGraph,
+    rng: random.Random,
+    origins: int = 50,
+    leakers_per_origin: int = 50,
+    mode: LeakMode = LeakMode.REANNOUNCE,
+) -> list[float]:
+    """The paper's *average resilience* baseline: random legitimate origins
+    against random misconfigured ASes, announce-to-all, no locking."""
+    nodes = sorted(graph.nodes())
+    fractions = []
+    for _ in range(origins):
+        origin = rng.choice(nodes)
+        for _ in range(leakers_per_origin):
+            leaker = rng.choice(nodes)
+            if leaker == origin:
+                continue
+            outcome = simulate_leak(graph, origin, leaker, mode=mode)
+            if outcome is not None:
+                fractions.append(outcome.fraction_detoured)
+    return sorted(fractions)
+
+
+def lock_coverage_sweep(
+    graph: ASGraph,
+    origin: int,
+    leakers: Sequence[int],
+    coverages: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    rng: Optional[random.Random] = None,
+    mode: LeakMode = LeakMode.REANNOUNCE,
+) -> dict[float, float]:
+    """Mean detoured fraction vs. peer-lock deployment coverage.
+
+    An ablation beyond the paper's three fixed deployment scenarios: for
+    each coverage level, a random ``coverage`` fraction of the origin's
+    neighbors deploys peer locking (biggest neighbors first would be the
+    T1/T2 scenarios; random deployment is the pessimistic counterpart),
+    and the same leakers are replayed.
+    """
+    rng = rng or random.Random(0)
+    neighbors = sorted(graph.neighbors(origin))
+    results: dict[float, float] = {}
+    for coverage in coverages:
+        count = round(coverage * len(neighbors))
+        locked = frozenset(rng.sample(neighbors, k=count)) if count else frozenset()
+        fractions = []
+        for leaker in leakers:
+            if leaker == origin:
+                continue
+            outcome = simulate_leak(
+                graph, origin, leaker, peer_locked=locked, mode=mode
+            )
+            if outcome is not None:
+                fractions.append(outcome.fraction_detoured)
+        results[coverage] = (
+            sum(fractions) / len(fractions) if fractions else 0.0
+        )
+    return results
+
+
+def cdf_points(fractions: Sequence[float]) -> list[tuple[float, float]]:
+    """(x, F(x)) pairs for plotting a CDF of detoured fractions."""
+    ordered = sorted(fractions)
+    n = len(ordered)
+    return [(x, (i + 1) / n) for i, x in enumerate(ordered)]
+
+
+def fraction_at_most(fractions: Sequence[float], threshold: float) -> float:
+    """Share of simulations with detoured fraction <= threshold."""
+    if not fractions:
+        return 0.0
+    return sum(1 for x in fractions if x <= threshold) / len(fractions)

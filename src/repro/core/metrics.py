@@ -1,0 +1,128 @@
+"""The paper's reachability metric family (§6).
+
+Three nested constraints are applied to an origin's route propagation:
+
+* **provider-free** — ``reach(o, I \\ P_o)``: bypass the origin's own
+  transit providers (§6.2);
+* **Tier-1-free** — ``reach(o, I \\ P_o \\ T1)``: additionally bypass the
+  Tier-1 clique (§6.3);
+* **hierarchy-free** — ``reach(o, I \\ P_o \\ T1 \\ T2)``: additionally
+  bypass the Tier-2 ISPs (§6.4) — the paper's headline metric.
+
+``full_reachability`` (no exclusions) gives the maximum-possible baseline
+(what a Tier-1 attains), and :func:`hierarchy_free_sweep` computes the
+headline metric for every AS in the topology using the bitset engine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..topology.asgraph import ASGraph
+from ..topology.tiers import TierAssignment
+from .reachability import ConeEngine, reachability, reachable_set
+
+
+@dataclass(frozen=True)
+class ReachabilityReport:
+    """Reachability of one origin under the three nested constraints."""
+
+    origin: int
+    full: int
+    provider_free: int
+    tier1_free: int
+    hierarchy_free: int
+
+    def __post_init__(self) -> None:
+        if not (
+            self.hierarchy_free
+            <= self.tier1_free
+            <= self.provider_free
+            <= self.full
+        ):
+            raise ValueError(
+                f"reachability constraints must nest for AS{self.origin}"
+            )
+
+    def as_fractions(self, total_ases: int) -> dict[str, float]:
+        """Each reachability as a fraction of the other ASes in the graph."""
+        denom = max(total_ases - 1, 1)
+        return {
+            "full": self.full / denom,
+            "provider_free": self.provider_free / denom,
+            "tier1_free": self.tier1_free / denom,
+            "hierarchy_free": self.hierarchy_free / denom,
+        }
+
+
+def full_reachability(graph: ASGraph, origin: int) -> int:
+    """``reach(o, I)`` — no bypass constraints."""
+    return reachability(graph, origin)
+
+
+def provider_free_reachability(graph: ASGraph, origin: int) -> int:
+    """``reach(o, I \\ P_o)`` (§6.2)."""
+    return reachability(graph, origin, graph.providers(origin))
+
+
+def tier1_free_reachability(
+    graph: ASGraph, origin: int, tiers: TierAssignment
+) -> int:
+    """``reach(o, I \\ P_o \\ T1)`` (§6.3)."""
+    excluded = (graph.providers(origin) | tiers.tier1) - {origin}
+    return reachability(graph, origin, excluded)
+
+
+def hierarchy_free_reachability(
+    graph: ASGraph, origin: int, tiers: TierAssignment
+) -> int:
+    """``reach(o, I \\ P_o \\ T1 \\ T2)`` (§6.4) — hierarchy-free reachability."""
+    excluded = (graph.providers(origin) | tiers.hierarchy) - {origin}
+    return reachability(graph, origin, excluded)
+
+
+def hierarchy_free_set(
+    graph: ASGraph, origin: int, tiers: TierAssignment
+) -> frozenset[int]:
+    """The actual hierarchy-free reachable AS set (used by Fig. 4)."""
+    excluded = (graph.providers(origin) | tiers.hierarchy) - {origin}
+    return reachable_set(graph, origin, excluded)
+
+
+def reachability_report(
+    graph: ASGraph, origin: int, tiers: TierAssignment
+) -> ReachabilityReport:
+    """All four reachability values for ``origin`` (one Fig. 2 bar group)."""
+    return ReachabilityReport(
+        origin=origin,
+        full=full_reachability(graph, origin),
+        provider_free=provider_free_reachability(graph, origin),
+        tier1_free=tier1_free_reachability(graph, origin, tiers),
+        hierarchy_free=hierarchy_free_reachability(graph, origin, tiers),
+    )
+
+
+def hierarchy_free_sweep(
+    graph: ASGraph,
+    tiers: TierAssignment,
+    origins: Iterable[int] | None = None,
+    engine: ConeEngine | None = None,
+) -> dict[int, int]:
+    """Hierarchy-free reachability for every origin (default: all ASes).
+
+    Uses the bitset cone engine with exact-BFS fallback, so results are
+    identical to calling :func:`hierarchy_free_reachability` per AS.
+    """
+    if engine is None:
+        engine = ConeEngine(graph, excluded=tiers.hierarchy)
+    elif engine.excluded != tiers.hierarchy:
+        raise ValueError("engine exclusion set must equal tiers.hierarchy")
+    if origins is None:
+        origins = graph.nodes()
+    return {origin: engine.provider_free_count(origin) for origin in origins}
+
+
+def rank_by(values: dict[int, int]) -> list[tuple[int, int]]:
+    """Sort ``{asn: value}`` descending by value (ASN ascending on ties)."""
+    return sorted(values.items(), key=lambda item: (-item[1], item[0]))

@@ -1,0 +1,114 @@
+"""Best-path length distributions (Appendix E, Fig. 13).
+
+For a cloud origin announcing over the full topology, every routed AS falls
+in a path-length bin: 1 hop (direct peering/customer), 2 hops, or 3+ hops.
+The bins can be weighted three ways, as in Fig. 13: by networks, by eyeball
+(user-hosting) networks only, or by the user population those networks
+host.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Mapping
+from dataclasses import dataclass
+
+from ..bgpsim.engine import propagate
+from ..bgpsim.routes import Seed
+from ..topology.asgraph import ASGraph
+
+BINS = ("1", "2", "3+")
+
+
+@dataclass(frozen=True)
+class PathLengthMix:
+    """Weighted share of destinations at 1 / 2 / 3+ AS hops."""
+
+    one_hop: float
+    two_hop: float
+    three_plus: float
+
+    def __post_init__(self) -> None:
+        total = self.one_hop + self.two_hop + self.three_plus
+        if total and abs(total - 1.0) > 1e-9:
+            raise ValueError("path length mix must sum to 1 (or be empty)")
+
+    def as_dict(self) -> dict[str, float]:
+        return {"1": self.one_hop, "2": self.two_hop, "3+": self.three_plus}
+
+
+def _bin_of(length: int) -> str:
+    if length <= 1:
+        return "1"
+    if length == 2:
+        return "2"
+    return "3+"
+
+
+def path_length_weights(
+    graph: ASGraph,
+    origin: int,
+    weights: Mapping[int, float] | None = None,
+    restrict_to: Collection[int] | None = None,
+    excluded: Collection[int] = frozenset(),
+) -> dict[str, float]:
+    """Total weight of routed destinations per path-length bin.
+
+    ``weights`` maps AS → weight (default 1 per AS); ``restrict_to``
+    limits the accounting to a subset (e.g. eyeball networks).
+    """
+    state = propagate(graph, Seed(asn=origin, key="origin"), excluded=excluded)
+    totals = {b: 0.0 for b in BINS}
+    restrict = set(restrict_to) if restrict_to is not None else None
+    for asn, route in state.routes.items():
+        if asn == origin:
+            continue
+        if restrict is not None and asn not in restrict:
+            continue
+        weight = 1.0 if weights is None else float(weights.get(asn, 0))
+        if weight:
+            totals[_bin_of(route.length)] += weight
+    return totals
+
+
+def normalize_mix(totals: Mapping[str, float]) -> PathLengthMix:
+    """Convert bin totals to a :class:`PathLengthMix` of fractions."""
+    total = sum(totals.get(b, 0.0) for b in BINS)
+    if total == 0:
+        return PathLengthMix(0.0, 0.0, 0.0)
+    return PathLengthMix(
+        one_hop=totals.get("1", 0.0) / total,
+        two_hop=totals.get("2", 0.0) / total,
+        three_plus=totals.get("3+", 0.0) / total,
+    )
+
+
+def path_length_mix(
+    graph: ASGraph,
+    origin: int,
+    weights: Mapping[int, float] | None = None,
+    restrict_to: Collection[int] | None = None,
+) -> PathLengthMix:
+    """Fractional 1 / 2 / 3+ hop mix for ``origin`` (one Fig. 13 bar)."""
+    return normalize_mix(
+        path_length_weights(graph, origin, weights, restrict_to)
+    )
+
+
+def fig13_bars(
+    graph: ASGraph,
+    origin: int,
+    users: Mapping[int, int],
+) -> dict[str, PathLengthMix]:
+    """The three weightings of Fig. 13 for one cloud provider.
+
+    ``ases``: all networks equally; ``eyeball_ases``: only user-hosting
+    networks; ``population``: user-hosting networks weighted by users.
+    """
+    eyeballs = {asn for asn, count in users.items() if count > 0}
+    return {
+        "ases": path_length_mix(graph, origin),
+        "eyeball_ases": path_length_mix(graph, origin, restrict_to=eyeballs),
+        "population": path_length_mix(
+            graph, origin, weights={a: float(c) for a, c in users.items()}
+        ),
+    }

@@ -1,0 +1,188 @@
+"""Valley-free reachability over topology subgraphs.
+
+An AS *t* can reach an origin *o* (equivalently, receives *o*'s
+announcement) iff the graph contains a valley-free propagation path from
+*o* to *t*: zero or more hops up provider edges, at most one peer hop, then
+zero or more hops down customer edges — with every intermediate AS outside
+the excluded set.  Because export rules alone determine existence (route
+preference never blackholes a prefix), reachability is computed directly by
+a three-segment BFS, which is what :func:`reachable_set` does.
+
+For all-AS sweeps (Fig. 3 computes hierarchy-free reachability for *every*
+AS) the package also provides :class:`ConeEngine`, a bitset customer-cone
+engine: when the origin's own transit providers are excluded, the up
+segment collapses and reachability is exactly the restricted down-closure
+of the origin and its allowed peers, computable with big-integer OR in
+microseconds.  The engine detects the rare case where the closure would
+touch one of the origin's providers and falls back to the exact BFS.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+
+from ..topology.asgraph import ASGraph
+
+
+def reachable_set(
+    graph: ASGraph,
+    origin: int,
+    excluded: Collection[int] = frozenset(),
+) -> frozenset[int]:
+    """ASes receiving ``origin``'s announcement in ``graph`` minus ``excluded``.
+
+    The origin itself is not part of the result.  ``excluded`` ASes neither
+    receive nor forward the announcement (and are never counted reachable,
+    matching Fig. 1's accounting).
+    """
+    if origin not in graph:
+        raise KeyError(f"AS{origin} not in graph")
+    excluded = set(excluded)
+    excluded.discard(origin)
+
+    # up segment: provider chains from the origin
+    up = {origin}
+    frontier = [origin]
+    while frontier:
+        next_frontier = []
+        for asn in frontier:
+            for provider in graph.providers(asn):
+                if provider not in up and provider not in excluded:
+                    up.add(provider)
+                    next_frontier.append(provider)
+        frontier = next_frontier
+
+    # at most one peer hop from any up-segment AS
+    apex = set(up)
+    for asn in up:
+        for peer in graph.peers(asn):
+            if peer not in excluded:
+                apex.add(peer)
+
+    # down segment: customer closure of the apex set
+    reach = set(apex)
+    frontier = list(apex)
+    while frontier:
+        next_frontier = []
+        for asn in frontier:
+            for customer in graph.customers(asn):
+                if customer not in reach and customer not in excluded:
+                    reach.add(customer)
+                    next_frontier.append(customer)
+        frontier = next_frontier
+
+    reach.discard(origin)
+    return frozenset(reach)
+
+
+def reachability(
+    graph: ASGraph,
+    origin: int,
+    excluded: Collection[int] = frozenset(),
+) -> int:
+    """Count of ASes reachable by ``origin`` — ``|reach(o, I \\ X)|``."""
+    return len(reachable_set(graph, origin, excluded))
+
+
+class ConeEngine:
+    """Bitset customer-cone closures over ``graph`` minus a fixed exclusion.
+
+    ``cone(asn)`` is the down-closure (the AS plus everything reachable by
+    following provider→customer edges) restricted to non-excluded ASes,
+    encoded as a big-integer bitmask.  Construction is a single post-order
+    pass over the p2c DAG; a provider-customer cycle in the input raises.
+    """
+
+    def __init__(
+        self, graph: ASGraph, excluded: Collection[int] = frozenset()
+    ) -> None:
+        self.graph = graph
+        self.excluded = frozenset(excluded)
+        members = [asn for asn in graph if asn not in self.excluded]
+        self.bit_index: dict[int, int] = {asn: i for i, asn in enumerate(members)}
+        self._members = members
+        self._cones: dict[int, int] = {}
+        self._build()
+
+    def _build(self) -> None:
+        graph, cones = self.graph, self._cones
+        excluded = self.excluded
+        state: dict[int, int] = {}  # 1 = on stack, 2 = done
+        for root in self._members:
+            if root in cones:
+                continue
+            stack = [root]
+            while stack:
+                node = stack[-1]
+                if state.get(node) == 2:
+                    stack.pop()
+                    continue
+                if state.get(node) != 1:
+                    state[node] = 1
+                    for customer in graph.customers(node):
+                        if customer in excluded:
+                            continue
+                        if state.get(customer) == 1:
+                            raise ValueError(
+                                "provider-customer cycle involving "
+                                f"AS{node} and AS{customer}"
+                            )
+                        if state.get(customer) != 2:
+                            stack.append(customer)
+                    continue
+                mask = 1 << self.bit_index[node]
+                for customer in graph.customers(node):
+                    if customer not in excluded:
+                        mask |= cones[customer]
+                cones[node] = mask
+                state[node] = 2
+
+    def cone_mask(self, asn: int) -> int:
+        """Bitmask of the restricted customer cone of ``asn`` (incl. itself)."""
+        return self._cones[asn]
+
+    def cone_size(self, asn: int) -> int:
+        """Restricted customer-cone size, excluding the AS itself."""
+        return self._cones[asn].bit_count() - 1
+
+    def mask_of(self, asns: Iterable[int]) -> int:
+        """Bitmask with the bits of ``asns`` set (excluded ASes skipped)."""
+        mask = 0
+        for asn in asns:
+            bit = self.bit_index.get(asn)
+            if bit is not None:
+                mask |= 1 << bit
+        return mask
+
+    def closure_mask(self, starts: Iterable[int]) -> int:
+        """OR of the cones of ``starts`` (ASes in the exclusion are skipped)."""
+        mask = 0
+        for asn in starts:
+            cone = self._cones.get(asn)
+            if cone is not None:
+                mask |= cone
+        return mask
+
+    def provider_free_count(self, origin: int) -> int:
+        """Reachability of ``origin`` with its providers also excluded.
+
+        Exact whenever the down-closure of {origin} ∪ peers avoids the
+        origin's own providers; otherwise falls back to the exact BFS.
+        Returns the same value as
+        ``reachability(graph, origin, excluded | providers(origin))``.
+        """
+        graph = self.graph
+        if origin in self.excluded:
+            return reachability(
+                graph, origin, (self.excluded | graph.providers(origin)) - {origin}
+            )
+        providers = graph.providers(origin)
+        starts = [origin]
+        starts.extend(
+            p for p in graph.peers(origin) if p not in self.excluded
+        )
+        closure = self.closure_mask(starts)
+        provider_mask = self.mask_of(providers)
+        if closure & provider_mask:
+            return reachability(graph, origin, self.excluded | providers)
+        return closure.bit_count() - 1  # origin's own bit

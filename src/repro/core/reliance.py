@@ -1,0 +1,134 @@
+"""Reachability reliance (§7).
+
+``rely(o, a)`` measures how much origin *o* depends on AS *a* to be
+reached: over every network *t* holding a route to *o*, the fraction of
+*t*'s tied-best paths on which *a* appears, summed over all *t* (units of
+"ASes").  In a pure hierarchy an origin relies on its provider for the whole
+Internet; in a full mesh every reliance is 1.
+
+The computation runs on the tied-best-path DAG produced by the propagation
+engine: every routed AS injects one unit of mass at itself (so
+``rely(o, t) >= 1`` — *t* is on all of its own paths), and mass flows toward
+the origin, splitting across a node's parents in proportion to the number of
+tied-best paths through each parent.  The total mass passing through *a* is
+exactly ``rely(o, a)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+from fractions import Fraction
+
+from ..bgpsim.engine import propagate
+from ..bgpsim.routes import RoutingState, Seed
+from ..topology.asgraph import ASGraph
+from ..topology.tiers import TierAssignment
+
+
+def path_counts(state: RoutingState) -> dict[int, int]:
+    """Number of tied-best paths from each routed AS to the seeds."""
+    counts: dict[int, int] = {}
+    for asn in sorted(state.routes, key=lambda a: state.routes[a].length):
+        route = state.routes[asn]
+        if asn in state.seed_asns:
+            counts[asn] = 1
+        else:
+            counts[asn] = sum(counts[p] for p in route.parents)
+    return counts
+
+
+def reliance_from_state(
+    state: RoutingState,
+    receivers: Iterable[int] | None = None,
+    exact: bool = False,
+) -> dict[int, float]:
+    """``rely(o, a)`` for every AS ``a`` appearing on some tied-best path.
+
+    ``receivers`` restricts which networks inject mass (default: every
+    routed non-seed AS).  With ``exact=True`` the splits are computed with
+    :class:`fractions.Fraction` (slower; useful for tests).
+    """
+    routes = state.routes
+    counts = path_counts(state)
+    zero = Fraction(0) if exact else 0.0
+    mass: dict[int, Fraction | float] = {asn: zero for asn in routes}
+    if receivers is None:
+        injectors = set(routes) - state.seed_asns
+    else:
+        injectors = {t for t in receivers if t in routes} - state.seed_asns
+    for t in injectors:
+        mass[t] += Fraction(1) if exact else 1.0
+    # Parents always have strictly smaller path length, so processing by
+    # decreasing length finalizes each node before it distributes its mass.
+    for asn in sorted(routes, key=lambda a: -routes[a].length):
+        node_mass = mass[asn]
+        if not node_mass:
+            continue
+        parents = routes[asn].parents
+        if not parents:
+            continue
+        denom = sum(counts[p] for p in parents)
+        for parent in parents:
+            share = (
+                Fraction(counts[parent], denom)
+                if exact
+                else counts[parent] / denom
+            )
+            mass[parent] += node_mass * share
+    result = {
+        asn: (float(m) if exact else m)
+        for asn, m in mass.items()
+        if m and asn not in state.seed_asns
+    }
+    return result
+
+
+def reliance(
+    graph: ASGraph,
+    origin: int,
+    excluded: Collection[int] = frozenset(),
+    exact: bool = False,
+) -> dict[int, float]:
+    """``rely(origin, ·)`` over ``graph`` minus ``excluded``."""
+    state = propagate(graph, Seed(asn=origin, key="origin"), excluded=excluded)
+    return reliance_from_state(state, exact=exact)
+
+
+def hierarchy_free_reliance(
+    graph: ASGraph,
+    origin: int,
+    tiers: TierAssignment,
+    exact: bool = False,
+) -> dict[int, float]:
+    """Reliance under the hierarchy-free constraints (§7.2)."""
+    excluded = (graph.providers(origin) | tiers.hierarchy) - {origin}
+    return reliance(graph, origin, excluded, exact=exact)
+
+
+def tier1_free_reliance(
+    graph: ASGraph,
+    origin: int,
+    tiers: TierAssignment,
+    exact: bool = False,
+) -> dict[int, float]:
+    """Reliance under Tier-1-free constraints (Appendix B's case study)."""
+    excluded = (graph.providers(origin) | tiers.tier1) - {origin}
+    return reliance(graph, origin, excluded, exact=exact)
+
+
+def top_reliance(values: dict[int, float], n: int = 3) -> list[tuple[int, float]]:
+    """The ``n`` highest-reliance ASes (Table 2 rows)."""
+    return sorted(values.items(), key=lambda item: (-item[1], item[0]))[:n]
+
+
+def reliance_histogram(
+    values: dict[int, float], bin_width: int = 25
+) -> dict[int, int]:
+    """Histogram of reliance values in ``bin_width``-wide bins (Fig. 6)."""
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    histogram: dict[int, int] = {}
+    for value in values.values():
+        bucket = int(value // bin_width) * bin_width
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+    return dict(sorted(histogram.items()))

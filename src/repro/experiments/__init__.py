@@ -1,0 +1,52 @@
+"""One module per table/figure of the paper (see DESIGN.md's index)."""
+
+from . import (
+    appendixA_paths,
+    appendixB_tier1,
+    appendixD_geolocation,
+    fig2_reachability,
+    fig3_cone_vs_hfr,
+    fig4_unreachable,
+    fig6_table2_reliance,
+    fig7_10_leaks,
+    fig11_map,
+    fig12_coverage,
+    fig13_pathlen,
+    metrics_comparison,
+    sec45_validation,
+    table1_top20,
+    table3_rdns,
+)
+from .context import (
+    DEFAULT_PROFILE,
+    ExperimentContext,
+    build_context,
+    cached_context,
+)
+from .export import export_results
+from .runner import render_all, run_all
+
+__all__ = [
+    "DEFAULT_PROFILE",
+    "ExperimentContext",
+    "appendixA_paths",
+    "appendixB_tier1",
+    "appendixD_geolocation",
+    "build_context",
+    "cached_context",
+    "fig2_reachability",
+    "fig3_cone_vs_hfr",
+    "fig4_unreachable",
+    "fig6_table2_reliance",
+    "fig7_10_leaks",
+    "fig11_map",
+    "fig12_coverage",
+    "export_results",
+    "fig13_pathlen",
+    "metrics_comparison",
+    "render_all",
+    "run_all",
+    "sec45_validation",
+    "table1_top20",
+    "table3_rdns",
+]

@@ -1,0 +1,113 @@
+"""Experiment E14 — Appendix B: why some Tier-1s collapse without the
+Tier-2s.
+
+Paper shape: Sprint and Deutsche Telekom lose most of their reachability
+when the Tier-2s are additionally bypassed; their Tier-1-free reliance
+concentrates on about six Tier-2 ISPs, and bypassing just those six
+accounts for nearly the whole drop.  Level-3-style Tier-1s, with
+diversified flat peering, are barely affected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.metrics import (
+    hierarchy_free_reachability,
+    tier1_free_reachability,
+)
+from ..core.reachability import reachability
+from ..core.reliance import tier1_free_reliance, top_reliance
+from .context import ExperimentContext
+from .report import format_table
+
+
+@dataclass(frozen=True)
+class Tier1CaseStudy:
+    name: str
+    asn: int
+    tier1_free: int
+    hierarchy_free: int
+    top_tier2_reliance: list[tuple[int, float]]
+    reach_bypassing_top6: int
+
+    @property
+    def drop(self) -> int:
+        return self.tier1_free - self.hierarchy_free
+
+    @property
+    def drop_explained_by_top6(self) -> float:
+        """Fraction of the Tier-2 drop reproduced by bypassing only the
+        six highest-reliance Tier-2s."""
+        if self.drop <= 0:
+            return 1.0
+        partial_drop = self.tier1_free - self.reach_bypassing_top6
+        return max(0.0, min(1.0, partial_drop / self.drop))
+
+
+@dataclass
+class AppendixBResult:
+    cases: list[Tier1CaseStudy]
+
+    def case(self, name: str) -> Tier1CaseStudy:
+        for case in self.cases:
+            if case.name == name:
+                return case
+        raise KeyError(name)
+
+    def render(self) -> str:
+        rows = []
+        for case in self.cases:
+            top = ", ".join(f"AS{a}" for a, _ in case.top_tier2_reliance[:6])
+            rows.append(
+                (
+                    case.name,
+                    case.tier1_free,
+                    case.hierarchy_free,
+                    case.reach_bypassing_top6,
+                    f"{case.drop_explained_by_top6:.0%}",
+                    top,
+                )
+            )
+        return format_table(
+            ("Tier-1", "T1-free", "hierarchy-free", "bypass top-6 T2",
+             "drop explained", "top T2 reliance"),
+            rows,
+            title="Appendix B — Tier-1 reliance on Tier-2s",
+        )
+
+
+def run(
+    ctx: ExperimentContext,
+    tier1_names: tuple[str, ...] = ("Sprint", "Deutsche Telekom", "Level 3"),
+) -> AppendixBResult:
+    graph, tiers = ctx.graph, ctx.tiers
+    cases = []
+    for name in tier1_names:
+        asn = ctx.scenario.transit_labels.get(name)
+        if asn is None or asn not in graph:
+            continue
+        t1_free = tier1_free_reachability(graph, asn, tiers)
+        h_free = hierarchy_free_reachability(graph, asn, tiers)
+        reliance = tier1_free_reliance(graph, asn, tiers)
+        tier2_reliance = {
+            a: v for a, v in reliance.items() if a in tiers.tier2
+        }
+        top6 = top_reliance(tier2_reliance, 6)
+        excluded = (
+            graph.providers(asn)
+            | tiers.tier1
+            | {a for a, _ in top6}
+        ) - {asn}
+        partial = reachability(graph, asn, excluded)
+        cases.append(
+            Tier1CaseStudy(
+                name=name,
+                asn=asn,
+                tier1_free=t1_free,
+                hierarchy_free=h_free,
+                top_tier2_reliance=top6,
+                reach_bypassing_top6=partial,
+            )
+        )
+    return AppendixBResult(cases=cases)

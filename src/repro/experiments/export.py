@@ -1,0 +1,327 @@
+"""CSV export of experiment results.
+
+Every result object from :func:`repro.experiments.run_all` can be written
+as one or more CSV files so the paper's figures can be re-plotted with any
+tooling.  ``export_results`` dispatches on the experiment key and writes
+into a directory; unknown result types are skipped with a note.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, os.PathLike]
+
+
+def _write(path: Path, header: list[str], rows: list[tuple]) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def _export_fig2(result, directory: Path) -> list[Path]:
+    path = directory / "fig2_reachability.csv"
+    _write(
+        path,
+        ["network", "asn", "cohort", "full", "provider_free", "tier1_free",
+         "hierarchy_free"],
+        [
+            (
+                row.name, row.asn, row.cohort, row.report.full,
+                row.report.provider_free, row.report.tier1_free,
+                row.report.hierarchy_free,
+            )
+            for row in result.sorted_rows()
+        ],
+    )
+    return [path]
+
+
+def _export_table1(result, directory: Path) -> list[Path]:
+    paths = []
+    for year, entries in (
+        ("2015", result.entries_2015),
+        ("2020", result.entries_2020),
+    ):
+        path = directory / f"table1_{year}.csv"
+        _write(
+            path,
+            ["rank", "network", "asn", "reachability", "fraction",
+             "change_pp"],
+            [
+                (
+                    e.rank, e.name, e.asn, e.reachability,
+                    round(e.fraction, 6),
+                    "" if e.change_from_past is None
+                    else round(e.change_from_past, 3),
+                )
+                for e in entries
+            ],
+        )
+        paths.append(path)
+    return paths
+
+
+def _export_fig3(result, directory: Path) -> list[Path]:
+    path = directory / "fig3_scatter.csv"
+    _write(
+        path,
+        ["asn", "customer_cone", "hierarchy_free", "category"],
+        [
+            (p.asn, p.customer_cone, p.hierarchy_free, p.category)
+            for p in result.points
+        ],
+    )
+    return [path]
+
+
+def _export_fig4(result, directory: Path) -> list[Path]:
+    from ..topology.astype import ASType
+
+    path = directory / "fig4_unreachable.csv"
+    _write(
+        path,
+        ["network", "asn", "unreachable", "content", "access", "transit",
+         "enterprise"],
+        [
+            (
+                row.name, row.asn, row.unreachable_total,
+                row.breakdown.get(ASType.CONTENT, 0),
+                row.breakdown.get(ASType.ACCESS, 0),
+                row.breakdown.get(ASType.TRANSIT, 0),
+                row.breakdown.get(ASType.ENTERPRISE, 0),
+            )
+            for row in result.rows
+        ],
+    )
+    return [path]
+
+
+def _export_reliance(result, directory: Path) -> list[Path]:
+    hist = directory / "fig6_reliance_histogram.csv"
+    hist_rows = []
+    for cloud in result.clouds:
+        for bucket, count in cloud.histogram.items():
+            hist_rows.append((cloud.name, bucket, count))
+    _write(hist, ["cloud", "bucket", "count"], hist_rows)
+    top = directory / "table2_top_reliance.csv"
+    top_rows = []
+    for cloud in result.clouds:
+        for rank, (asn, value) in enumerate(cloud.top3, 1):
+            top_rows.append((cloud.name, rank, asn, round(value, 3)))
+    _write(top, ["cloud", "rank", "asn", "reliance"], top_rows)
+    return [hist, top]
+
+
+def _export_leaks(result, directory: Path) -> list[Path]:
+    path = directory / "fig7_8_leak_cdfs.csv"
+    rows = []
+    for origin in result.origins:
+        for configuration, curve in origin.curves.items():
+            for index, fraction in enumerate(curve):
+                rows.append(
+                    (origin.name, configuration, index, round(fraction, 6))
+                )
+    for index, fraction in enumerate(result.average_resilience):
+        rows.append(("average", "average_resilience", index, round(fraction, 6)))
+    _write(path, ["origin", "configuration", "index", "detoured_fraction"], rows)
+    return [path]
+
+
+def _export_fig9(result, directory: Path) -> list[Path]:
+    path = directory / "fig9_users_detoured.csv"
+    rows = []
+    for configuration, curve in result.users_curves.items():
+        for index, fraction in enumerate(curve):
+            rows.append((configuration, index, round(fraction, 6)))
+    _write(path, ["configuration", "index", "users_detoured_fraction"], rows)
+    return [path]
+
+
+def _export_fig10(result, directory: Path) -> list[Path]:
+    path = directory / "fig10_over_time.csv"
+    rows = [
+        ("2015", i, round(x, 6)) for i, x in enumerate(result.curve_2015)
+    ] + [("2020", i, round(x, 6)) for i, x in enumerate(result.curve_2020)]
+    _write(path, ["topology", "index", "detoured_fraction"], rows)
+    return [path]
+
+
+def _export_fig11(result, directory: Path) -> list[Path]:
+    path = directory / "fig11_pop_overlap.csv"
+    rows = (
+        [("cloud-only", code) for code in sorted(result.cloud_only)]
+        + [("both", code) for code in sorted(result.both)]
+        + [("transit-only", code) for code in sorted(result.transit_only)]
+    )
+    _write(path, ["cohort", "city_code"], rows)
+    return [path]
+
+
+def _export_fig12(result, directory: Path) -> list[Path]:
+    path = directory / "fig12_coverage.csv"
+    rows = []
+    for row in result.cohort_rows + result.provider_rows:
+        for radius, percent in row.percent_by_radius:
+            rows.append((row.label, row.region, radius, round(percent, 3)))
+    _write(path, ["label", "region", "radius_km", "coverage_percent"], rows)
+    return [path]
+
+
+def _export_table3(result, directory: Path) -> list[Path]:
+    path = directory / "table3_rdns.csv"
+    _write(
+        path,
+        ["provider", "asn", "graph_pops", "hostnames", "rdns_percent"],
+        [
+            (r.provider, r.asn, r.graph_pops, r.hostnames,
+             round(r.rdns_percent, 2))
+            for r in result.rows
+        ],
+    )
+    return [path]
+
+
+def _export_sec45(result, directory: Path) -> list[Path]:
+    counts = directory / "sec4_peer_counts.csv"
+    _write(
+        counts,
+        ["cloud", "asn", "bgp_visible", "augmented", "truth"],
+        [
+            (r.name, r.asn, r.bgp_visible, r.augmented, r.truth)
+            for r in result.peer_counts
+        ],
+    )
+    stages = directory / "sec5_stage_rates.csv"
+    rows = []
+    for stage_name, reports in result.stage_reports.items():
+        for asn, report in reports.items():
+            rows.append(
+                (
+                    stage_name, asn, report.true_positives,
+                    report.false_positives, report.false_negatives,
+                    round(report.fdr, 4), round(report.fnr, 4),
+                )
+            )
+    _write(stages, ["stage", "cloud_asn", "tp", "fp", "fn", "fdr", "fnr"], rows)
+    return [counts, stages]
+
+
+def _export_appendixA(result, directory: Path) -> list[Path]:
+    path = directory / "appendixA_path_match.csv"
+    _write(
+        path,
+        ["cloud", "asn", "matched", "total", "rate"],
+        [
+            (r.name, r.asn, r.matched, r.total, round(r.match_rate, 4))
+            for r in result.rows
+        ],
+    )
+    return [path]
+
+
+def _export_appendixB(result, directory: Path) -> list[Path]:
+    path = directory / "appendixB_tier1_reliance.csv"
+    _write(
+        path,
+        ["tier1", "asn", "tier1_free", "hierarchy_free",
+         "reach_bypassing_top6", "drop_explained"],
+        [
+            (
+                c.name, c.asn, c.tier1_free, c.hierarchy_free,
+                c.reach_bypassing_top6, round(c.drop_explained_by_top6, 4),
+            )
+            for c in result.cases
+        ],
+    )
+    return [path]
+
+
+def _export_appendixD(result, directory: Path) -> list[Path]:
+    path = directory / "appendixD_geolocation.csv"
+    _write(
+        path,
+        ["provider", "interfaces", "coverage", "accuracy"],
+        [
+            (r.provider, r.interfaces, round(r.coverage, 4),
+             round(r.accuracy, 4))
+            for r in result.rows
+        ],
+    )
+    return [path]
+
+
+def _export_fig13(result, directory: Path) -> list[Path]:
+    path = directory / "fig13_path_lengths.csv"
+    rows = []
+    for year, clouds in sorted(result.bars.items()):
+        for cloud, weightings in sorted(clouds.items()):
+            for weighting, mix in weightings.items():
+                rows.append(
+                    (
+                        year, cloud, weighting,
+                        round(mix.one_hop, 6), round(mix.two_hop, 6),
+                        round(mix.three_plus, 6),
+                    )
+                )
+    _write(
+        path,
+        ["year", "cloud", "weighting", "one_hop", "two_hops", "three_plus"],
+        rows,
+    )
+    return [path]
+
+
+def _export_metrics(result, directory: Path) -> list[Path]:
+    path = directory / "metrics_comparison.csv"
+    _write(
+        path,
+        ["network", "asn", "cohort", "hierarchy_free", "customer_cone",
+         "transit_degree", "node_degree", "hegemony"],
+        [
+            (
+                r.name, r.asn, r.cohort, r.hierarchy_free, r.customer_cone,
+                r.transit_degree, r.node_degree, round(r.hegemony, 6),
+            )
+            for r in result.rows
+        ],
+    )
+    return [path]
+
+
+_EXPORTERS = {
+    "fig2": _export_fig2,
+    "table1": _export_table1,
+    "fig3": _export_fig3,
+    "fig4": _export_fig4,
+    "fig6_table2": _export_reliance,
+    "fig7_8": _export_leaks,
+    "fig9": _export_fig9,
+    "fig10": _export_fig10,
+    "fig11": _export_fig11,
+    "fig12": _export_fig12,
+    "table3": _export_table3,
+    "sec4_5": _export_sec45,
+    "appendixA": _export_appendixA,
+    "appendixB": _export_appendixB,
+    "appendixD": _export_appendixD,
+    "fig13": _export_fig13,
+    "metrics": _export_metrics,
+}
+
+
+def export_results(results: dict, directory: PathLike) -> list[Path]:
+    """Write every recognized result to CSV files under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for key, result in results.items():
+        exporter = _EXPORTERS.get(key)
+        if exporter is None:
+            continue
+        written.extend(exporter(result, directory))
+    return written

@@ -1,0 +1,89 @@
+"""Experiment E9 — Fig. 11: PoP deployment locations vs population
+density.
+
+Paper shape: cloud PoPs are (almost) a subset of the transit providers'
+locations, concentrated near large metros in North America, Europe and
+Asia; the two cloud-only locations are Shanghai and Beijing; transit
+providers cover more unique metros, especially in South America, Africa
+and the Middle East.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geo.cities import city_by_code
+from ..geo.continents import Continent
+from ..geo.popgrid import PopulationGrid
+from .context import ExperimentContext
+from .report import format_table, percent
+
+
+@dataclass
+class Fig11Result:
+    cloud_only: frozenset[str]
+    transit_only: frozenset[str]
+    both: frozenset[str]
+    population_near_cloud: float  # fraction within 500 km of a cloud PoP
+    population_near_transit: float
+
+    @property
+    def cloud_cities(self) -> frozenset[str]:
+        return self.cloud_only | self.both
+
+    @property
+    def transit_cities(self) -> frozenset[str]:
+        return self.transit_only | self.both
+
+    def continent_histogram(self, codes: frozenset[str]) -> dict[Continent, int]:
+        histogram: dict[Continent, int] = {}
+        for code in codes:
+            continent = city_by_code(code).continent
+            histogram[continent] = histogram.get(continent, 0) + 1
+        return histogram
+
+    def render(self) -> str:
+        rows = [
+            ("cloud-only", len(self.cloud_only), ", ".join(sorted(self.cloud_only))[:60]),
+            ("both", len(self.both), ""),
+            ("transit-only", len(self.transit_only), ""),
+        ]
+        table = format_table(
+            ("cohort", "metros", "examples"),
+            rows,
+            title="Fig. 11 — PoP deployment overlap",
+        )
+        return (
+            table
+            + f"\npopulation within 500 km: cloud PoPs "
+            f"{percent(self.population_near_cloud)}, transit PoPs "
+            f"{percent(self.population_near_transit)}"
+        )
+
+
+def run(ctx: ExperimentContext, grid: PopulationGrid | None = None) -> Fig11Result:
+    scenario = ctx.scenario
+    cloud_codes: set[str] = set()
+    for name in scenario.clouds:
+        cloud_codes.update(c.code for c in scenario.pop_footprints[name])
+    transit_codes: set[str] = set()
+    for label in scenario.transit_labels:
+        transit_codes.update(
+            c.code for c in scenario.pop_footprints.get(label, ())
+        )
+    if grid is None:
+        grid = PopulationGrid()
+
+    def coverage(codes: set[str]) -> float:
+        points = [
+            (city_by_code(code).lat, city_by_code(code).lon) for code in codes
+        ]
+        return grid.population_within(points, 500) / grid.total_population
+
+    return Fig11Result(
+        cloud_only=frozenset(cloud_codes - transit_codes),
+        transit_only=frozenset(transit_codes - cloud_codes),
+        both=frozenset(cloud_codes & transit_codes),
+        population_near_cloud=coverage(cloud_codes),
+        population_near_transit=coverage(transit_codes),
+    )

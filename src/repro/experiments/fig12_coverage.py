@@ -1,0 +1,93 @@
+"""Experiment E10 — Fig. 12: population within 500/700/1000 km of PoPs.
+
+Paper shape: the transit cohort leads the cloud cohort worldwide by only
+a few percentage points despite many more unique locations; clouds have
+dense coverage in Europe/North America; individually, the big clouds
+cover more population than most individual transit providers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geo.coverage import COVERAGE_RADII_KM, CoverageRow, coverage_rows
+from ..geo.popgrid import PopulationGrid
+from .context import ExperimentContext
+from .report import format_table
+
+
+@dataclass
+class Fig12Result:
+    cohort_rows: list[CoverageRow]  # Fig. 12a: cloud vs transit cohorts
+    provider_rows: list[CoverageRow]  # Fig. 12b: individual providers
+
+    def cohort(self, label: str, region: str = "World") -> CoverageRow:
+        for row in self.cohort_rows:
+            if row.label == label and row.region == region:
+                return row
+        raise KeyError((label, region))
+
+    def provider(self, label: str) -> CoverageRow:
+        for row in self.provider_rows:
+            if row.label == label and row.region == "World":
+                return row
+        raise KeyError(label)
+
+    def render(self) -> str:
+        def rows_for(rows):
+            return [
+                (
+                    r.label,
+                    r.region,
+                    f"{r.percent(500):.1f}",
+                    f"{r.percent(700):.1f}",
+                    f"{r.percent(1000):.1f}",
+                )
+                for r in rows
+            ]
+
+        a = format_table(
+            ("cohort", "region", "500km%", "700km%", "1000km%"),
+            rows_for(self.cohort_rows),
+            title="Fig. 12a — population coverage per cohort",
+        )
+        world_rows = [r for r in self.provider_rows if r.region == "World"]
+        world_rows.sort(key=lambda r: -r.percent(500))
+        b = format_table(
+            ("provider", "region", "500km%", "700km%", "1000km%"),
+            rows_for(world_rows),
+            title="Fig. 12b — population coverage per provider",
+        )
+        return a + "\n\n" + b
+
+
+def run(
+    ctx: ExperimentContext, grid: PopulationGrid | None = None
+) -> Fig12Result:
+    scenario = ctx.scenario
+    if grid is None:
+        grid = PopulationGrid()
+
+    def locations(labels) -> list[tuple[float, float]]:
+        points = []
+        for label in labels:
+            for city in scenario.pop_footprints.get(label, ()):
+                points.append((city.lat, city.lon))
+        return points
+
+    cohorts = {
+        "clouds": locations(scenario.clouds),
+        "transit": locations(scenario.transit_labels),
+    }
+    cohort_rows = coverage_rows(
+        grid, cohorts, radii_km=COVERAGE_RADII_KM, per_continent=True
+    )
+    providers = {
+        label: locations([label])
+        for label in list(scenario.clouds) + sorted(scenario.transit_labels)
+        if scenario.pop_footprints.get(label)
+    }
+    provider_rows = coverage_rows(
+        grid, providers, radii_km=COVERAGE_RADII_KM, per_continent=False
+    )
+    return Fig12Result(cohort_rows=cohort_rows, provider_rows=provider_rows)

@@ -1,0 +1,81 @@
+"""Experiment E1 — Fig. 2: reachability of clouds, Tier-1s and Tier-2s
+under the three nested bypass constraints.
+
+Paper shape: Tier-1s have maximum provider-free reachability; the clouds
+are among the least affected networks as each constraint is added, each
+retaining well over 70% of the Internet hierarchy-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.metrics import ReachabilityReport, reachability_report
+from .context import ExperimentContext
+from .report import format_table, percent
+
+
+@dataclass(frozen=True)
+class Fig2Row:
+    name: str
+    asn: int
+    cohort: str  # "cloud" | "tier1" | "tier2"
+    report: ReachabilityReport
+
+
+@dataclass
+class Fig2Result:
+    rows: list[Fig2Row]
+    total_ases: int
+
+    def sorted_rows(self) -> list[Fig2Row]:
+        return sorted(self.rows, key=lambda r: -r.report.hierarchy_free)
+
+    def cloud_rows(self) -> list[Fig2Row]:
+        return [r for r in self.rows if r.cohort == "cloud"]
+
+    def render(self) -> str:
+        table_rows = []
+        denominator = max(self.total_ases - 1, 1)
+        for row in self.sorted_rows():
+            rep = row.report
+            table_rows.append(
+                (
+                    row.name,
+                    row.cohort,
+                    rep.provider_free,
+                    rep.tier1_free,
+                    rep.hierarchy_free,
+                    percent(rep.hierarchy_free / denominator),
+                )
+            )
+        return format_table(
+            ("network", "cohort", "I\\Po", "I\\Po\\T1", "I\\Po\\T1\\T2", "HFR%"),
+            table_rows,
+            title=f"Fig. 2 — reachability under bypass constraints "
+            f"(of {self.total_ases} ASes)",
+        )
+
+
+def run(ctx: ExperimentContext) -> Fig2Result:
+    graph, tiers = ctx.graph, ctx.tiers
+    rows: list[Fig2Row] = []
+    for name, asn in ctx.clouds.items():
+        rows.append(
+            Fig2Row(name, asn, "cloud", reachability_report(graph, asn, tiers))
+        )
+    for asn in sorted(tiers.tier1):
+        rows.append(
+            Fig2Row(
+                ctx.label(asn), asn, "tier1",
+                reachability_report(graph, asn, tiers),
+            )
+        )
+    for asn in sorted(tiers.tier2):
+        rows.append(
+            Fig2Row(
+                ctx.label(asn), asn, "tier2",
+                reachability_report(graph, asn, tiers),
+            )
+        )
+    return Fig2Result(rows=rows, total_ases=len(graph))

@@ -1,0 +1,126 @@
+"""Experiment E3 — Fig. 3: hierarchy-free reachability vs customer cone
+for every AS.
+
+Paper shape: apart from the Tier-1/Tier-2 ISPs (high on both axes), the
+two metrics barely correlate: thousands of networks reach ≥1,000 ASes
+hierarchy-free while only a few dozen have customer cones that large, and
+Tier-1s like Sprint combine a top-50 cone with a collapsed hierarchy-free
+rank.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.cones import all_customer_cone_sizes
+from ..core.metrics import hierarchy_free_sweep
+from ..netgen.scenario import ASKind
+from .context import ExperimentContext
+from .report import format_table
+
+
+@dataclass(frozen=True)
+class ScatterPoint:
+    asn: int
+    customer_cone: int
+    hierarchy_free: int
+    category: str  # cloud / tier1 / tier2 / content / access / ...
+
+
+@dataclass
+class Fig3Result:
+    points: list[ScatterPoint]
+    threshold: int = 1000
+
+    def count_hfr_at_least(self, value: int) -> int:
+        return sum(1 for p in self.points if p.hierarchy_free >= value)
+
+    def count_cone_at_least(self, value: int) -> int:
+        return sum(1 for p in self.points if p.customer_cone >= value)
+
+    def rank_correlation(self) -> float:
+        """Spearman rank correlation between the two metrics."""
+        points = self.points
+        n = len(points)
+        if n < 3:
+            return 0.0
+
+        def ranks(values):
+            order = sorted(range(n), key=lambda i: values[i])
+            out = [0.0] * n
+            for position, index in enumerate(order):
+                out[index] = float(position)
+            return out
+
+        rc = ranks([p.customer_cone for p in points])
+        rh = ranks([p.hierarchy_free for p in points])
+        mean = (n - 1) / 2.0
+        cov = sum((a - mean) * (b - mean) for a, b in zip(rc, rh))
+        var_c = sum((a - mean) ** 2 for a in rc)
+        var_h = sum((b - mean) ** 2 for b in rh)
+        if var_c == 0 or var_h == 0:
+            return 0.0
+        return cov / math.sqrt(var_c * var_h)
+
+    def render(self) -> str:
+        header = (
+            f"Fig. 3 — hierarchy-free reachability vs customer cone "
+            f"({len(self.points)} ASes)\n"
+            f"ASes with HFR >= {self.threshold}: "
+            f"{self.count_hfr_at_least(self.threshold)}; "
+            f"with cone >= {self.threshold}: "
+            f"{self.count_cone_at_least(self.threshold)}\n"
+            f"Spearman rank correlation: {self.rank_correlation():.3f}"
+        )
+        by_cat: dict[str, list[ScatterPoint]] = {}
+        for point in self.points:
+            by_cat.setdefault(point.category, []).append(point)
+        rows = []
+        for category in sorted(by_cat):
+            group = by_cat[category]
+            rows.append(
+                (
+                    category,
+                    len(group),
+                    max(p.customer_cone for p in group),
+                    max(p.hierarchy_free for p in group),
+                )
+            )
+        return header + "\n" + format_table(
+            ("category", "count", "max cone", "max HFR"), rows
+        )
+
+
+_KIND_CATEGORY = {
+    ASKind.CLOUD: "cloud",
+    ASKind.TIER1: "tier1",
+    ASKind.TIER2: "tier2",
+    ASKind.REGIONAL: "provider",
+    ASKind.ACCESS: "access",
+    ASKind.CONTENT: "content",
+    ASKind.HYPERGIANT: "content",
+    ASKind.ENTERPRISE: "other",
+}
+
+
+def run(ctx: ExperimentContext, threshold: int = 1000) -> Fig3Result:
+    graph = ctx.graph
+    cones = all_customer_cone_sizes(graph)
+    hfr = hierarchy_free_sweep(graph, ctx.tiers)
+    points = [
+        ScatterPoint(
+            asn=asn,
+            customer_cone=cones[asn],
+            hierarchy_free=hfr[asn],
+            category=_KIND_CATEGORY.get(
+                ctx.scenario.as_info[asn].kind, "other"
+            )
+            if asn in ctx.scenario.as_info
+            else "other",
+        )
+        for asn in graph
+    ]
+    # scale the paper's >=1000 threshold to the scenario size
+    scaled = max(10, int(threshold * len(graph) / 70000))
+    return Fig3Result(points=points, threshold=scaled)

@@ -1,0 +1,83 @@
+"""Experiment E4 — Fig. 4: what the top networks *cannot* reach
+hierarchy-free, broken down by AS type.
+
+Paper shape: Google/IBM/Microsoft (and open-peering Hurricane Electric)
+leave proportionally fewer access networks unreached — their peering
+strategies chase eyeballs — while Amazon's unreachable mix resembles the
+transit providers'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.metrics import hierarchy_free_set, hierarchy_free_sweep, rank_by
+from ..topology.astype import ASType, classify_with_users, type_breakdown
+from .context import ExperimentContext
+from .report import format_table, percent
+
+
+@dataclass(frozen=True)
+class Fig4Row:
+    name: str
+    asn: int
+    unreachable_total: int
+    breakdown: dict[ASType, int]
+
+    def fraction(self, astype: ASType) -> float:
+        if self.unreachable_total == 0:
+            return 0.0
+        return self.breakdown.get(astype, 0) / self.unreachable_total
+
+
+@dataclass
+class Fig4Result:
+    rows: list[Fig4Row]
+
+    def render(self) -> str:
+        table = []
+        for row in self.rows:
+            table.append(
+                (
+                    row.name,
+                    row.unreachable_total,
+                    percent(row.fraction(ASType.CONTENT)),
+                    percent(row.fraction(ASType.ACCESS)),
+                    percent(row.fraction(ASType.TRANSIT)),
+                    percent(row.fraction(ASType.ENTERPRISE)),
+                )
+            )
+        return format_table(
+            ("network", "unreachable", "content", "access", "transit",
+             "enterprise"),
+            table,
+            title="Fig. 4 — unreachable ASes by type (hierarchy-free)",
+        )
+
+
+def run(ctx: ExperimentContext, top_transit: int = 8) -> Fig4Result:
+    graph, tiers = ctx.graph, ctx.tiers
+    types = classify_with_users(graph, ctx.scenario.users)
+    cloud_asns = set(ctx.clouds.values())
+    sweep = hierarchy_free_sweep(
+        graph, tiers, origins=sorted(tiers.hierarchy)
+    )
+    transit_ranked = [asn for asn, _ in rank_by(sweep)][:top_transit]
+    targets = [(name, asn) for name, asn in ctx.clouds.items()]
+    targets += [(ctx.label(asn), asn) for asn in transit_ranked]
+    rows = []
+    all_ases = set(graph.nodes())
+    for name, asn in targets:
+        reached = hierarchy_free_set(graph, asn, tiers)
+        excluded = (graph.providers(asn) | tiers.hierarchy) - {asn}
+        unreachable = all_ases - reached - excluded - {asn} - cloud_asns
+        breakdown = type_breakdown(unreachable, types)
+        rows.append(
+            Fig4Row(
+                name=name,
+                asn=asn,
+                unreachable_total=len(unreachable),
+                breakdown=breakdown,
+            )
+        )
+    return Fig4Result(rows=rows)

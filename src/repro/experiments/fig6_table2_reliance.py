@@ -1,0 +1,92 @@
+"""Experiment E5 — Fig. 6 and Table 2: the clouds' reliance on other
+networks under hierarchy-free constraints.
+
+Paper shape: the overwhelming majority of networks have reliance 1 (the
+flat-mesh ideal); each cloud relies heavily on only a handful of networks;
+the least-peered cloud (Amazon) shows the single largest reliance value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.reliance import (
+    hierarchy_free_reliance,
+    reliance_histogram,
+    top_reliance,
+)
+from .context import ExperimentContext
+from .report import format_table
+
+
+@dataclass
+class CloudReliance:
+    name: str
+    asn: int
+    values: dict[int, float]
+    histogram: dict[int, int]
+    top3: list[tuple[int, float]]
+
+    @property
+    def max_reliance(self) -> float:
+        return max(self.values.values(), default=0.0)
+
+    def fraction_at_one(self) -> float:
+        """Share of relied-on networks with reliance ~1 (flat ideal)."""
+        if not self.values:
+            return 0.0
+        near_one = sum(1 for v in self.values.values() if v <= 1.0 + 1e-9)
+        return near_one / len(self.values)
+
+
+@dataclass
+class Fig6Table2Result:
+    clouds: list[CloudReliance]
+
+    def render(self) -> str:
+        hist_rows = []
+        for cloud in self.clouds:
+            hist_rows.append(
+                (
+                    cloud.name,
+                    len(cloud.values),
+                    f"{cloud.fraction_at_one():.0%}",
+                    f"{cloud.max_reliance:.1f}",
+                )
+            )
+        hist = format_table(
+            ("cloud", "networks relied on", "rely<=1", "max rely"),
+            hist_rows,
+            title="Fig. 6 — reliance distribution per cloud (hierarchy-free)",
+        )
+        top_rows = []
+        for cloud in self.clouds:
+            cells = [cloud.name]
+            for asn, value in cloud.top3:
+                cells.append(f"AS{asn} ({value:.1f})")
+            while len(cells) < 4:
+                cells.append("-")
+            top_rows.append(tuple(cells))
+        top = format_table(
+            ("cloud", "#1", "#2", "#3"),
+            top_rows,
+            title="Table 2 — top-3 reliance per cloud",
+        )
+        return hist + "\n\n" + top
+
+
+def run(ctx: ExperimentContext, bin_width: int = 25) -> Fig6Table2Result:
+    graph, tiers = ctx.graph, ctx.tiers
+    clouds = []
+    for name, asn in ctx.clouds.items():
+        values = hierarchy_free_reliance(graph, asn, tiers)
+        clouds.append(
+            CloudReliance(
+                name=name,
+                asn=asn,
+                values=values,
+                histogram=reliance_histogram(values, bin_width=bin_width),
+                top3=top_reliance(values, 3),
+            )
+        )
+    return Fig6Table2Result(clouds=clouds)

@@ -1,0 +1,45 @@
+"""Plain-text rendering helpers for experiment results."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(value) for value in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def percent(value: float, digits: int = 1) -> str:
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def cdf_summary(fractions: Sequence[float]) -> str:
+    """Compact summary of a detour-fraction distribution."""
+    if not fractions:
+        return "n=0"
+    ordered = sorted(fractions)
+    n = len(ordered)
+
+    def q(p: float) -> float:
+        return ordered[min(n - 1, int(p * n))]
+
+    return (
+        f"n={n} median={percent(q(0.5))} p90={percent(q(0.9))} "
+        f"max={percent(ordered[-1])}"
+    )

@@ -1,0 +1,121 @@
+"""Experiment E2 — Table 1: top-20 networks by hierarchy-free
+reachability, 2015 vs 2020.
+
+Paper shape: Google is top-3 in both years; Amazon/Microsoft/IBM climb
+dramatically between 2015 and 2020; large well-peered transits (Level 3,
+Hurricane Electric) stay at the top; most networks gain a few percent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.metrics import hierarchy_free_sweep, rank_by
+from .context import ExperimentContext
+from .report import format_table, percent
+
+
+@dataclass(frozen=True)
+class Table1Entry:
+    rank: int
+    name: str
+    asn: int
+    reachability: int
+    fraction: float
+    change_from_past: Optional[float] = None  # percentage-point change
+
+
+@dataclass
+class Table1Result:
+    entries_2015: list[Table1Entry]
+    entries_2020: list[Table1Entry]
+    cloud_ranks_2015: dict[str, int]
+    cloud_ranks_2020: dict[str, int]
+
+    def render(self) -> str:
+        def rows(entries):
+            return [
+                (
+                    e.rank,
+                    e.name,
+                    e.asn,
+                    e.reachability,
+                    percent(e.fraction),
+                    "" if e.change_from_past is None
+                    else f"{e.change_from_past:+.1f}pp",
+                )
+                for e in entries
+            ]
+
+        past = format_table(
+            ("#", "network", "ASN", "reach", "%", "Δ"),
+            rows(self.entries_2015),
+            title="Table 1 (2015) — top 20 by hierarchy-free reachability",
+        )
+        present = format_table(
+            ("#", "network", "ASN", "reach", "%", "Δ"),
+            rows(self.entries_2020),
+            title="Table 1 (2020) — top 20 by hierarchy-free reachability",
+        )
+        return past + "\n\n" + present
+
+
+def _sweep_table(ctx: ExperimentContext) -> tuple[list[tuple[int, int]], dict[int, int]]:
+    values = hierarchy_free_sweep(ctx.graph, ctx.tiers)
+    ranked = rank_by(values)
+    ranks = {asn: i + 1 for i, (asn, _) in enumerate(ranked)}
+    return ranked, ranks
+
+
+def run(
+    ctx_2020: ExperimentContext,
+    ctx_2015: ExperimentContext,
+    top_n: int = 20,
+) -> Table1Result:
+    ranked_2015, ranks_2015 = _sweep_table(ctx_2015)
+    ranked_2020, ranks_2020 = _sweep_table(ctx_2020)
+    total_2015 = max(len(ctx_2015.graph) - 1, 1)
+    total_2020 = max(len(ctx_2020.graph) - 1, 1)
+    past_fraction = {
+        ctx_2015.label(asn): value / total_2015 for asn, value in ranked_2015
+    }
+    entries_2015 = [
+        Table1Entry(
+            rank=i + 1,
+            name=ctx_2015.label(asn),
+            asn=asn,
+            reachability=value,
+            fraction=value / total_2015,
+        )
+        for i, (asn, value) in enumerate(ranked_2015[:top_n])
+    ]
+    entries_2020 = []
+    for i, (asn, value) in enumerate(ranked_2020[:top_n]):
+        name = ctx_2020.label(asn)
+        fraction = value / total_2020
+        change = None
+        if name in past_fraction:
+            change = 100.0 * (fraction - past_fraction[name])
+        entries_2020.append(
+            Table1Entry(
+                rank=i + 1,
+                name=name,
+                asn=asn,
+                reachability=value,
+                fraction=fraction,
+                change_from_past=change,
+            )
+        )
+    cloud_ranks_2015 = {
+        name: ranks_2015.get(asn, 0) for name, asn in ctx_2015.clouds.items()
+    }
+    cloud_ranks_2020 = {
+        name: ranks_2020.get(asn, 0) for name, asn in ctx_2020.clouds.items()
+    }
+    return Table1Result(
+        entries_2015=entries_2015,
+        entries_2020=entries_2020,
+        cloud_ranks_2015=cloud_ranks_2015,
+        cloud_ranks_2020=cloud_ranks_2020,
+    )

@@ -1,0 +1,64 @@
+"""Experiment E11 — Table 3: consolidated PoP counts and rDNS
+confirmation rates.
+
+Paper shape: coverage varies enormously by provider — NTT-style networks
+name ~100% of PoPs, Microsoft under half, Amazon none — and overall
+roughly three quarters of consolidated PoPs are confirmed by rDNS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mapping import peeringdb_from_scenario
+from ..pops import ConsolidationResult, Table3Row, consolidate_scenario
+from .context import ExperimentContext
+from .report import format_table
+
+
+@dataclass
+class Table3Result:
+    rows: list[Table3Row]
+    consolidation: ConsolidationResult
+
+    @property
+    def overall_rdns_percent(self) -> float:
+        confirmed = 0
+        total = 0
+        for provider, footprint in self.consolidation.footprints.items():
+            from ..pops import pop_rdns_confirmation
+
+            c, t = pop_rdns_confirmation(footprint)
+            confirmed += c
+            total += t
+        return 100.0 * confirmed / total if total else 0.0
+
+    def row(self, provider: str) -> Table3Row:
+        for row in self.rows:
+            if row.provider == provider:
+                return row
+        raise KeyError(provider)
+
+    def render(self) -> str:
+        table = format_table(
+            ("network", "ASN", "graph PoPs", "hostnames", "% rDNS"),
+            [
+                (
+                    r.provider,
+                    r.asn,
+                    r.graph_pops,
+                    r.hostnames,
+                    f"{r.rdns_percent:.1f}",
+                )
+                for r in self.rows
+            ],
+            title="Table 3 — PoPs and rDNS confirmation",
+        )
+        return table + f"\noverall rDNS confirmation: {self.overall_rdns_percent:.1f}%"
+
+
+def run(ctx: ExperimentContext, providers: list[str] | None = None) -> Table3Result:
+    scenario = ctx.scenario
+    pdb = peeringdb_from_scenario(scenario)
+    consolidation = consolidate_scenario(scenario, pdb, providers=providers)
+    return Table3Result(rows=consolidation.table3(), consolidation=consolidation)

@@ -1,0 +1,58 @@
+"""Geography substrate: cities, distances, population grid, PoP coverage."""
+
+from .cities import (
+    WORLD_CITIES,
+    City,
+    cities_in,
+    city_by_code,
+    largest_cities,
+    total_population_m,
+)
+from .continents import CONTINENT_ORDER, Continent
+from .coverage import (
+    COVERAGE_RADII_KM,
+    CoverageRow,
+    coverage_rows,
+    population_coverage,
+)
+from .distance import EARTH_RADIUS_KM, haversine_km, rtt_floor_ms, within_km
+from .geolocate import (
+    AtlasVP,
+    GeolocationResult,
+    Geolocator,
+    PingSimulator,
+    RTT_THRESHOLD_MS,
+    VP_RADIUS_KM,
+    atlas_from_scenario,
+    geolocate_routers,
+)
+from .popgrid import GridCell, PopulationGrid
+
+__all__ = [
+    "AtlasVP",
+    "CONTINENT_ORDER",
+    "COVERAGE_RADII_KM",
+    "City",
+    "GeolocationResult",
+    "Geolocator",
+    "PingSimulator",
+    "RTT_THRESHOLD_MS",
+    "VP_RADIUS_KM",
+    "atlas_from_scenario",
+    "geolocate_routers",
+    "Continent",
+    "CoverageRow",
+    "EARTH_RADIUS_KM",
+    "GridCell",
+    "PopulationGrid",
+    "WORLD_CITIES",
+    "cities_in",
+    "city_by_code",
+    "coverage_rows",
+    "haversine_km",
+    "largest_cities",
+    "population_coverage",
+    "rtt_floor_ms",
+    "total_population_m",
+    "within_km",
+]

@@ -1,0 +1,216 @@
+"""Embedded world-city dataset.
+
+Stands in for the external geographic data the paper consumes (GPWv4
+population density, PeeringDB facility cities, network-map locations).  Each
+record carries an IATA-style airport code (used by rDNS hostname
+conventions), coordinates, continent, and approximate metro population in
+millions.  Values are approximate by design — the §9 analyses only depend on
+where people and PoPs concentrate, not on exact counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .continents import Continent
+
+
+@dataclass(frozen=True, slots=True)
+class City:
+    """One metro area usable as a PoP / datacenter / AS home location."""
+
+    code: str  # IATA-style airport code, lowercase (rDNS convention)
+    name: str
+    country: str
+    continent: Continent
+    lat: float
+    lon: float
+    population_m: float  # metro population, millions
+
+    def __post_init__(self) -> None:
+        if not (-90.0 <= self.lat <= 90.0):
+            raise ValueError(f"latitude out of range for {self.name}")
+        if not (-180.0 <= self.lon <= 180.0):
+            raise ValueError(f"longitude out of range for {self.name}")
+        if self.population_m < 0:
+            raise ValueError(f"negative population for {self.name}")
+
+
+_C = Continent
+_RAW: tuple[tuple[str, str, str, Continent, float, float, float], ...] = (
+    # --- North America ---
+    ("nyc", "New York", "US", _C.NORTH_AMERICA, 40.71, -74.01, 19.8),
+    ("lax", "Los Angeles", "US", _C.NORTH_AMERICA, 34.05, -118.24, 13.2),
+    ("chi", "Chicago", "US", _C.NORTH_AMERICA, 41.88, -87.63, 9.5),
+    ("dfw", "Dallas", "US", _C.NORTH_AMERICA, 32.78, -96.80, 7.6),
+    ("hou", "Houston", "US", _C.NORTH_AMERICA, 29.76, -95.37, 7.1),
+    ("was", "Washington DC", "US", _C.NORTH_AMERICA, 38.91, -77.04, 6.3),
+    ("mia", "Miami", "US", _C.NORTH_AMERICA, 25.76, -80.19, 6.1),
+    ("phl", "Philadelphia", "US", _C.NORTH_AMERICA, 39.95, -75.17, 6.2),
+    ("atl", "Atlanta", "US", _C.NORTH_AMERICA, 33.75, -84.39, 6.0),
+    ("bos", "Boston", "US", _C.NORTH_AMERICA, 42.36, -71.06, 4.9),
+    ("phx", "Phoenix", "US", _C.NORTH_AMERICA, 33.45, -112.07, 4.9),
+    ("sfo", "San Francisco", "US", _C.NORTH_AMERICA, 37.77, -122.42, 4.7),
+    ("sjc", "San Jose", "US", _C.NORTH_AMERICA, 37.34, -121.89, 2.0),
+    ("sea", "Seattle", "US", _C.NORTH_AMERICA, 47.61, -122.33, 4.0),
+    ("den", "Denver", "US", _C.NORTH_AMERICA, 39.74, -104.99, 3.0),
+    ("mci", "Kansas City", "US", _C.NORTH_AMERICA, 39.10, -94.58, 2.2),
+    ("msp", "Minneapolis", "US", _C.NORTH_AMERICA, 44.98, -93.27, 3.7),
+    ("det", "Detroit", "US", _C.NORTH_AMERICA, 42.33, -83.05, 4.3),
+    ("slc", "Salt Lake City", "US", _C.NORTH_AMERICA, 40.76, -111.89, 1.2),
+    ("pdx", "Portland", "US", _C.NORTH_AMERICA, 45.52, -122.68, 2.5),
+    ("las", "Las Vegas", "US", _C.NORTH_AMERICA, 36.17, -115.14, 2.3),
+    ("yyz", "Toronto", "CA", _C.NORTH_AMERICA, 43.65, -79.38, 6.3),
+    ("yul", "Montreal", "CA", _C.NORTH_AMERICA, 45.50, -73.57, 4.3),
+    ("yvr", "Vancouver", "CA", _C.NORTH_AMERICA, 49.28, -123.12, 2.6),
+    ("mex", "Mexico City", "MX", _C.NORTH_AMERICA, 19.43, -99.13, 21.8),
+    ("gdl", "Guadalajara", "MX", _C.NORTH_AMERICA, 20.67, -103.35, 5.3),
+    ("mty", "Monterrey", "MX", _C.NORTH_AMERICA, 25.69, -100.32, 5.3),
+    # --- South America ---
+    ("gru", "Sao Paulo", "BR", _C.SOUTH_AMERICA, -23.55, -46.63, 22.0),
+    ("gig", "Rio de Janeiro", "BR", _C.SOUTH_AMERICA, -22.91, -43.17, 13.5),
+    ("bsb", "Brasilia", "BR", _C.SOUTH_AMERICA, -15.79, -47.88, 4.7),
+    ("cnf", "Belo Horizonte", "BR", _C.SOUTH_AMERICA, -19.92, -43.94, 6.0),
+    ("for", "Fortaleza", "BR", _C.SOUTH_AMERICA, -3.72, -38.54, 4.1),
+    ("poa", "Porto Alegre", "BR", _C.SOUTH_AMERICA, -30.03, -51.22, 4.3),
+    ("eze", "Buenos Aires", "AR", _C.SOUTH_AMERICA, -34.60, -58.38, 15.2),
+    ("scl", "Santiago", "CL", _C.SOUTH_AMERICA, -33.45, -70.67, 6.8),
+    ("bog", "Bogota", "CO", _C.SOUTH_AMERICA, 4.71, -74.07, 11.0),
+    ("lim", "Lima", "PE", _C.SOUTH_AMERICA, -12.05, -77.04, 10.7),
+    ("ccs", "Caracas", "VE", _C.SOUTH_AMERICA, 10.48, -66.90, 2.9),
+    ("uio", "Quito", "EC", _C.SOUTH_AMERICA, -0.18, -78.47, 2.0),
+    # --- Europe ---
+    ("lon", "London", "GB", _C.EUROPE, 51.51, -0.13, 14.3),
+    ("par", "Paris", "FR", _C.EUROPE, 48.86, 2.35, 11.1),
+    ("fra", "Frankfurt", "DE", _C.EUROPE, 50.11, 8.68, 2.7),
+    ("ber", "Berlin", "DE", _C.EUROPE, 52.52, 13.41, 4.5),
+    ("muc", "Munich", "DE", _C.EUROPE, 48.14, 11.58, 2.9),
+    ("ham", "Hamburg", "DE", _C.EUROPE, 53.55, 9.99, 3.2),
+    ("dus", "Dusseldorf", "DE", _C.EUROPE, 51.23, 6.77, 1.6),
+    ("ams", "Amsterdam", "NL", _C.EUROPE, 52.37, 4.90, 2.5),
+    ("bru", "Brussels", "BE", _C.EUROPE, 50.85, 4.35, 2.1),
+    ("mad", "Madrid", "ES", _C.EUROPE, 40.42, -3.70, 6.7),
+    ("bcn", "Barcelona", "ES", _C.EUROPE, 41.39, 2.17, 5.6),
+    ("lis", "Lisbon", "PT", _C.EUROPE, 38.72, -9.14, 2.9),
+    ("mil", "Milan", "IT", _C.EUROPE, 45.46, 9.19, 4.3),
+    ("rom", "Rome", "IT", _C.EUROPE, 41.90, 12.50, 4.3),
+    ("zrh", "Zurich", "CH", _C.EUROPE, 47.37, 8.54, 1.4),
+    ("gva", "Geneva", "CH", _C.EUROPE, 46.20, 6.14, 0.6),
+    ("vie", "Vienna", "AT", _C.EUROPE, 48.21, 16.37, 2.9),
+    ("prg", "Prague", "CZ", _C.EUROPE, 50.08, 14.44, 2.7),
+    ("waw", "Warsaw", "PL", _C.EUROPE, 52.23, 21.01, 3.1),
+    ("bud", "Budapest", "HU", _C.EUROPE, 47.50, 19.04, 3.0),
+    ("buh", "Bucharest", "RO", _C.EUROPE, 44.43, 26.10, 2.3),
+    ("sof", "Sofia", "BG", _C.EUROPE, 42.70, 23.32, 1.7),
+    ("ath", "Athens", "GR", _C.EUROPE, 37.98, 23.73, 3.6),
+    ("cph", "Copenhagen", "DK", _C.EUROPE, 55.68, 12.57, 2.1),
+    ("sto", "Stockholm", "SE", _C.EUROPE, 59.33, 18.06, 2.4),
+    ("osl", "Oslo", "NO", _C.EUROPE, 59.91, 10.75, 1.7),
+    ("hel", "Helsinki", "FI", _C.EUROPE, 60.17, 24.94, 1.5),
+    ("dub", "Dublin", "IE", _C.EUROPE, 53.35, -6.26, 2.0),
+    ("man", "Manchester", "GB", _C.EUROPE, 53.48, -2.24, 3.4),
+    ("mow", "Moscow", "RU", _C.EUROPE, 55.76, 37.62, 17.1),
+    ("led", "St Petersburg", "RU", _C.EUROPE, 59.93, 30.34, 5.5),
+    ("kbp", "Kyiv", "UA", _C.EUROPE, 50.45, 30.52, 3.5),
+    ("ist", "Istanbul", "TR", _C.EUROPE, 41.01, 28.98, 15.6),
+    # --- Africa ---
+    ("jnb", "Johannesburg", "ZA", _C.AFRICA, -26.20, 28.05, 10.0),
+    ("cpt", "Cape Town", "ZA", _C.AFRICA, -33.92, 18.42, 4.7),
+    ("dur", "Durban", "ZA", _C.AFRICA, -29.86, 31.03, 3.9),
+    ("los", "Lagos", "NG", _C.AFRICA, 6.52, 3.38, 15.3),
+    ("abv", "Abuja", "NG", _C.AFRICA, 9.06, 7.49, 3.6),
+    ("cai", "Cairo", "EG", _C.AFRICA, 30.04, 31.24, 20.9),
+    ("alg", "Algiers", "DZ", _C.AFRICA, 36.75, 3.06, 2.8),
+    ("cas", "Casablanca", "MA", _C.AFRICA, 33.57, -7.59, 3.7),
+    ("tun", "Tunis", "TN", _C.AFRICA, 36.81, 10.18, 2.4),
+    ("nbo", "Nairobi", "KE", _C.AFRICA, -1.29, 36.82, 5.0),
+    ("dar", "Dar es Salaam", "TZ", _C.AFRICA, -6.79, 39.21, 6.7),
+    ("acc", "Accra", "GH", _C.AFRICA, 5.60, -0.19, 2.6),
+    ("adk", "Addis Ababa", "ET", _C.AFRICA, 9.02, 38.75, 5.0),
+    ("kin", "Kinshasa", "CD", _C.AFRICA, -4.44, 15.27, 14.5),
+    ("lad", "Luanda", "AO", _C.AFRICA, -8.84, 13.23, 8.3),
+    ("dkr", "Dakar", "SN", _C.AFRICA, 14.72, -17.47, 3.1),
+    ("kan", "Khartoum", "SD", _C.AFRICA, 15.50, 32.56, 5.8),
+    # --- Asia / Middle East ---
+    ("tyo", "Tokyo", "JP", _C.ASIA, 35.68, 139.69, 37.3),
+    ("osa", "Osaka", "JP", _C.ASIA, 34.69, 135.50, 19.1),
+    ("ngo", "Nagoya", "JP", _C.ASIA, 35.18, 136.91, 9.5),
+    ("sel", "Seoul", "KR", _C.ASIA, 37.57, 126.98, 25.5),
+    ("pus", "Busan", "KR", _C.ASIA, 35.18, 129.08, 3.4),
+    ("bjs", "Beijing", "CN", _C.ASIA, 39.90, 116.41, 20.9),
+    ("sha", "Shanghai", "CN", _C.ASIA, 31.23, 121.47, 28.5),
+    ("can", "Guangzhou", "CN", _C.ASIA, 23.13, 113.26, 19.0),
+    ("szx", "Shenzhen", "CN", _C.ASIA, 22.54, 114.06, 12.6),
+    ("ctu", "Chengdu", "CN", _C.ASIA, 30.57, 104.07, 9.3),
+    ("hkg", "Hong Kong", "HK", _C.ASIA, 22.32, 114.17, 7.5),
+    ("tpe", "Taipei", "TW", _C.ASIA, 25.03, 121.57, 7.0),
+    ("sin", "Singapore", "SG", _C.ASIA, 1.35, 103.82, 5.9),
+    ("kul", "Kuala Lumpur", "MY", _C.ASIA, 3.14, 101.69, 8.0),
+    ("cgk", "Jakarta", "ID", _C.ASIA, -6.21, 106.85, 34.5),
+    ("sub", "Surabaya", "ID", _C.ASIA, -7.26, 112.75, 6.5),
+    ("bkk", "Bangkok", "TH", _C.ASIA, 13.76, 100.50, 15.6),
+    ("sgn", "Ho Chi Minh City", "VN", _C.ASIA, 10.82, 106.63, 9.3),
+    ("han", "Hanoi", "VN", _C.ASIA, 21.03, 105.85, 8.1),
+    ("mnl", "Manila", "PH", _C.ASIA, 14.60, 120.98, 13.9),
+    ("del", "Delhi", "IN", _C.ASIA, 28.61, 77.21, 31.2),
+    ("bom", "Mumbai", "IN", _C.ASIA, 19.08, 72.88, 20.7),
+    ("blr", "Bangalore", "IN", _C.ASIA, 12.97, 77.59, 12.8),
+    ("maa", "Chennai", "IN", _C.ASIA, 13.08, 80.27, 11.2),
+    ("ccu", "Kolkata", "IN", _C.ASIA, 22.57, 88.36, 14.9),
+    ("hyd", "Hyderabad", "IN", _C.ASIA, 17.39, 78.49, 10.3),
+    ("dac", "Dhaka", "BD", _C.ASIA, 23.81, 90.41, 21.7),
+    ("khi", "Karachi", "PK", _C.ASIA, 24.86, 67.00, 16.5),
+    ("lhe", "Lahore", "PK", _C.ASIA, 31.55, 74.34, 13.1),
+    ("cmb", "Colombo", "LK", _C.ASIA, 6.93, 79.85, 2.3),
+    ("dxb", "Dubai", "AE", _C.ASIA, 25.20, 55.27, 3.5),
+    ("auh", "Abu Dhabi", "AE", _C.ASIA, 24.45, 54.38, 1.5),
+    ("doh", "Doha", "QA", _C.ASIA, 25.29, 51.53, 2.4),
+    ("ruh", "Riyadh", "SA", _C.ASIA, 24.71, 46.68, 7.7),
+    ("jed", "Jeddah", "SA", _C.ASIA, 21.49, 39.19, 4.7),
+    ("thr", "Tehran", "IR", _C.ASIA, 35.69, 51.39, 9.5),
+    ("bgw", "Baghdad", "IQ", _C.ASIA, 33.31, 44.37, 7.5),
+    ("tlv", "Tel Aviv", "IL", _C.ASIA, 32.09, 34.78, 4.2),
+    ("amm", "Amman", "JO", _C.ASIA, 31.96, 35.95, 2.2),
+    ("alm", "Almaty", "KZ", _C.ASIA, 43.24, 76.89, 2.0),
+    ("tas", "Tashkent", "UZ", _C.ASIA, 41.30, 69.24, 2.6),
+    # --- Oceania ---
+    ("syd", "Sydney", "AU", _C.OCEANIA, -33.87, 151.21, 5.3),
+    ("mel", "Melbourne", "AU", _C.OCEANIA, -37.81, 144.96, 5.1),
+    ("bne", "Brisbane", "AU", _C.OCEANIA, -27.47, 153.03, 2.6),
+    ("per", "Perth", "AU", _C.OCEANIA, -31.95, 115.86, 2.1),
+    ("adl", "Adelaide", "AU", _C.OCEANIA, -34.93, 138.60, 1.4),
+    ("akl", "Auckland", "NZ", _C.OCEANIA, -36.85, 174.76, 1.7),
+    ("wlg", "Wellington", "NZ", _C.OCEANIA, -41.29, 174.78, 0.4),
+    ("nan", "Suva", "FJ", _C.OCEANIA, -18.12, 178.45, 0.3),
+)
+
+#: All cities, ordered as declared (deterministic).
+WORLD_CITIES: tuple[City, ...] = tuple(City(*row) for row in _RAW)
+
+_BY_CODE: dict[str, City] = {city.code: city for city in WORLD_CITIES}
+if len(_BY_CODE) != len(WORLD_CITIES):
+    raise AssertionError("duplicate city codes in embedded dataset")
+
+
+def city_by_code(code: str) -> City:
+    """Look up a city by its airport code (case-insensitive)."""
+    try:
+        return _BY_CODE[code.lower()]
+    except KeyError:
+        raise KeyError(f"unknown city code: {code!r}") from None
+
+
+def cities_in(continent: Continent) -> tuple[City, ...]:
+    """All cities on one continent, in dataset order."""
+    return tuple(c for c in WORLD_CITIES if c.continent is continent)
+
+
+def largest_cities(n: int) -> tuple[City, ...]:
+    """The ``n`` most populous cities (ties broken by code)."""
+    ordered = sorted(WORLD_CITIES, key=lambda c: (-c.population_m, c.code))
+    return tuple(ordered[:n])
+
+
+def total_population_m() -> float:
+    """World metro population covered by the dataset, in millions."""
+    return sum(c.population_m for c in WORLD_CITIES)

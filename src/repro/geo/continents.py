@@ -1,0 +1,34 @@
+"""Continent labels used by the §9 geographic analyses (Fig. 12)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Continent(enum.Enum):
+    """The six inhabited continents, labeled as in Fig. 12."""
+
+    NORTH_AMERICA = "North America"
+    SOUTH_AMERICA = "South America"
+    EUROPE = "Europe"
+    AFRICA = "Africa"
+    ASIA = "Asia"
+    OCEANIA = "Oceania"
+
+    @classmethod
+    def from_label(cls, label: str) -> "Continent":
+        for member in cls:
+            if member.value.lower() == label.strip().lower():
+                return member
+        raise ValueError(f"unknown continent: {label!r}")
+
+
+#: Deterministic ordering for reports (matches Fig. 12's row order closely).
+CONTINENT_ORDER: tuple[Continent, ...] = (
+    Continent.OCEANIA,
+    Continent.ASIA,
+    Continent.AFRICA,
+    Continent.EUROPE,
+    Continent.NORTH_AMERICA,
+    Continent.SOUTH_AMERICA,
+)

@@ -1,0 +1,87 @@
+"""Population coverage of PoP deployments (§9, Fig. 12).
+
+Given a provider's PoP locations, the paper reports the percentage of
+population within 500, 700, and 1000 km of any PoP — the distances large
+providers use as user-to-PoP proximity benchmarks — worldwide and per
+continent, for individual providers and for the cloud/transit cohorts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from .continents import CONTINENT_ORDER, Continent
+from .popgrid import PopulationGrid
+
+#: The radii (km) reported in Fig. 12.
+COVERAGE_RADII_KM: tuple[int, ...] = (500, 700, 1000)
+
+
+@dataclass(frozen=True)
+class CoverageRow:
+    """Coverage percentages at each radius for one provider/cohort+region."""
+
+    label: str
+    region: str  # "World" or a continent label
+    percent_by_radius: tuple[tuple[int, float], ...]
+
+    def percent(self, radius_km: int) -> float:
+        for radius, percent in self.percent_by_radius:
+            if radius == radius_km:
+                return percent
+        raise KeyError(f"radius {radius_km} not computed")
+
+
+def population_coverage(
+    grid: PopulationGrid,
+    pop_locations: Iterable[tuple[float, float]],
+    radii_km: Sequence[int] = COVERAGE_RADII_KM,
+    continent: Continent | None = None,
+) -> dict[int, float]:
+    """Fraction (0-1) of population within each radius of the PoP set."""
+    profile = grid.distance_profile(pop_locations)
+    total = grid.continent_population(continent)
+    if total == 0:
+        return {radius: 0.0 for radius in radii_km}
+    return {
+        radius: grid.covered_from_profile(profile, radius, continent) / total
+        for radius in radii_km
+    }
+
+
+def coverage_rows(
+    grid: PopulationGrid,
+    footprints: Mapping[str, Iterable[tuple[float, float]]],
+    radii_km: Sequence[int] = COVERAGE_RADII_KM,
+    per_continent: bool = False,
+) -> list[CoverageRow]:
+    """Fig. 12 rows: coverage per provider/cohort, worldwide and optionally
+    per continent."""
+    rows: list[CoverageRow] = []
+    for label, locations in footprints.items():
+        profile = grid.distance_profile(locations)
+        regions: list[Continent | None] = [None]
+        if per_continent:
+            regions.extend(CONTINENT_ORDER)
+        for continent in regions:
+            total = grid.continent_population(continent)
+            percents = tuple(
+                (
+                    radius,
+                    100.0
+                    * grid.covered_from_profile(profile, radius, continent)
+                    / total
+                    if total
+                    else 0.0,
+                )
+                for radius in radii_km
+            )
+            rows.append(
+                CoverageRow(
+                    label=label,
+                    region="World" if continent is None else continent.value,
+                    percent_by_radius=percents,
+                )
+            )
+    return rows

@@ -1,0 +1,37 @@
+"""Great-circle distance utilities."""
+
+from __future__ import annotations
+
+import math
+
+EARTH_RADIUS_KM = 6371.0088  # mean Earth radius
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two (lat, lon) points in kilometers."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlambda = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlambda / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def within_km(
+    lat1: float, lon1: float, lat2: float, lon2: float, radius_km: float
+) -> bool:
+    """True if the two points lie within ``radius_km`` of each other."""
+    return haversine_km(lat1, lon1, lat2, lon2) <= radius_km
+
+
+def rtt_floor_ms(distance_km: float, fiber_factor: float = 1.5) -> float:
+    """Lower bound on round-trip time over fiber for a given distance.
+
+    The speed of light in fiber is ~2/3 c; real paths are longer than the
+    geodesic, captured by ``fiber_factor``.  Used by the geolocation
+    validation (Appendix D assumes <=1 ms RTT implies <=100 km).
+    """
+    speed_km_per_ms = 299792.458 / 1000.0 * (2.0 / 3.0)
+    return 2.0 * distance_km * fiber_factor / speed_km_per_ms

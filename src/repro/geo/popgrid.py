@@ -1,0 +1,130 @@
+"""Gridded population model (stand-in for GPWv4, §4.3).
+
+The paper integrates per-km² population density within radii of PoPs.  We
+approximate the same integral with a discrete grid: every city in the
+embedded dataset spreads its metro population over a small deterministic
+pattern of cells around it (a coarse Gaussian), and coverage queries sum
+cell populations within a radius.  Cell placement and weights are
+deterministic, so results are reproducible without any external data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from .cities import WORLD_CITIES, City
+from .continents import Continent
+from .distance import haversine_km
+
+
+@dataclass(frozen=True, slots=True)
+class GridCell:
+    """One population cell: a point mass at the cell center."""
+
+    lat: float
+    lon: float
+    population: float  # absolute persons (not millions)
+    continent: Continent
+
+
+#: Deterministic spread pattern: (dlat°, dlon°, weight).  Center-heavy with
+#: a ring at ~0.6° (~65 km) and a sparse ring at ~1.5° (~165 km), roughly a
+#: truncated Gaussian around the metro core.
+_SPREAD: tuple[tuple[float, float, float], ...] = (
+    (0.0, 0.0, 0.46),
+    (0.6, 0.0, 0.07),
+    (-0.6, 0.0, 0.07),
+    (0.0, 0.6, 0.07),
+    (0.0, -0.6, 0.07),
+    (0.45, 0.45, 0.04),
+    (0.45, -0.45, 0.04),
+    (-0.45, 0.45, 0.04),
+    (-0.45, -0.45, 0.04),
+    (1.5, 0.0, 0.025),
+    (-1.5, 0.0, 0.025),
+    (0.0, 1.5, 0.025),
+    (0.0, -1.5, 0.025),
+)
+if abs(sum(w for _, _, w in _SPREAD) - 1.0) > 1e-9:
+    raise AssertionError("spread weights must sum to 1")
+
+
+class PopulationGrid:
+    """Discrete world population built from a city list."""
+
+    def __init__(self, cities: Sequence[City] | None = None) -> None:
+        if cities is None:
+            cities = WORLD_CITIES
+        cells: list[GridCell] = []
+        for city in cities:
+            base = city.population_m * 1_000_000.0
+            for dlat, dlon, weight in _SPREAD:
+                lat = max(-90.0, min(90.0, city.lat + dlat))
+                lon = city.lon + dlon
+                if lon > 180.0:
+                    lon -= 360.0
+                elif lon < -180.0:
+                    lon += 360.0
+                cells.append(
+                    GridCell(lat, lon, base * weight, city.continent)
+                )
+        self.cells: tuple[GridCell, ...] = tuple(cells)
+        self.total_population: float = sum(c.population for c in self.cells)
+
+    def distance_profile(
+        self, points: Iterable[tuple[float, float]]
+    ) -> list[tuple[float, float, Continent]]:
+        """Per cell: (distance to the nearest point, population, continent).
+
+        Computing the profile once makes coverage queries at many radii /
+        continents cheap (Fig. 12 sweeps 3 radii x 7 regions x ~20
+        providers).
+        """
+        points = list(points)
+        profile: list[tuple[float, float, Continent]] = []
+        for cell in self.cells:
+            if points:
+                nearest = min(
+                    haversine_km(cell.lat, cell.lon, lat, lon)
+                    for lat, lon in points
+                )
+            else:
+                nearest = float("inf")
+            profile.append((nearest, cell.population, cell.continent))
+        return profile
+
+    @staticmethod
+    def covered_from_profile(
+        profile: list[tuple[float, float, Continent]],
+        radius_km: float,
+        continent: Continent | None = None,
+    ) -> float:
+        return sum(
+            population
+            for distance, population, cell_continent in profile
+            if distance <= radius_km
+            and (continent is None or cell_continent is continent)
+        )
+
+    def population_within(
+        self,
+        points: Iterable[tuple[float, float]],
+        radius_km: float,
+        continent: Continent | None = None,
+    ) -> float:
+        """Population living within ``radius_km`` of any of ``points``.
+
+        Each cell is counted at most once (union of disks), optionally
+        restricted to one continent.
+        """
+        profile = self.distance_profile(points)
+        return self.covered_from_profile(profile, radius_km, continent)
+
+    def continent_population(self, continent: Continent | None = None) -> float:
+        """Total population, optionally of one continent."""
+        if continent is None:
+            return self.total_population
+        return sum(
+            c.population for c in self.cells if c.continent is continent
+        )

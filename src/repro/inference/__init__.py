@@ -1,0 +1,37 @@
+"""AS-relationship inference from observed AS paths (Gao, AS-Rank-style)."""
+
+from .asrank import ASRankResult, infer_asrank, infer_clique_from_paths
+from .evaluate import InferenceAccuracy, coverage, evaluate_inference
+from .gao import GaoParameters, GaoResult, infer_gao
+from .problink import (
+    LinkFeatures,
+    ProbLinkResult,
+    extract_features,
+    infer_problink,
+)
+from .paths import (
+    clean_paths,
+    observed_adjacencies,
+    observed_degree,
+    observed_transit_degree,
+)
+
+__all__ = [
+    "ASRankResult",
+    "GaoParameters",
+    "GaoResult",
+    "InferenceAccuracy",
+    "LinkFeatures",
+    "ProbLinkResult",
+    "extract_features",
+    "infer_problink",
+    "clean_paths",
+    "coverage",
+    "evaluate_inference",
+    "infer_asrank",
+    "infer_clique_from_paths",
+    "infer_gao",
+    "observed_adjacencies",
+    "observed_degree",
+    "observed_transit_degree",
+]

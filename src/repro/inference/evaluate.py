@@ -1,0 +1,101 @@
+"""Evaluation of inferred relationships against ground truth."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..topology.asgraph import ASGraph
+from ..topology.relationships import Relationship, RelationshipRecord
+
+
+@dataclass(frozen=True)
+class InferenceAccuracy:
+    """Per-type and overall accuracy of a relationship inference run."""
+
+    edges_evaluated: int
+    correct: int
+    p2c_total: int
+    p2c_correct: int
+    p2p_total: int
+    p2p_correct: int
+    unknown_edges: int  # inferred edges absent from the truth graph
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.edges_evaluated if self.edges_evaluated else 0.0
+
+    @property
+    def p2c_accuracy(self) -> float:
+        return self.p2c_correct / self.p2c_total if self.p2c_total else 0.0
+
+    @property
+    def p2p_accuracy(self) -> float:
+        return self.p2p_correct / self.p2p_total if self.p2p_total else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.edges_evaluated} edges: overall "
+            f"{self.accuracy:.1%}, p2c {self.p2c_accuracy:.1%} "
+            f"({self.p2c_total}), p2p {self.p2p_accuracy:.1%} "
+            f"({self.p2p_total})"
+        )
+
+
+def evaluate_inference(
+    truth: ASGraph, inferred: Iterable[RelationshipRecord]
+) -> InferenceAccuracy:
+    """Score inferred records against a ground-truth graph.
+
+    Correctness for p2c requires the right direction; a p2p inference is
+    correct iff the truth edge is p2p.  Inferred edges not present in the
+    truth are counted separately (they indicate path-sanitization bugs —
+    the collector only reports real adjacencies).
+    """
+    evaluated = correct = 0
+    p2c_total = p2c_correct = 0
+    p2p_total = p2p_correct = 0
+    unknown = 0
+    for record in inferred:
+        actual = truth.relationship_between(record.left, record.right)
+        if actual is None:
+            unknown += 1
+            continue
+        evaluated += 1
+        is_p2c_truth = actual is Relationship.PROVIDER_CUSTOMER
+        if is_p2c_truth:
+            p2c_total += 1
+            if (
+                record.relationship is Relationship.PROVIDER_CUSTOMER
+                and record.right in truth.customers(record.left)
+            ):
+                p2c_correct += 1
+                correct += 1
+        else:
+            p2p_total += 1
+            if record.relationship is Relationship.PEER_PEER:
+                p2p_correct += 1
+                correct += 1
+    return InferenceAccuracy(
+        edges_evaluated=evaluated,
+        correct=correct,
+        p2c_total=p2c_total,
+        p2c_correct=p2c_correct,
+        p2p_total=p2p_total,
+        p2p_correct=p2p_correct,
+        unknown_edges=unknown,
+    )
+
+
+def coverage(truth: ASGraph, inferred: Iterable[RelationshipRecord]) -> float:
+    """Fraction of true edges the inference produced a record for."""
+    seen = {frozenset((r.left, r.right)) for r in inferred}
+    total = truth.edge_count()
+    if total == 0:
+        return 0.0
+    covered = sum(
+        1
+        for record in truth.records()
+        if frozenset((record.left, record.right)) in seen
+    )
+    return covered / total

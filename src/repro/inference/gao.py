@@ -1,0 +1,182 @@
+"""Gao's AS-relationship inference heuristic (Gao 2001).
+
+The classic algorithm behind all later relationship-inference work
+(AS-Rank, ProbLink) and the lineage of the CAIDA dataset the paper uses:
+
+1. every observed AS path is assumed valley-free: uphill (customer →
+   provider) to a *top provider*, then downhill;
+2. the top provider of a path is its highest-degree AS; edges before it
+   accumulate "right is provider" votes, edges after it the reverse;
+3. an edge voted in only one direction is provider-customer; an edge
+   voted both ways is a sibling/mutual-transit candidate unless one
+   direction dominates;
+4. a refinement pass marks top edges between ASes of comparable degree as
+   peer-to-peer.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from ..topology.asgraph import ASGraph
+from ..topology.relationships import Relationship, RelationshipRecord
+from .paths import clean_paths, observed_degree
+
+
+@dataclass
+class GaoParameters:
+    """Tunables of the refined heuristic."""
+
+    #: votes in the minority direction tolerated before calling a sibling
+    sibling_vote_threshold: int = 1
+    #: max degree ratio for a top edge to be considered a peering
+    peer_degree_ratio: float = 60.0
+
+
+@dataclass
+class GaoResult:
+    """Inferred relationships plus bookkeeping for inspection."""
+
+    records: list[RelationshipRecord] = field(default_factory=list)
+    provider_votes: dict[tuple[int, int], int] = field(default_factory=dict)
+    siblings: set[frozenset[int]] = field(default_factory=set)
+
+    def as_graph(self) -> ASGraph:
+        graph = ASGraph()
+        for record in self.records:
+            graph.add_record(record)
+        return graph
+
+    def relationship_of(self, a: int, b: int):
+        for record in self.records:
+            if {record.left, record.right} == {a, b}:
+                return record.relationship
+        return None
+
+
+def infer_gao(
+    paths: Iterable[Sequence[int]],
+    params: GaoParameters | None = None,
+) -> GaoResult:
+    """Run the refined Gao heuristic over observed AS paths."""
+    params = params or GaoParameters()
+    usable = clean_paths(paths)
+    degree = observed_degree(usable)
+
+    # phase 2: accumulate transit votes around each path's top provider
+    votes: dict[tuple[int, int], int] = defaultdict(int)  # (cust, prov) -> n
+    top_edges: set[frozenset[int]] = set()
+    for path in usable:
+        if len(path) < 2:
+            continue
+        top_index = max(range(len(path)), key=lambda i: (degree[path[i]], -i))
+        for i in range(top_index):
+            votes[(path[i], path[i + 1])] += 1  # uphill: right is provider
+        for i in range(top_index, len(path) - 1):
+            votes[(path[i + 1], path[i])] += 1  # downhill: left is provider
+        if 0 < top_index:
+            top_edges.add(frozenset((path[top_index - 1], path[top_index])))
+        if top_index < len(path) - 1:
+            top_edges.add(frozenset((path[top_index], path[top_index + 1])))
+
+    # phase 3: classify every observed edge
+    result = GaoResult(provider_votes=dict(votes))
+    edges: set[frozenset[int]] = set()
+    for (customer, provider) in votes:
+        edges.add(frozenset((customer, provider)))
+
+    classified: dict[frozenset[int], RelationshipRecord] = {}
+    for edge in edges:
+        a, b = sorted(edge)
+        a_under_b = votes.get((a, b), 0)  # b provider of a
+        b_under_a = votes.get((b, a), 0)
+        if a_under_b and b_under_a:
+            ratio = max(degree[a], degree[b]) / max(
+                1, min(degree[a], degree[b])
+            )
+            balanced = (
+                min(a_under_b, b_under_a) * 3 >= max(a_under_b, b_under_a)
+            )
+            if (
+                edge in top_edges
+                and balanced
+                and ratio <= params.peer_degree_ratio
+            ):
+                # Gao's peering identification: a top edge between
+                # comparable networks transited symmetrically is a peering
+                classified[edge] = RelationshipRecord(
+                    a, b, Relationship.PEER_PEER
+                )
+            elif min(a_under_b, b_under_a) > params.sibling_vote_threshold:
+                # mutual transit: report as sibling (kept out of records —
+                # the CAIDA public files omit siblings too)
+                result.siblings.add(edge)
+            elif a_under_b >= b_under_a:
+                classified[edge] = RelationshipRecord(
+                    b, a, Relationship.PROVIDER_CUSTOMER
+                )
+            else:
+                classified[edge] = RelationshipRecord(
+                    a, b, Relationship.PROVIDER_CUSTOMER
+                )
+        elif a_under_b:
+            classified[edge] = RelationshipRecord(
+                b, a, Relationship.PROVIDER_CUSTOMER
+            )
+        else:
+            classified[edge] = RelationshipRecord(
+                a, b, Relationship.PROVIDER_CUSTOMER
+            )
+
+    # phase 4 (refinement): a one-way-voted top edge whose "customer" side
+    # never visibly provides transit is indistinguishable from a stub
+    # peering (the final peer hop of a valley-free path); demote it when it
+    # also never appears below a path top — a real provider would re-export
+    # the customer's routes upward, placing the edge under higher tops.
+    from .paths import observed_transit_degree
+
+    transit_degree = observed_transit_degree(usable)
+    for edge in top_edges:
+        if edge in result.siblings or edge not in classified:
+            continue
+        record = classified[edge]
+        if record.relationship is Relationship.PEER_PEER:
+            continue
+        customer, provider = record.right, record.left
+        one_way = (
+            min(
+                votes.get((customer, provider), 0),
+                votes.get((provider, customer), 0),
+            )
+            == 0
+        )
+        if (
+            one_way
+            and transit_degree.get(customer, 0) == 0
+            and _edge_only_at_top(edge, usable, degree)
+        ):
+            a, b = sorted(edge)
+            classified[edge] = RelationshipRecord(
+                a, b, Relationship.PEER_PEER
+            )
+    result.records = sorted(
+        classified.values(), key=lambda r: (r.left, r.right)
+    )
+    return result
+
+
+def _edge_only_at_top(
+    edge: frozenset[int],
+    paths: list[tuple[int, ...]],
+    degree: dict[int, int],
+) -> bool:
+    """True if the edge only ever appears adjacent to the path top."""
+    for path in paths:
+        top_index = max(range(len(path)), key=lambda i: (degree[path[i]], -i))
+        for i in range(len(path) - 1):
+            if frozenset((path[i], path[i + 1])) == edge:
+                if abs(i - top_index) > 1 and abs(i + 1 - top_index) > 1:
+                    return False
+    return True

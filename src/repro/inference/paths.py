@@ -1,0 +1,57 @@
+"""Shared statistics over collections of observed AS paths."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Sequence
+
+
+def clean_paths(paths: Iterable[Sequence[int]]) -> list[tuple[int, ...]]:
+    """Deduplicate consecutive repeats (prepending) and drop paths with
+    loops — standard BGP path sanitization."""
+    cleaned: list[tuple[int, ...]] = []
+    for path in paths:
+        deduped: list[int] = []
+        for asn in path:
+            if not deduped or deduped[-1] != asn:
+                deduped.append(asn)
+        if len(set(deduped)) != len(deduped):
+            continue  # loop: poisoned or corrupted path
+        if len(deduped) >= 1:
+            cleaned.append(tuple(deduped))
+    return cleaned
+
+
+def observed_degree(paths: Iterable[Sequence[int]]) -> dict[int, int]:
+    """Node degree as observed in the paths (Gao's degree signal)."""
+    neighbors: dict[int, set[int]] = defaultdict(set)
+    for path in paths:
+        for a, b in zip(path, path[1:]):
+            neighbors[a].add(b)
+            neighbors[b].add(a)
+    return {asn: len(adj) for asn, adj in neighbors.items()}
+
+
+def observed_adjacencies(
+    paths: Iterable[Sequence[int]],
+) -> set[frozenset[int]]:
+    """All AS pairs seen adjacent on any path."""
+    edges: set[frozenset[int]] = set()
+    for path in paths:
+        for a, b in zip(path, path[1:]):
+            if a != b:
+                edges.add(frozenset((a, b)))
+    return edges
+
+
+def observed_transit_degree(
+    paths: Iterable[Sequence[int]],
+) -> dict[int, int]:
+    """AS-Rank's transit degree: unique neighbors of an AS when it appears
+    in the *middle* of a path (i.e. visibly providing transit)."""
+    neighbors: dict[int, set[int]] = defaultdict(set)
+    for path in paths:
+        for i in range(1, len(path) - 1):
+            neighbors[path[i]].add(path[i - 1])
+            neighbors[path[i]].add(path[i + 1])
+    return {asn: len(adj) for asn, adj in neighbors.items()}

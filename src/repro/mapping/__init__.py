@@ -1,0 +1,54 @@
+"""IP-to-AS mapping services: Cymru-style LPM, PeeringDB, whois, cascade."""
+
+from .ipasn import IpAsnService, cymru_from_scenario
+from .peeringdb import (
+    IXLanRecord,
+    NetFacRecord,
+    NetIXLanRecord,
+    PeeringDB,
+    peeringdb_from_scenario,
+)
+from .pfx2as import (
+    Pfx2AsDataset,
+    Pfx2AsEntry,
+    Pfx2AsFormatError,
+    dump_pfx2as,
+    dumps_pfx2as,
+    load_pfx2as,
+    parse_pfx2as,
+    pfx2as_from_dump,
+)
+from .resolver import (
+    FINAL_ORDER,
+    INITIAL_ORDER,
+    IterativeResolver,
+    ResolvedHop,
+    resolver_from_scenario,
+)
+from .whois import WhoisRecord, WhoisRegistry, whois_from_scenario
+
+__all__ = [
+    "FINAL_ORDER",
+    "INITIAL_ORDER",
+    "IXLanRecord",
+    "IpAsnService",
+    "IterativeResolver",
+    "NetFacRecord",
+    "NetIXLanRecord",
+    "PeeringDB",
+    "Pfx2AsDataset",
+    "Pfx2AsEntry",
+    "Pfx2AsFormatError",
+    "dump_pfx2as",
+    "dumps_pfx2as",
+    "load_pfx2as",
+    "parse_pfx2as",
+    "pfx2as_from_dump",
+    "ResolvedHop",
+    "WhoisRecord",
+    "WhoisRegistry",
+    "cymru_from_scenario",
+    "peeringdb_from_scenario",
+    "resolver_from_scenario",
+    "whois_from_scenario",
+]

@@ -1,0 +1,138 @@
+"""RouteViews-style prefix-to-AS dataset (the paper's reference [19]).
+
+CAIDA publishes daily ``routeviews-prefix2as`` files derived from collector
+RIBs: one line per routed prefix with its origin AS(es).  The paper uses
+this dataset to pick one prefix per origin AS for its supplemental
+traceroute campaign.  This module derives the same dataset from a
+simulated collector dump, reads/writes the public text format
+(``<prefix>\\t<length>\\t<asn>``, multi-origin ASes joined by ``_``,
+AS-sets by ``,``), and implements the per-AS target selection.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import os
+from collections import defaultdict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+from ..collectors.rib import CollectorDump
+
+PathLike = Union[str, os.PathLike]
+
+
+@dataclass(frozen=True)
+class Pfx2AsEntry:
+    """One routed prefix and its origin AS(es)."""
+
+    prefix: ipaddress.IPv4Network
+    origins: tuple[int, ...]  # >1 = MOAS (multi-origin AS) prefix
+
+    @property
+    def is_moas(self) -> bool:
+        return len(self.origins) > 1
+
+
+class Pfx2AsDataset:
+    """Queryable prefix-to-AS snapshot."""
+
+    def __init__(self, entries: list[Pfx2AsEntry] | None = None) -> None:
+        self.entries = sorted(
+            entries or [],
+            key=lambda e: (int(e.prefix.network_address), e.prefix.prefixlen),
+        )
+        self._by_origin: dict[int, list[Pfx2AsEntry]] = defaultdict(list)
+        for entry in self.entries:
+            for origin in entry.origins:
+                self._by_origin[origin].append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def origins(self) -> frozenset[int]:
+        return frozenset(self._by_origin)
+
+    def prefixes_of(self, asn: int) -> list[ipaddress.IPv4Network]:
+        return [entry.prefix for entry in self._by_origin.get(asn, [])]
+
+    def one_prefix_per_as(self) -> dict[int, ipaddress.IPv4Network]:
+        """The paper's supplemental target selection: one prefix per
+        origin AS (the numerically lowest routed prefix, deterministic)."""
+        return {
+            asn: entries[0].prefix
+            for asn, entries in sorted(self._by_origin.items())
+            if entries
+        }
+
+    def moas_prefixes(self) -> list[Pfx2AsEntry]:
+        return [entry for entry in self.entries if entry.is_moas]
+
+
+def pfx2as_from_dump(dump: CollectorDump) -> Pfx2AsDataset:
+    """Derive the dataset from a collector RIB snapshot."""
+    origins_by_prefix: dict[ipaddress.IPv4Network, set[int]] = defaultdict(set)
+    for entry in dump.entries:
+        origins_by_prefix[entry.prefix].add(entry.origin)
+    return Pfx2AsDataset(
+        [
+            Pfx2AsEntry(prefix=prefix, origins=tuple(sorted(origins)))
+            for prefix, origins in origins_by_prefix.items()
+        ]
+    )
+
+
+def dumps_pfx2as(dataset: Pfx2AsDataset) -> str:
+    """Serialize in the routeviews-prefix2as text format."""
+    lines = []
+    for entry in dataset.entries:
+        asns = "_".join(str(asn) for asn in entry.origins)
+        lines.append(
+            f"{entry.prefix.network_address}\t{entry.prefix.prefixlen}\t{asns}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def dump_pfx2as(dataset: Pfx2AsDataset, path: PathLike) -> None:
+    Path(path).write_text(dumps_pfx2as(dataset), encoding="utf-8")
+
+
+class Pfx2AsFormatError(ValueError):
+    """Raised on malformed pfx2as lines."""
+
+
+def parse_pfx2as(text: str) -> Pfx2AsDataset:
+    """Parse the routeviews-prefix2as text format."""
+    entries = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("\t")
+        if len(fields) != 3:
+            fields = line.split()
+        if len(fields) != 3:
+            raise Pfx2AsFormatError(f"line {lineno}: expected 3 fields")
+        address, length, asn_field = fields
+        try:
+            prefix = ipaddress.IPv4Network(f"{address}/{int(length)}")
+            # "_" joins MOAS origins; "," separates AS-set members —
+            # flatten both, as CAIDA's tooling does
+            origins = tuple(
+                sorted(
+                    int(token)
+                    for chunk in asn_field.split("_")
+                    for token in chunk.split(",")
+                )
+            )
+        except ValueError as exc:
+            raise Pfx2AsFormatError(f"line {lineno}: {exc}") from None
+        if not origins:
+            raise Pfx2AsFormatError(f"line {lineno}: no origins")
+        entries.append(Pfx2AsEntry(prefix=prefix, origins=origins))
+    return Pfx2AsDataset(entries)
+
+
+def load_pfx2as(path: PathLike) -> Pfx2AsDataset:
+    return parse_pfx2as(Path(path).read_text(encoding="utf-8"))

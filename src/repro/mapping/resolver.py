@@ -1,0 +1,85 @@
+"""The paper's iterative IP-to-AS resolution cascade (§4.1, §5).
+
+The final methodology resolves each traceroute hop by consulting PeeringDB
+first (peering LANs often use addresses that resolve wrongly — or not at
+all — in BGP-derived data), then the Team Cymru service, then whois.  The
+earlier methodology iterations used different orders; the order is a
+constructor argument so the §5 ablation can replay the whole trajectory.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Optional
+
+from .ipasn import IpAsnService
+from .peeringdb import PeeringDB
+from .whois import WhoisRegistry
+
+IPLike = ipaddress.IPv4Address | str
+
+#: The final (§5) resolution order.
+FINAL_ORDER: tuple[str, ...] = ("peeringdb", "cymru", "whois")
+#: The initial approach: BGP-derived mapping only.
+INITIAL_ORDER: tuple[str, ...] = ("cymru",)
+
+
+@dataclass(frozen=True)
+class ResolvedHop:
+    """Outcome of resolving one hop address."""
+
+    asn: int
+    source: str  # which service answered
+
+
+class IterativeResolver:
+    """Resolve addresses through an ordered cascade of services."""
+
+    def __init__(
+        self,
+        cymru: IpAsnService,
+        peeringdb: PeeringDB,
+        whois: WhoisRegistry,
+        order: tuple[str, ...] = FINAL_ORDER,
+    ) -> None:
+        unknown = set(order) - {"peeringdb", "cymru", "whois"}
+        if unknown:
+            raise ValueError(f"unknown resolution services: {sorted(unknown)}")
+        if not order:
+            raise ValueError("resolution order must not be empty")
+        self.cymru = cymru
+        self.peeringdb = peeringdb
+        self.whois = whois
+        self.order = tuple(order)
+
+    def resolve(self, ip: IPLike) -> Optional[ResolvedHop]:
+        """First successful resolution in cascade order, else ``None``."""
+        for service in self.order:
+            asn = self._query(service, ip)
+            if asn is not None:
+                return ResolvedHop(asn=asn, source=service)
+        return None
+
+    def _query(self, service: str, ip: IPLike) -> Optional[int]:
+        if service == "peeringdb":
+            return self.peeringdb.ip_to_asn(ip)
+        if service == "cymru":
+            return self.cymru.lookup(ip)
+        return self.whois.lookup_asn(ip)
+
+
+def resolver_from_scenario(
+    scenario, order: tuple[str, ...] = FINAL_ORDER
+) -> IterativeResolver:
+    """Build the full cascade over a scenario's address plan."""
+    from .ipasn import cymru_from_scenario
+    from .peeringdb import peeringdb_from_scenario
+    from .whois import whois_from_scenario
+
+    return IterativeResolver(
+        cymru=cymru_from_scenario(scenario),
+        peeringdb=peeringdb_from_scenario(scenario),
+        whois=whois_from_scenario(scenario),
+        order=order,
+    )

@@ -1,0 +1,27 @@
+"""Neighbor inference from traceroutes and its validation."""
+
+from .inference import (
+    FINAL_STAGE,
+    STAGES,
+    InferenceStage,
+    NeighborInference,
+    build_resolver,
+    infer_all_clouds,
+    infer_from_traceroutes,
+    stage_by_name,
+)
+from .validation import ValidationReport, validate_all, validate_neighbors
+
+__all__ = [
+    "FINAL_STAGE",
+    "InferenceStage",
+    "NeighborInference",
+    "STAGES",
+    "ValidationReport",
+    "build_resolver",
+    "infer_all_clouds",
+    "infer_from_traceroutes",
+    "stage_by_name",
+    "validate_all",
+    "validate_neighbors",
+]

@@ -1,0 +1,90 @@
+"""Validation of inferred neighbor sets against ground truth (§5).
+
+The paper validated with Google and Microsoft operators; the synthetic
+scenario carries exact ground truth, so false-discovery and false-negative
+rates are computed directly:
+
+* FDR = FP / (FP + TP) — inferred neighbors that are not real;
+* FNR = FN / (FN + TP) — real neighbors the measurements missed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Confusion counts and rates for one cloud's inferred neighbor set."""
+
+    cloud_asn: int
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def inferred_count(self) -> int:
+        return self.true_positives + self.false_positives
+
+    @property
+    def truth_count(self) -> int:
+        return self.true_positives + self.false_negatives
+
+    @property
+    def fdr(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.false_positives / denom if denom else 0.0
+
+    @property
+    def fnr(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.false_negatives / denom if denom else 0.0
+
+    @property
+    def precision(self) -> float:
+        return 1.0 - self.fdr
+
+    @property
+    def recall(self) -> float:
+        return 1.0 - self.fnr
+
+    def as_row(self) -> dict[str, float | int]:
+        return {
+            "cloud_asn": self.cloud_asn,
+            "inferred": self.inferred_count,
+            "truth": self.truth_count,
+            "tp": self.true_positives,
+            "fp": self.false_positives,
+            "fn": self.false_negatives,
+            "fdr": round(self.fdr, 4),
+            "fnr": round(self.fnr, 4),
+        }
+
+
+def validate_neighbors(
+    cloud_asn: int,
+    inferred: Iterable[int],
+    truth: Iterable[int],
+) -> ValidationReport:
+    """Compare an inferred neighbor set against the real one."""
+    inferred_set = set(inferred)
+    truth_set = set(truth)
+    tp = len(inferred_set & truth_set)
+    return ValidationReport(
+        cloud_asn=cloud_asn,
+        true_positives=tp,
+        false_positives=len(inferred_set - truth_set),
+        false_negatives=len(truth_set - inferred_set),
+    )
+
+
+def validate_all(
+    inferred_by_cloud: Mapping[int, Iterable[int]],
+    truth_by_cloud: Mapping[int, Iterable[int]],
+) -> dict[int, ValidationReport]:
+    """Per-cloud validation reports."""
+    return {
+        cloud: validate_neighbors(cloud, inferred, truth_by_cloud[cloud])
+        for cloud, inferred in inferred_by_cloud.items()
+    }

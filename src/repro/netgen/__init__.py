@@ -1,0 +1,78 @@
+"""Synthetic Internet generator (substitute for the paper's datasets)."""
+
+from .addressing import (
+    allocate_as_prefixes,
+    as_prefix,
+    host_in,
+    ixp_lan,
+    router_ip,
+)
+from .config import (
+    COMPANION_2015,
+    PROFILES,
+    ArtifactRates,
+    CloudProfile,
+    ScenarioConfig,
+    companion_2015,
+    profile,
+    small,
+    small2015,
+    tiny,
+    tiny2015,
+    year2015,
+    year2020,
+)
+from .generator import TIER1_NAMES, TIER2_NAMES, build_scenario
+from .population import ONLINE_FRACTION, assign_users, eyeball_ases, zipf_shares
+from .scenario_io import (
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from .scenario import (
+    ASInfo,
+    ASKind,
+    Interconnect,
+    InterconnectMedium,
+    InternetScenario,
+    IXPRecord,
+)
+
+__all__ = [
+    "ASInfo",
+    "ASKind",
+    "ArtifactRates",
+    "COMPANION_2015",
+    "companion_2015",
+    "small2015",
+    "tiny2015",
+    "CloudProfile",
+    "Interconnect",
+    "InterconnectMedium",
+    "InternetScenario",
+    "IXPRecord",
+    "ONLINE_FRACTION",
+    "PROFILES",
+    "ScenarioConfig",
+    "TIER1_NAMES",
+    "TIER2_NAMES",
+    "allocate_as_prefixes",
+    "as_prefix",
+    "assign_users",
+    "build_scenario",
+    "eyeball_ases",
+    "host_in",
+    "ixp_lan",
+    "load_scenario",
+    "profile",
+    "router_ip",
+    "save_scenario",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "small",
+    "tiny",
+    "year2015",
+    "year2020",
+    "zipf_shares",
+]

@@ -1,0 +1,56 @@
+"""IPv4 address allocation for the synthetic Internet.
+
+Every AS announces one prefix (the paper's supplemental campaign selects
+one prefix per origin AS [19]); IXP LANs get /24s, a configurable fraction
+of which are *not* announced in BGP — reproducing the NL-IX situation in
+§4.1 where peering interfaces resolve only through PeeringDB/whois.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from collections.abc import Sequence
+
+#: ASes get sequential /16s starting here (kept well clear of the IXP pool).
+AS_PREFIX_BASE = int(ipaddress.IPv4Address("16.0.0.0"))
+#: IXP LANs are /24s carved from this block (homage to NL-IX's 193.238/22).
+IXP_LAN_BASE = int(ipaddress.IPv4Address("193.238.0.0"))
+MAX_AS_PREFIXES = 8192
+MAX_IXP_LANS = 1024
+
+
+def as_prefix(index: int) -> ipaddress.IPv4Network:
+    """The /16 announced by the ``index``-th AS (allocation order)."""
+    if not 0 <= index < MAX_AS_PREFIXES:
+        raise ValueError(f"AS prefix index out of range: {index}")
+    return ipaddress.IPv4Network((AS_PREFIX_BASE + (index << 16), 16))
+
+
+def ixp_lan(index: int) -> ipaddress.IPv4Network:
+    """The /24 peering LAN of the ``index``-th IXP."""
+    if not 0 <= index < MAX_IXP_LANS:
+        raise ValueError(f"IXP LAN index out of range: {index}")
+    return ipaddress.IPv4Network((IXP_LAN_BASE + (index << 8), 24))
+
+
+def allocate_as_prefixes(asns: Sequence[int]) -> dict[int, ipaddress.IPv4Network]:
+    """Deterministically assign one /16 per AS, in the given order."""
+    return {asn: as_prefix(i) for i, asn in enumerate(asns)}
+
+
+def host_in(prefix: ipaddress.IPv4Network, index: int) -> ipaddress.IPv4Address:
+    """The ``index``-th usable host address inside ``prefix``."""
+    if index < 1 or index >= prefix.num_addresses - 1:
+        raise ValueError(f"host index {index} out of range for {prefix}")
+    return prefix[index]
+
+
+def router_ip(
+    prefix: ipaddress.IPv4Network, router_id: int, interface: int = 0
+) -> ipaddress.IPv4Address:
+    """A stable infrastructure address: router ``router_id``, interface
+    ``interface`` inside the AS prefix (distinct from host space)."""
+    offset = 256 + router_id * 8 + interface
+    if offset >= prefix.num_addresses - 1:
+        raise ValueError("router address space exhausted")
+    return prefix[offset]

@@ -1,0 +1,826 @@
+"""Synthetic Internet generator.
+
+Builds an :class:`~repro.netgen.scenario.InternetScenario` from a
+:class:`~repro.netgen.config.ScenarioConfig`, reproducing the structural
+facts the paper measures (see the module docstring of
+:mod:`repro.netgen.config`).  Everything is deterministic in the config
+seed.
+
+The generator also derives the *public* (BGP-visible) graph: all transit
+edges are observed, but a peering edge is observed only when a BGP monitor
+sits inside either endpoint's customer cone — the visibility rule that
+makes edge peerings (and hence most cloud interconnection) invisible to
+feeds, per §2.3/§4.1.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+from collections import defaultdict
+
+from ..core.reachability import ConeEngine
+from ..geo.cities import WORLD_CITIES, City, largest_cities
+from ..geo.continents import Continent
+from ..topology.asgraph import ASGraph
+from ..topology.tiers import TierAssignment
+from .addressing import allocate_as_prefixes, host_in, ixp_lan
+from .config import CloudProfile, ScenarioConfig
+from .population import assign_users
+from .scenario import (
+    ASInfo,
+    ASKind,
+    Interconnect,
+    InterconnectMedium,
+    InternetScenario,
+    IXPRecord,
+)
+
+#: Curated Tier-1 names/ASNs (extended with synthetic entries if needed).
+TIER1_NAMES: tuple[tuple[str, int], ...] = (
+    ("Level 3", 3356),
+    ("Telia", 1299),
+    ("Cogent", 174),
+    ("GTT", 3257),
+    ("NTT", 2914),
+    ("Tata", 6453),
+    ("Sprint", 1239),
+    ("Orange", 5511),
+    ("Deutsche Telekom", 3320),
+    ("AT&T", 7018),
+    ("Verizon", 701),
+    ("Zayo", 6461),
+    ("Telxius", 12956),
+    ("Telecom Italia Sparkle", 6762),
+    ("KPN", 286),
+    ("Telefonica", 3352),
+)
+
+#: Curated Tier-2 names/ASNs.  PCCW and Liberty Global are generated with
+#: no transit providers (the paper notes both reach everything without
+#: providers yet are not in the Tier-1 clique).
+TIER2_NAMES: tuple[tuple[str, int], ...] = (
+    ("Hurricane Electric", 6939),
+    ("PCCW", 3491),
+    ("Comcast", 7922),
+    ("Liberty Global", 6830),
+    ("Vocus", 4826),
+    ("RETN", 9002),
+    ("Telstra", 4637),
+    ("IIJ", 2497),
+    ("Swisscom", 3303),
+    ("COLT", 8220),
+    ("Core-Backbone", 33891),
+    ("Korea Telecom", 4766),
+    ("TDC", 3292),
+    ("Vodafone", 1273),
+    ("KCOM", 12390),
+    ("British Telecom", 5400),
+    ("Tele2", 1257),
+    ("SG.GS", 24482),
+    ("TELIN", 7713),
+    ("CN Net", 4134),
+    ("KDDI", 2516),
+)
+
+PROVIDER_FREE_TIER2 = frozenset({"PCCW", "Liberty Global"})
+
+#: Relative attractiveness of each Tier-1 as transit for *regional/edge*
+#: customers.  Heavy-tailed: Level 3 dominates; Sprint and Deutsche Telekom
+#: sell almost exclusively to Tier-2s (Appendix B: their hierarchy-free
+#: reachability collapses because their cones live behind the Tier-2s).
+TIER1_EDGE_WEIGHT: dict[str, float] = {
+    "Level 3": 8.0,
+    "Telia": 4.5,
+    "Cogent": 5.5,
+    "GTT": 4.0,
+    "NTT": 3.0,
+    "Tata": 2.5,
+    "Sprint": 0.1,
+    "Orange": 1.0,
+    "Deutsche Telekom": 0.15,
+    "AT&T": 2.0,
+    "Verizon": 1.5,
+    "Zayo": 4.0,
+    "Telxius": 0.8,
+    "Telecom Italia Sparkle": 1.0,
+    "KPN": 0.8,
+    "Telefonica": 1.0,
+}
+
+#: Relative attractiveness of each Tier-1 as transit for *Tier-2* customers
+#: (Sprint/DT sell heavily into this market).
+TIER1_T2_WEIGHT: dict[str, float] = {
+    "Sprint": 3.0,
+    "Deutsche Telekom": 3.0,
+}
+
+#: Relative attractiveness of each Tier-2 as transit for regional/edge
+#: customers.  Hurricane Electric's cone is consistently top-10 (§6.4).
+TIER2_EDGE_WEIGHT: dict[str, float] = {
+    "Hurricane Electric": 6.0,
+    "PCCW": 3.0,
+    "Comcast": 2.0,
+    "Liberty Global": 2.0,
+    "RETN": 2.0,
+    "Vocus": 1.5,
+    "Telstra": 1.5,
+    "IIJ": 1.5,
+    "COLT": 1.5,
+    "Vodafone": 1.5,
+    "KCOM": 0.3,
+}
+
+#: Open-peering Tier-2s peer directly with edge networks (HE's open policy
+#: makes its unreachable-type mix resemble the clouds', §6.7).
+TIER2_OPEN_PEERING: dict[str, float] = {
+    "Hurricane Electric": 0.45,
+    "PCCW": 0.20,
+    "Liberty Global": 0.18,
+    "Vocus": 0.15,
+    "RETN": 0.12,
+    "Comcast": 0.10,
+}
+DEFAULT_T2_EDGE_PEERING = 0.04
+
+#: Tier-1s also hold many settlement-free peerings below the hierarchy
+#: (content networks, large regionals).  Probability of peering with a
+#: regional transit; edge peering runs at 0.4x this.  Sprint and Deutsche
+#: Telekom stick to the hierarchy, which is why their hierarchy-free
+#: reachability collapses (§6.6, Appendix B).
+TIER1_FLAT_PEERING: dict[str, float] = {
+    "Level 3": 0.80,
+    "Cogent": 0.55,
+    "Telia": 0.50,
+    "GTT": 0.45,
+    "Zayo": 0.50,
+    "NTT": 0.35,
+    "Tata": 0.30,
+    "AT&T": 0.25,
+    "Verizon": 0.20,
+    "Sprint": 0.01,
+    "Deutsche Telekom": 0.01,
+}
+DEFAULT_T1_FLAT_PEERING = 0.15
+
+#: Open Tier-2s also peer with regional transits at this probability.
+TIER2_REGIONAL_PEERING: dict[str, float] = {
+    "Hurricane Electric": 0.85,
+    "PCCW": 0.45,
+    "Liberty Global": 0.40,
+    "Vocus": 0.35,
+    "RETN": 0.35,
+    "Comcast": 0.30,
+}
+DEFAULT_T2_REGIONAL_PEERING = 0.12
+
+#: Google's small third provider in the Sep-2020 CAIDA snapshot.
+DURAND_NAME = "Durand do Brasil"
+DURAND_ASN = 22356
+
+_REGION_WEIGHTS = {
+    Continent.NORTH_AMERICA: 0.26,
+    Continent.EUROPE: 0.25,
+    Continent.ASIA: 0.28,
+    Continent.SOUTH_AMERICA: 0.09,
+    Continent.AFRICA: 0.07,
+    Continent.OCEANIA: 0.05,
+}
+
+
+class _Builder:
+    """One-shot scenario construction (use :func:`build_scenario`)."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.graph = ASGraph()
+        self.as_info: dict[int, ASInfo] = {}
+        self.order: list[int] = []  # allocation order → prefix order
+        self.tier1: list[int] = []
+        self.tier2: list[int] = []
+        self.regional: list[int] = []
+        self.access: list[int] = []
+        self.content: list[int] = []
+        self.enterprise: list[int] = []
+        self.clouds: dict[str, int] = {}
+        self.facebook_asn: int | None = None
+        self.ixps: list[IXPRecord] = []
+        self.ixp_members: dict[int, set[int]] = {}
+        self.as_ixps: dict[int, list[int]] = defaultdict(list)
+        self.interconnects: dict[tuple[int, int], list[Interconnect]] = {}
+        self.pop_footprints: dict[str, tuple[City, ...]] = {}
+        self.vm_cities: dict[int, tuple[City, ...]] = {}
+        self.transit_labels: dict[str, int] = {}
+        self._synth_asn = 60000
+        self._pni_counter: dict[int, int] = defaultdict(lambda: 10)
+
+    # -- helpers -------------------------------------------------------
+    def _register(
+        self, asn: int, name: str, kind: ASKind, city: City,
+        in_graph: bool = True,
+    ) -> int:
+        if asn in self.as_info:
+            raise ValueError(f"duplicate ASN {asn}")
+        if in_graph:
+            # IXP route-server ASes never appear in relationship data, so
+            # they are kept out of the topology graph (and prefix order).
+            self.graph.add_as(asn)
+            self.order.append(asn)
+        self.as_info[asn] = ASInfo(asn=asn, name=name, kind=kind, home_city=city)
+        return asn
+
+    def _fresh_asn(self) -> int:
+        self._synth_asn += 1
+        return self._synth_asn
+
+    def _weighted_city(self, continent: Continent | None = None) -> City:
+        pool = [
+            c
+            for c in WORLD_CITIES
+            if continent is None or c.continent is continent
+        ]
+        weights = [c.population_m for c in pool]
+        return self.rng.choices(pool, weights=weights, k=1)[0]
+
+    def _pick_continent(self) -> Continent:
+        continents = list(_REGION_WEIGHTS)
+        weights = [_REGION_WEIGHTS[c] for c in continents]
+        return self.rng.choices(continents, weights=weights, k=1)[0]
+
+    def _named_weight(
+        self, asn: int, table: dict[str, float], default: float
+    ) -> float:
+        return table.get(self.as_info[asn].name, default)
+
+    def _weighted_pick(
+        self, pool: list[int], table: dict[str, float], default: float = 1.0
+    ) -> int:
+        weights = [self._named_weight(a, table, default) for a in pool]
+        return self.rng.choices(pool, weights=weights, k=1)[0]
+
+    # -- population ----------------------------------------------------
+    def make_ases(self) -> None:
+        cfg = self.config
+        names1 = list(TIER1_NAMES)
+        for i in range(cfg.n_tier1):
+            name, asn = (
+                names1[i] if i < len(names1) else (f"Tier1-{i}", self._fresh_asn())
+            )
+            city = self._weighted_city()
+            self.tier1.append(self._register(asn, name, ASKind.TIER1, city))
+            self.transit_labels[name] = asn
+        names2 = list(TIER2_NAMES)
+        for i in range(cfg.n_tier2):
+            name, asn = (
+                names2[i] if i < len(names2) else (f"Tier2-{i}", self._fresh_asn())
+            )
+            city = self._weighted_city()
+            self.tier2.append(self._register(asn, name, ASKind.TIER2, city))
+            self.transit_labels[name] = asn
+        # Durand-like small transit (Google's odd third provider)
+        self.durand = self._register(
+            DURAND_ASN, DURAND_NAME, ASKind.REGIONAL,
+            self._weighted_city(Continent.SOUTH_AMERICA),
+        )
+        self.regional.append(self.durand)
+        for i in range(cfg.n_regional):
+            continent = self._pick_continent()
+            city = self._weighted_city(continent)
+            asn = self._register(
+                20000 + i, f"Regional-{city.country}-{i}", ASKind.REGIONAL, city
+            )
+            self.regional.append(asn)
+        for i in range(cfg.n_access):
+            city = self._weighted_city(self._pick_continent())
+            self.access.append(
+                self._register(
+                    30000 + i, f"Access-{city.code}-{i}", ASKind.ACCESS, city
+                )
+            )
+        for i in range(cfg.n_content):
+            city = self._weighted_city()
+            self.content.append(
+                self._register(
+                    40000 + i, f"Content-{city.code}-{i}", ASKind.CONTENT, city
+                )
+            )
+        for i in range(cfg.n_enterprise):
+            city = self._weighted_city(self._pick_continent())
+            self.enterprise.append(
+                self._register(
+                    50000 + i, f"Enterprise-{city.code}-{i}",
+                    ASKind.ENTERPRISE, city,
+                )
+            )
+        for profile in cfg.clouds:
+            city = self._weighted_city(Continent.NORTH_AMERICA)
+            self.clouds[profile.name] = self._register(
+                profile.asn, profile.name, ASKind.CLOUD, city
+            )
+        if cfg.include_facebook:
+            self.facebook_asn = self._register(
+                cfg.facebook_asn, "Facebook", ASKind.HYPERGIANT,
+                self._weighted_city(Continent.NORTH_AMERICA),
+            )
+
+    # -- IXPs ------------------------------------------------------------
+    def make_ixps(self) -> None:
+        cfg = self.config
+        metros = largest_cities(max(cfg.n_ixps, 1))
+        for i in range(cfg.n_ixps):
+            city = metros[i % len(metros)]
+            announced = self.rng.random() >= cfg.artifacts.ixp_unannounced
+            asn = self._register(
+                61000 + i, f"IX-{city.code.upper()}-{i}", ASKind.IXP, city,
+                in_graph=False,
+            )
+            record = IXPRecord(
+                ixp_id=i,
+                name=f"{city.name} IX",
+                asn=asn,
+                city=city,
+                lan=ixp_lan(i),
+                announced=announced,
+                members=frozenset(),
+            )
+            self.ixps.append(record)
+            self.ixp_members[i] = set()
+
+    def _join_ixps(self) -> None:
+        """Edge/transit ASes join their home-city IXP (if any)."""
+        by_city: dict[str, list[int]] = defaultdict(list)
+        for ixp in self.ixps:
+            by_city[ixp.city.code].append(ixp.ixp_id)
+        presence = self.config.ixp_presence
+
+        def join(asn: int, prob: float) -> None:
+            city = self.as_info[asn].home_city
+            candidates = by_city.get(city.code)
+            if candidates and self.rng.random() < prob:
+                ixp_id = self.rng.choice(candidates)
+                self.ixp_members[ixp_id].add(asn)
+                self.as_ixps[asn].append(ixp_id)
+
+        def join_many(asn: int, lo: int, hi: int) -> None:
+            count = min(self.rng.randint(lo, hi), len(self.ixps))
+            for ixp in self.rng.sample(self.ixps, k=count):
+                if asn not in self.ixp_members[ixp.ixp_id]:
+                    self.ixp_members[ixp.ixp_id].add(asn)
+                    self.as_ixps[asn].append(ixp.ixp_id)
+
+        for asn in self.access + self.content:
+            join(asn, presence)
+        for asn in self.enterprise:
+            join(asn, presence * 0.4)
+        # transit networks deploy ports at many exchanges, not just one
+        for asn in self.regional:
+            join(asn, 0.9)
+            join_many(asn, 1, 4)
+        for asn in self.tier2:
+            join_many(asn, 3, 8)
+
+    # -- wiring ----------------------------------------------------------
+    def wire_hierarchy(self) -> None:
+        cfg, rng = self.config, self.rng
+        for i, a in enumerate(self.tier1):
+            for b in self.tier1[i + 1 :]:
+                self.graph.add_p2p(a, b)
+        lo, hi = cfg.t2_provider_count
+        for asn in self.tier2:
+            name = self.as_info[asn].name
+            if name not in PROVIDER_FREE_TIER2:
+                for _ in range(rng.randint(lo, hi)):
+                    provider = self._weighted_pick(self.tier1, TIER1_T2_WEIGHT)
+                    if self.graph.relationship_between(provider, asn) is None:
+                        self.graph.add_p2c(provider, asn)
+            for t1 in self.tier1:
+                if (
+                    self.graph.relationship_between(t1, asn) is None
+                    and rng.random() < cfg.t2_tier1_peer_prob
+                ):
+                    self.graph.add_p2p(t1, asn)
+        for i, a in enumerate(self.tier2):
+            for b in self.tier2[i + 1 :]:
+                if rng.random() < cfg.t2_mutual_peer_prob:
+                    self.graph.add_p2p(a, b)
+
+    def wire_regional(self) -> None:
+        cfg, rng = self.config, self.rng
+        lo, hi = cfg.regional_provider_count
+        for asn in self.regional:
+            for _ in range(rng.randint(lo, hi)):
+                if rng.random() < 0.6:
+                    provider = self._weighted_pick(self.tier2, TIER2_EDGE_WEIGHT)
+                else:
+                    provider = self._weighted_pick(self.tier1, TIER1_EDGE_WEIGHT)
+                if self.graph.relationship_between(provider, asn) is None:
+                    self.graph.add_p2c(provider, asn)
+        by_continent: dict[Continent, list[int]] = defaultdict(list)
+        for asn in self.regional:
+            by_continent[self.as_info[asn].home_city.continent].append(asn)
+        for members in by_continent.values():
+            for i, a in enumerate(members):
+                for b in members[i + 1 :]:
+                    if rng.random() < cfg.regional_peer_prob:
+                        if self.graph.relationship_between(a, b) is None:
+                            self.graph.add_p2p(a, b)
+
+    def _edge_providers(self, asn: int) -> None:
+        cfg, rng = self.config, self.rng
+        continent = self.as_info[asn].home_city.continent
+        local = [
+            r
+            for r in self.regional
+            if self.as_info[r].home_city.continent is continent
+        ]
+        lo, hi = cfg.edge_provider_count
+        count = rng.randint(lo, hi)
+        for _ in range(count):
+            if local and rng.random() < 0.7:
+                provider = rng.choice(local)
+            elif self.regional and rng.random() < 0.4:
+                provider = rng.choice(self.regional)
+            else:
+                provider = self._weighted_pick(self.tier2, TIER2_EDGE_WEIGHT)
+            if provider != asn and (
+                self.graph.relationship_between(provider, asn) is None
+            ):
+                self.graph.add_p2c(provider, asn)
+
+    def wire_edges(self) -> None:
+        cfg, rng = self.config, self.rng
+        for asn in self.access + self.content + self.enterprise:
+            self._edge_providers(asn)
+        # open-peering Tier-2s (HE et al.) peer directly with edge networks
+        # present at any IXP, and with regional transits
+        for t2 in self.tier2:
+            fraction = self._named_weight(
+                t2, TIER2_OPEN_PEERING, DEFAULT_T2_EDGE_PEERING
+            )
+            for edge in self.access + self.content:
+                if not self.as_ixps.get(edge):
+                    continue
+                if rng.random() < fraction:
+                    if self.graph.relationship_between(t2, edge) is None:
+                        self.graph.add_p2p(t2, edge)
+            regional_fraction = self._named_weight(
+                t2, TIER2_REGIONAL_PEERING, DEFAULT_T2_REGIONAL_PEERING
+            )
+            for reg in self.regional:
+                if rng.random() < regional_fraction:
+                    if self.graph.relationship_between(t2, reg) is None:
+                        self.graph.add_p2p(t2, reg)
+        # Tier-1 flat peerings: regional transits and (fewer) edge networks
+        for t1 in self.tier1:
+            fraction = self._named_weight(
+                t1, TIER1_FLAT_PEERING, DEFAULT_T1_FLAT_PEERING
+            )
+            for reg in self.regional:
+                if rng.random() < fraction:
+                    if self.graph.relationship_between(t1, reg) is None:
+                        self.graph.add_p2p(t1, reg)
+            for edge in self.access + self.content:
+                if not self.as_ixps.get(edge):
+                    continue
+                if rng.random() < fraction * 0.4:
+                    if self.graph.relationship_between(t1, edge) is None:
+                        self.graph.add_p2p(t1, edge)
+        # IXP members peer with one another (the flat mesh §6.6 observes:
+        # thousands of ordinary networks gain hierarchy-free reach through
+        # exchange peering with regionals and each other)
+        pair_probability = {
+            frozenset({ASKind.CONTENT}): 0.25,
+            frozenset({ASKind.CONTENT, ASKind.ACCESS}): 0.12,
+            frozenset({ASKind.ACCESS}): 1.3 * cfg.content_peer_prob,
+            frozenset({ASKind.REGIONAL, ASKind.ACCESS}): 0.40,
+            frozenset({ASKind.REGIONAL, ASKind.CONTENT}): 0.40,
+            frozenset({ASKind.REGIONAL}): 0.20,
+        }
+        for ixp_id, members in self.ixp_members.items():
+            member_list = sorted(members)
+            for i, a in enumerate(member_list):
+                kind_a = self.as_info[a].kind
+                for b in member_list[i + 1 :]:
+                    kind_b = self.as_info[b].kind
+                    prob = pair_probability.get(frozenset({kind_a, kind_b}))
+                    if prob is None:
+                        continue
+                    if (
+                        rng.random() < min(prob, 1.0)
+                        and self.graph.relationship_between(a, b) is None
+                    ):
+                        self.graph.add_p2p(a, b)
+
+    # -- hypergiants -------------------------------------------------------
+    def wire_facebook(self) -> None:
+        if self.facebook_asn is None:
+            return
+        cfg, rng = self.config, self.rng
+        asn = self.facebook_asn
+        for provider in rng.sample(self.tier1, k=min(2, len(self.tier1))):
+            self.graph.add_p2c(provider, asn)
+        for t2 in self.tier2:
+            if rng.random() < 0.7:
+                self.graph.add_p2p(asn, t2)
+        for reg in self.regional:
+            if rng.random() < min(1.0, cfg.facebook_peer_fraction + 0.35):
+                if self.graph.relationship_between(asn, reg) is None:
+                    self.graph.add_p2p(asn, reg)
+        for edge in self.access + self.content:
+            if rng.random() < cfg.facebook_peer_fraction:
+                if self.graph.relationship_between(asn, edge) is None:
+                    self.graph.add_p2p(asn, edge)
+
+    # -- clouds ------------------------------------------------------------
+    def _cloud_pops(self, profile: CloudProfile) -> tuple[City, ...]:
+        """Cloud PoP metros: population-weighted picks balanced across
+        North America, Europe and Asia, always including Shanghai and
+        Beijing (Fig. 11's cloud-only locations)."""
+        from ..geo.cities import cities_in, city_by_code
+
+        rng = self.rng
+        regions = (
+            Continent.NORTH_AMERICA,
+            Continent.EUROPE,
+            Continent.ASIA,
+        )
+        # mainland China presence is sha/bjs only (added explicitly below)
+        china = {"sha", "bjs", "can", "szx", "ctu"}
+        pools = {
+            r: [c for c in cities_in(r) if c.code not in china]
+            for r in regions
+        }
+        pops: list[City] = []
+        region_index = 0
+        while len(pops) < profile.pop_count and any(pools.values()):
+            region = regions[region_index % len(regions)]
+            region_index += 1
+            pool = pools[region]
+            if not pool:
+                continue
+            # square the weights: clouds chase the biggest metros first
+            weights = [c.population_m**2 for c in pool]
+            city = rng.choices(pool, weights=weights, k=1)[0]
+            pool.remove(city)
+            pops.append(city)
+        extras = ["sha", "bjs"]
+        if profile.pop_count >= 15:
+            extras += ["syd", "gru"]  # real clouds serve Oceania/Brazil
+        if profile.pop_count >= 40:
+            extras += ["mel", "jnb", "eze"]
+        for code in extras:
+            if all(c.code != code for c in pops):
+                pops.append(city_by_code(code))
+        return tuple(pops)
+
+    def _transit_pops(self, asn: int) -> tuple[City, ...]:
+        """Transit footprints: broader and more global than the clouds'."""
+        rng = self.rng
+        count = rng.randint(30, min(110, len(WORLD_CITIES)))
+        majors = list(largest_cities(count))
+        extras = [
+            c
+            for c in WORLD_CITIES
+            if c.continent
+            in (Continent.SOUTH_AMERICA, Continent.AFRICA)
+            and c not in majors
+        ]
+        rng.shuffle(extras)
+        majors.extend(extras[: max(3, count // 8)])
+        # no transit presence in mainland China (Fig. 11's observation)
+        return tuple(c for c in majors if c.code not in ("sha", "bjs", "can", "szx", "ctu"))
+
+    def wire_clouds(self) -> None:
+        cfg, rng = self.config, self.rng
+        for profile in cfg.clouds:
+            asn = self.clouds[profile.name]
+            pops = self._cloud_pops(profile)
+            self.pop_footprints[profile.name] = pops
+            datacenters = list(pops[: max(profile.datacenter_count, 1)])
+            vm_count = profile.vm_locations if profile.vm_locations else 0
+            self.vm_cities[asn] = tuple(datacenters[:vm_count]) if vm_count else ()
+            pop_codes = {c.code for c in pops}
+            # transit
+            providers: list[int] = []
+            providers.extend(
+                rng.sample(self.tier1, k=min(profile.tier1_providers, len(self.tier1)))
+            )
+            available_t2 = [t for t in self.tier2]
+            providers.extend(
+                rng.sample(
+                    available_t2, k=min(profile.tier2_providers, len(available_t2))
+                )
+            )
+            if profile.other_providers:
+                pool = [self.durand] + [
+                    r for r in self.regional if r != self.durand
+                ]
+                providers.extend(pool[: profile.other_providers])
+            for provider in providers:
+                if self.graph.relationship_between(provider, asn) is None:
+                    self.graph.add_p2c(provider, asn)
+            # Tier-1 peerings (those not already providers)
+            t1_candidates = [
+                t for t in self.tier1
+                if self.graph.relationship_between(t, asn) is None
+            ]
+            for t1 in rng.sample(
+                t1_candidates, k=min(profile.tier1_peers, len(t1_candidates))
+            ):
+                self.graph.add_p2p(asn, t1)
+            # Tier-2 peerings: clouds peer with most remaining Tier-2s
+            for t2 in self.tier2:
+                if self.graph.relationship_between(t2, asn) is None:
+                    if rng.random() < max(profile.edge_peer_fraction, 0.5):
+                        self.graph.add_p2p(asn, t2)
+            # edge peerings, gated on PoP co-location
+            for edge in self.access + self.content + self.enterprise:
+                info = self.as_info[edge]
+                colocated = info.home_city.code in pop_codes or any(
+                    self.ixps[i].city.code in pop_codes
+                    for i in self.as_ixps.get(edge, ())
+                )
+                if not colocated:
+                    continue
+                prob = profile.edge_peer_fraction
+                if info.kind is ASKind.ACCESS:
+                    prob = min(1.0, prob * profile.access_bias)
+                elif info.kind is ASKind.ENTERPRISE:
+                    prob *= 0.3
+                if rng.random() < prob:
+                    if self.graph.relationship_between(asn, edge) is None:
+                        self.graph.add_p2p(asn, edge)
+            # regional transit peers: these carry most of the cloud's
+            # hierarchy-free reach, since their customer cones survive the
+            # removal of the Tier-1/Tier-2 ISPs
+            base = 0.5 + 0.5 * profile.edge_peer_fraction
+            for reg in self.regional:
+                colocated = self.as_info[reg].home_city.code in pop_codes
+                prob = base * (1.0 if colocated else 0.7)
+                if rng.random() < prob:
+                    if self.graph.relationship_between(asn, reg) is None:
+                        self.graph.add_p2p(asn, reg)
+
+    # -- interconnect records ----------------------------------------------
+    def make_interconnects(self, prefixes: dict[int, ipaddress.IPv4Network]) -> None:
+        rng = self.rng
+        ixps_by_city: dict[str, list[IXPRecord]] = defaultdict(list)
+        for ixp in self.ixps:
+            ixps_by_city[ixp.city.code].append(ixp)
+        for name, cloud_asn in self.clouds.items():
+            pops = self.pop_footprints[name]
+            pop_codes = [c.code for c in pops]
+            for neighbor in sorted(self.graph.neighbors(cloud_asn)):
+                info = self.as_info[neighbor]
+                # candidate meeting city: neighbor home city if the cloud has
+                # a PoP there, else a random cloud PoP metro
+                if info.home_city.code in pop_codes:
+                    city = info.home_city
+                else:
+                    city = pops[rng.randrange(len(pops))]
+                shared_ixps = [
+                    ixp
+                    for ixp in ixps_by_city.get(city.code, ())
+                    if neighbor in self.ixp_members.get(ixp.ixp_id, ())
+                ]
+                use_ixp = bool(shared_ixps) and rng.random() < 0.7
+                if use_ixp:
+                    ixp = shared_ixps[0]
+                    self.ixp_members[ixp.ixp_id].add(cloud_asn)
+                    is_edge = info.kind in (
+                        ASKind.ACCESS, ASKind.CONTENT, ASKind.ENTERPRISE
+                    )
+                    link = Interconnect(
+                        cloud_asn=cloud_asn,
+                        neighbor_asn=neighbor,
+                        city=ixp.city,
+                        medium=InterconnectMedium.IXP,
+                        ixp_id=ixp.ixp_id,
+                        neighbor_ip=ipaddress.IPv4Address("0.0.0.0"),
+                        route_server=is_edge
+                        and rng.random()
+                        < self.config.artifacts.route_server_fraction,
+                    )
+                else:
+                    self._pni_counter[neighbor] += 1
+                    link = Interconnect(
+                        cloud_asn=cloud_asn,
+                        neighbor_asn=neighbor,
+                        city=city,
+                        medium=InterconnectMedium.PNI,
+                        neighbor_ip=host_in(
+                            prefixes[neighbor], self._pni_counter[neighbor]
+                        ),
+                    )
+                self.interconnects.setdefault((cloud_asn, neighbor), []).append(link)
+
+    def finalize_ixps(self, prefixes: dict[int, ipaddress.IPv4Network]) -> None:
+        """Freeze membership sets and fill IXP member IPs on interconnects."""
+        self.ixps = [
+            IXPRecord(
+                ixp_id=ixp.ixp_id,
+                name=ixp.name,
+                asn=ixp.asn,
+                city=ixp.city,
+                lan=ixp.lan,
+                announced=ixp.announced,
+                members=frozenset(self.ixp_members[ixp.ixp_id]),
+            )
+            for ixp in self.ixps
+        ]
+        by_id = {ixp.ixp_id: ixp for ixp in self.ixps}
+        for key, links in self.interconnects.items():
+            fixed = []
+            for link in links:
+                if link.medium is InterconnectMedium.IXP:
+                    ixp = by_id[link.ixp_id]
+                    fixed.append(
+                        Interconnect(
+                            cloud_asn=link.cloud_asn,
+                            neighbor_asn=link.neighbor_asn,
+                            city=link.city,
+                            medium=link.medium,
+                            ixp_id=link.ixp_id,
+                            neighbor_ip=ixp.member_ip(link.neighbor_asn),
+                            route_server=link.route_server,
+                        )
+                    )
+                else:
+                    fixed.append(link)
+            self.interconnects[key] = fixed
+
+    # -- public (BGP) view ---------------------------------------------------
+    def choose_monitors(self) -> frozenset[int]:
+        rng = self.rng
+        monitors: set[int] = set(self.tier1[: max(2, len(self.tier1) // 2)])
+        monitors.update(rng.sample(self.tier2, k=max(1, len(self.tier2) // 2)))
+        monitors.update(
+            rng.sample(self.regional, k=min(len(self.regional), 12))
+        )
+        pool = self.access + self.enterprise
+        remaining = max(0, self.config.n_bgp_monitors - len(monitors))
+        if pool and remaining:
+            monitors.update(rng.sample(pool, k=min(remaining, len(pool))))
+        return frozenset(monitors)
+
+    def public_view(self, monitors: frozenset[int]) -> ASGraph:
+        from ..topology.visibility import visible_subgraph
+
+        return visible_subgraph(self.graph, monitors)
+
+    # -- footprints for transit providers ------------------------------------
+    def make_transit_footprints(self) -> None:
+        for asn in self.tier1 + self.tier2:
+            name = self.as_info[asn].name
+            self.pop_footprints[name] = self._transit_pops(asn)
+
+    # -- assembly -------------------------------------------------------------
+    def build(self) -> InternetScenario:
+        self.make_ases()
+        self.make_ixps()
+        self._join_ixps()
+        self.wire_hierarchy()
+        self.wire_regional()
+        self.wire_edges()
+        self.wire_facebook()
+        self.wire_clouds()
+        self.make_transit_footprints()
+        prefixes = allocate_as_prefixes(self.order)
+        self.make_interconnects(prefixes)
+        self.finalize_ixps(prefixes)
+        access_by_city: dict[str, list[int]] = defaultdict(list)
+        for asn in self.access:
+            access_by_city[self.as_info[asn].home_city.code].append(asn)
+        cities = {c.code: c for c in WORLD_CITIES}
+        users = assign_users(access_by_city, cities, random.Random(self.config.seed + 1))
+        monitors = self.choose_monitors()
+        public = self.public_view(monitors)
+        tiers = TierAssignment(
+            tier1=frozenset(self.tier1), tier2=frozenset(self.tier2)
+        )
+        return InternetScenario(
+            config=self.config,
+            graph=self.graph,
+            tiers=tiers,
+            as_info=self.as_info,
+            clouds=self.clouds,
+            facebook_asn=self.facebook_asn,
+            prefixes=prefixes,
+            ixps=self.ixps,
+            interconnects=self.interconnects,
+            users=users,
+            monitors=monitors,
+            public_graph=public,
+            pop_footprints=self.pop_footprints,
+            vm_cities=self.vm_cities,
+            transit_labels=self.transit_labels,
+        )
+
+
+def build_scenario(config: ScenarioConfig) -> InternetScenario:
+    """Build a deterministic synthetic Internet from ``config``."""
+    scenario = _Builder(config).build()
+    scenario.graph.validate()
+    scenario.public_graph.validate()
+    return scenario

@@ -1,0 +1,56 @@
+"""APNIC-style per-AS user population estimates (§4.3).
+
+APNIC estimates how many Internet users sit behind each AS.  We reproduce
+the distribution's essentials: only access networks host users; each metro
+area's online population is split among the access ASes homed there with
+Zipf-like shares (a few dominant eyeball ISPs per market plus a tail).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Mapping
+
+from ..geo.cities import City
+
+#: fraction of a metro population that is online (coarse global average)
+ONLINE_FRACTION = 0.62
+
+
+def zipf_shares(n: int, exponent: float = 1.0) -> list[float]:
+    """Normalized Zipf weights 1/1^s, 1/2^s, ... for ``n`` ranks."""
+    if n <= 0:
+        return []
+    raw = [1.0 / (rank**exponent) for rank in range(1, n + 1)]
+    total = sum(raw)
+    return [value / total for value in raw]
+
+
+def assign_users(
+    access_by_city: Mapping[str, Iterable[int]],
+    cities: Mapping[str, City],
+    rng: random.Random,
+    exponent: float = 1.1,
+) -> dict[int, int]:
+    """Split each city's online population among its access ASes.
+
+    ``access_by_city`` maps city code → access ASNs homed there; the rank
+    order within a city is shuffled deterministically so the dominant
+    eyeball ISP differs per market.
+    """
+    users: dict[int, int] = {}
+    for code in sorted(access_by_city):
+        asns = sorted(access_by_city[code])
+        if not asns:
+            continue
+        city = cities[code]
+        online = city.population_m * 1_000_000.0 * ONLINE_FRACTION
+        rng.shuffle(asns)
+        for asn, share in zip(asns, zipf_shares(len(asns), exponent)):
+            users[asn] = users.get(asn, 0) + int(online * share)
+    return users
+
+
+def eyeball_ases(users: Mapping[int, int]) -> frozenset[int]:
+    """ASes hosting at least one user (the paper's 'eyeball networks')."""
+    return frozenset(asn for asn, count in users.items() if count > 0)

@@ -1,0 +1,157 @@
+"""The synthetic-Internet scenario model.
+
+An :class:`InternetScenario` is everything the paper's pipelines consume,
+with ground truth attached: the true AS graph, the BGP-visible ("CAIDA
+view") subgraph, per-AS metadata and geography, prefix/IXP addressing, the
+clouds' interconnects (what a perfect measurement would discover), user
+populations, and PoP footprints.
+"""
+
+from __future__ import annotations
+
+import enum
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..geo.cities import City
+from ..topology.asgraph import ASGraph
+from ..topology.tiers import TierAssignment
+from .config import ScenarioConfig
+
+
+class ASKind(enum.Enum):
+    """Generation-time AS classes (richer than the CAIDA 3-way types)."""
+
+    TIER1 = "tier1"
+    TIER2 = "tier2"
+    REGIONAL = "regional"
+    ACCESS = "access"
+    CONTENT = "content"
+    ENTERPRISE = "enterprise"
+    CLOUD = "cloud"
+    HYPERGIANT = "hypergiant"  # Facebook-like content hypergiant
+    IXP = "ixp"  # IXP route-server / management AS
+
+
+@dataclass(frozen=True)
+class ASInfo:
+    """Static metadata for one AS."""
+
+    asn: int
+    name: str
+    kind: ASKind
+    home_city: City
+
+
+@dataclass(frozen=True)
+class IXPRecord:
+    """One Internet exchange: LAN addressing and membership."""
+
+    ixp_id: int
+    name: str
+    asn: int
+    city: City
+    lan: ipaddress.IPv4Network
+    announced: bool  # False → LAN absent from BGP (whois/PeeringDB only)
+    members: frozenset[int]
+
+    def member_ip(self, asn: int) -> ipaddress.IPv4Address:
+        """The deterministic LAN address of a member (as PeeringDB lists)."""
+        if asn not in self.members:
+            raise KeyError(f"AS{asn} is not a member of {self.name}")
+        index = sorted(self.members).index(asn)
+        return self.lan[index + 2]
+
+
+class InterconnectMedium(enum.Enum):
+    PNI = "pni"  # private network interconnect
+    IXP = "ixp"  # public exchange peering
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """A physical cloud↔neighbor interconnection point."""
+
+    cloud_asn: int
+    neighbor_asn: int
+    city: City
+    medium: InterconnectMedium
+    ixp_id: Optional[int] = None
+    #: address a traceroute sees on the neighbor's border interface
+    neighbor_ip: ipaddress.IPv4Address = ipaddress.IPv4Address("0.0.0.0")
+    #: route-server session: the peer's routes are only used at this PoP
+    #: (§5: most neighbors missed by measurements are route-server peers
+    #: whose routes never win from any VM's location)
+    route_server: bool = False
+
+
+@dataclass
+class InternetScenario:
+    """Ground truth + derived views for one synthetic Internet."""
+
+    config: ScenarioConfig
+    graph: ASGraph  # ground-truth topology
+    tiers: TierAssignment
+    as_info: dict[int, ASInfo]
+    clouds: dict[str, int]  # provider name → ASN
+    facebook_asn: Optional[int]
+    prefixes: dict[int, ipaddress.IPv4Network]  # one announced prefix per AS
+    ixps: list[IXPRecord]
+    interconnects: dict[tuple[int, int], list[Interconnect]]
+    users: dict[int, int]  # APNIC-style per-AS user estimates
+    monitors: frozenset[int]  # ASes hosting BGP vantage points
+    public_graph: ASGraph = field(default_factory=ASGraph)  # CAIDA view
+    pop_footprints: dict[str, tuple[City, ...]] = field(default_factory=dict)
+    vm_cities: dict[int, tuple[City, ...]] = field(default_factory=dict)
+    transit_labels: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def cloud_asns(self) -> tuple[int, ...]:
+        return tuple(self.clouds.values())
+
+    def kind_of(self, asn: int) -> ASKind:
+        return self.as_info[asn].kind
+
+    def name_of(self, asn: int) -> str:
+        info = self.as_info.get(asn)
+        return info.name if info else f"AS{asn}"
+
+    def ases_of_kind(self, *kinds: ASKind) -> list[int]:
+        wanted = set(kinds)
+        return [asn for asn, info in self.as_info.items() if info.kind in wanted]
+
+    def true_cloud_neighbors(self, cloud_asn: int) -> frozenset[int]:
+        """Ground-truth neighbor set of a cloud (the validation target)."""
+        return self.graph.neighbors(cloud_asn)
+
+    def visible_cloud_neighbors(self, cloud_asn: int) -> frozenset[int]:
+        """Neighbors visible in the BGP-derived public view alone."""
+        if cloud_asn not in self.public_graph:
+            return frozenset()
+        return self.public_graph.neighbors(cloud_asn)
+
+    def interconnects_of(self, cloud_asn: int) -> list[Interconnect]:
+        out: list[Interconnect] = []
+        for (c, _n), links in self.interconnects.items():
+            if c == cloud_asn:
+                out.extend(links)
+        return out
+
+    def ixp_by_id(self, ixp_id: int) -> IXPRecord:
+        for ixp in self.ixps:
+            if ixp.ixp_id == ixp_id:
+                return ixp
+        raise KeyError(f"no IXP with id {ixp_id}")
+
+    def summary(self) -> dict[str, int]:
+        """Headline counts, useful for logging and sanity tests."""
+        return {
+            "ases": len(self.graph),
+            "edges": self.graph.edge_count(),
+            "public_edges": self.public_graph.edge_count(),
+            "tier1": len(self.tiers.tier1),
+            "tier2": len(self.tiers.tier2),
+            "ixps": len(self.ixps),
+            "clouds": len(self.clouds),
+        }

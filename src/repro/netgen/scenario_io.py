@@ -1,0 +1,221 @@
+"""JSON serialization of scenarios.
+
+A generated Internet (ground truth included) can be saved and reloaded so
+experiments are reproducible across machines without re-deriving anything
+— the synthetic analogue of archiving the CAIDA snapshot, the traceroute
+dataset, and PeeringDB dump a measurement paper ships.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gzip
+import ipaddress
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+from ..geo.cities import city_by_code
+from ..topology.asgraph import ASGraph
+from ..topology.relationships import Relationship
+from ..topology.tiers import TierAssignment
+from .config import ArtifactRates, CloudProfile, ScenarioConfig
+from .scenario import (
+    ASInfo,
+    ASKind,
+    Interconnect,
+    InterconnectMedium,
+    InternetScenario,
+    IXPRecord,
+)
+
+PathLike = Union[str, os.PathLike]
+
+FORMAT_VERSION = 1
+
+
+def _graph_to_lists(graph: ASGraph) -> dict:
+    p2c = []
+    p2p = []
+    for record in graph.records():
+        if record.relationship is Relationship.PROVIDER_CUSTOMER:
+            p2c.append([record.left, record.right])
+        else:
+            p2p.append([record.left, record.right])
+    return {"nodes": sorted(graph.nodes()), "p2c": p2c, "p2p": p2p}
+
+
+def _graph_from_lists(data: dict) -> ASGraph:
+    graph = ASGraph()
+    for asn in data["nodes"]:
+        graph.add_as(asn)
+    for provider, customer in data["p2c"]:
+        graph.add_p2c(provider, customer)
+    for a, b in data["p2p"]:
+        graph.add_p2p(a, b)
+    return graph
+
+
+def scenario_to_dict(scenario: InternetScenario) -> dict:
+    """JSON-serializable representation of a scenario."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "config": dataclasses.asdict(scenario.config),
+        "graph": _graph_to_lists(scenario.graph),
+        "public_graph": _graph_to_lists(scenario.public_graph),
+        "tier1": sorted(scenario.tiers.tier1),
+        "tier2": sorted(scenario.tiers.tier2),
+        "as_info": [
+            {
+                "asn": info.asn,
+                "name": info.name,
+                "kind": info.kind.value,
+                "city": info.home_city.code,
+            }
+            for info in scenario.as_info.values()
+        ],
+        "clouds": dict(scenario.clouds),
+        "facebook_asn": scenario.facebook_asn,
+        "prefixes": {
+            str(asn): str(prefix) for asn, prefix in scenario.prefixes.items()
+        },
+        "ixps": [
+            {
+                "ixp_id": ixp.ixp_id,
+                "name": ixp.name,
+                "asn": ixp.asn,
+                "city": ixp.city.code,
+                "lan": str(ixp.lan),
+                "announced": ixp.announced,
+                "members": sorted(ixp.members),
+            }
+            for ixp in scenario.ixps
+        ],
+        "interconnects": [
+            {
+                "cloud": link.cloud_asn,
+                "neighbor": link.neighbor_asn,
+                "city": link.city.code,
+                "medium": link.medium.value,
+                "ixp_id": link.ixp_id,
+                "neighbor_ip": str(link.neighbor_ip),
+                "route_server": link.route_server,
+            }
+            for links in scenario.interconnects.values()
+            for link in links
+        ],
+        "users": {str(asn): count for asn, count in scenario.users.items()},
+        "monitors": sorted(scenario.monitors),
+        "pop_footprints": {
+            label: [city.code for city in cities]
+            for label, cities in scenario.pop_footprints.items()
+        },
+        "vm_cities": {
+            str(asn): [city.code for city in cities]
+            for asn, cities in scenario.vm_cities.items()
+        },
+        "transit_labels": dict(scenario.transit_labels),
+    }
+
+
+def scenario_from_dict(data: dict) -> InternetScenario:
+    """Rebuild a scenario from :func:`scenario_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported scenario format version: {version!r}")
+    config_data = dict(data["config"])
+    config_data["artifacts"] = ArtifactRates(**config_data["artifacts"])
+    clouds = []
+    for cloud in config_data["clouds"]:
+        clouds.append(CloudProfile(**cloud))
+    config_data["clouds"] = tuple(clouds)
+    for key in ("t2_provider_count", "regional_provider_count",
+                "edge_provider_count"):
+        config_data[key] = tuple(config_data[key])
+    config = ScenarioConfig(**config_data)
+
+    as_info = {
+        row["asn"]: ASInfo(
+            asn=row["asn"],
+            name=row["name"],
+            kind=ASKind(row["kind"]),
+            home_city=city_by_code(row["city"]),
+        )
+        for row in data["as_info"]
+    }
+    interconnects: dict[tuple[int, int], list[Interconnect]] = {}
+    for row in data["interconnects"]:
+        link = Interconnect(
+            cloud_asn=row["cloud"],
+            neighbor_asn=row["neighbor"],
+            city=city_by_code(row["city"]),
+            medium=InterconnectMedium(row["medium"]),
+            ixp_id=row["ixp_id"],
+            neighbor_ip=ipaddress.IPv4Address(row["neighbor_ip"]),
+            route_server=row["route_server"],
+        )
+        interconnects.setdefault(
+            (link.cloud_asn, link.neighbor_asn), []
+        ).append(link)
+    return InternetScenario(
+        config=config,
+        graph=_graph_from_lists(data["graph"]),
+        tiers=TierAssignment(
+            tier1=frozenset(data["tier1"]), tier2=frozenset(data["tier2"])
+        ),
+        as_info=as_info,
+        clouds=dict(data["clouds"]),
+        facebook_asn=data["facebook_asn"],
+        prefixes={
+            int(asn): ipaddress.IPv4Network(prefix)
+            for asn, prefix in data["prefixes"].items()
+        },
+        ixps=[
+            IXPRecord(
+                ixp_id=row["ixp_id"],
+                name=row["name"],
+                asn=row["asn"],
+                city=city_by_code(row["city"]),
+                lan=ipaddress.IPv4Network(row["lan"]),
+                announced=row["announced"],
+                members=frozenset(row["members"]),
+            )
+            for row in data["ixps"]
+        ],
+        interconnects=interconnects,
+        users={int(asn): count for asn, count in data["users"].items()},
+        monitors=frozenset(data["monitors"]),
+        public_graph=_graph_from_lists(data["public_graph"]),
+        pop_footprints={
+            label: tuple(city_by_code(code) for code in codes)
+            for label, codes in data["pop_footprints"].items()
+        },
+        vm_cities={
+            int(asn): tuple(city_by_code(code) for code in codes)
+            for asn, codes in data["vm_cities"].items()
+        },
+        transit_labels=dict(data["transit_labels"]),
+    )
+
+
+def save_scenario(scenario: InternetScenario, path: PathLike) -> None:
+    """Write a scenario as JSON (gzip if the path ends in ``.gz``)."""
+    path = Path(path)
+    payload = json.dumps(scenario_to_dict(scenario))
+    if path.suffix == ".gz":
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(payload)
+    else:
+        path.write_text(payload, encoding="utf-8")
+
+
+def load_scenario(path: PathLike) -> InternetScenario:
+    """Load a scenario written by :func:`save_scenario`."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            payload = handle.read()
+    else:
+        payload = path.read_text(encoding="utf-8")
+    return scenario_from_dict(json.loads(payload))

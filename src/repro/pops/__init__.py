@@ -1,0 +1,66 @@
+"""PoP topology maps: rDNS, naming conventions, aliases, consolidation."""
+
+from .alias import (
+    ProbeSimulator,
+    alias_groups_to_hostnames,
+    monotonic_bounds_test,
+    resolve_aliases,
+)
+from .consolidate import (
+    ConsolidatedMap,
+    ConsolidationResult,
+    Table3Row,
+    consolidate_provider,
+    consolidate_scenario,
+)
+from .hoiho import (
+    KNOWN_CODES,
+    ConventionLearner,
+    LearnedConvention,
+    extract_codes,
+    extract_with_regex,
+    regex_for_convention,
+)
+from .model import DataSources, PoP, ProviderFootprint, RouterRecord
+from .rdns import (
+    CONVENTIONS,
+    DEFAULT_CONVENTION,
+    NamingConvention,
+    RDNSDataset,
+    collect_rdns,
+    convention_for,
+    generate_footprint,
+    pop_rdns_confirmation,
+    sources_for,
+)
+
+__all__ = [
+    "CONVENTIONS",
+    "ConsolidatedMap",
+    "ConsolidationResult",
+    "ConventionLearner",
+    "DEFAULT_CONVENTION",
+    "DataSources",
+    "KNOWN_CODES",
+    "LearnedConvention",
+    "NamingConvention",
+    "PoP",
+    "ProbeSimulator",
+    "ProviderFootprint",
+    "RDNSDataset",
+    "RouterRecord",
+    "Table3Row",
+    "alias_groups_to_hostnames",
+    "collect_rdns",
+    "consolidate_provider",
+    "consolidate_scenario",
+    "convention_for",
+    "extract_codes",
+    "extract_with_regex",
+    "generate_footprint",
+    "monotonic_bounds_test",
+    "pop_rdns_confirmation",
+    "regex_for_convention",
+    "resolve_aliases",
+    "sources_for",
+]

@@ -1,0 +1,136 @@
+"""MIDAR-style alias resolution (§4.2).
+
+MIDAR infers that interface addresses belong to the same router when their
+IP-ID time series interleave into a single monotonic sequence (the
+Monotonic Bounds Test), after first bucketing candidates by counter
+velocity.  We simulate routers with shared IP-ID counters and reproduce
+the estimation + MBT structure.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+from collections import defaultdict
+from collections.abc import Iterable, Sequence
+
+from .model import RouterRecord
+
+
+class ProbeSimulator:
+    """Responds to IP-ID probes from ground-truth routers.
+
+    Each router keeps one shared, monotonically increasing IP-ID counter
+    (rate varies per router); every interface of the router answers from
+    that counter.  Unknown addresses do not respond.
+    """
+
+    def __init__(self, routers: Iterable[RouterRecord], seed: int = 0) -> None:
+        rng = random.Random(seed)
+        self._router_of: dict[int, tuple[int, int]] = {}
+        self._base: dict[tuple[int, int], int] = {}
+        self._rate: dict[tuple[int, int], float] = {}
+        for router in routers:
+            key = (router.asn, router.router_id)
+            self._base[key] = rng.randrange(0, 20000)
+            self._rate[key] = rng.uniform(3.0, 80.0)
+            for ip in router.interfaces:
+                self._router_of[int(ip)] = key
+        self.probe_count = 0
+
+    def responds(self, ip: ipaddress.IPv4Address | str) -> bool:
+        return int(ipaddress.IPv4Address(ip)) in self._router_of
+
+    def probe(self, ip: ipaddress.IPv4Address | str, t: float) -> int | None:
+        """IP-ID of ``ip`` at time ``t`` (None if unresponsive)."""
+        key = self._router_of.get(int(ipaddress.IPv4Address(ip)))
+        if key is None:
+            return None
+        self.probe_count += 1
+        return (self._base[key] + int(self._rate[key] * t)) & 0xFFFF
+
+
+def _velocity(prober: ProbeSimulator, ip, t0: float) -> float | None:
+    first = prober.probe(ip, t0)
+    second = prober.probe(ip, t0 + 1.0)
+    if first is None or second is None:
+        return None
+    return float((second - first) & 0xFFFF)
+
+
+def monotonic_bounds_test(
+    prober: ProbeSimulator, a, b, t0: float, rounds: int = 4
+) -> bool:
+    """True if alternating probes of ``a`` and ``b`` form one monotonic
+    IP-ID sequence (same shared counter)."""
+    series: list[int] = []
+    t = t0
+    for _ in range(rounds):
+        for ip in (a, b):
+            value = prober.probe(ip, t)
+            if value is None:
+                return False
+            series.append(value)
+            t += 0.05
+    unwrapped = [series[0]]
+    for value in series[1:]:
+        delta = (value - unwrapped[-1]) & 0xFFFF
+        unwrapped.append(unwrapped[-1] + delta)
+    deltas = [b_ - a_ for a_, b_ in zip(unwrapped, unwrapped[1:])]
+    # same counter: small positive steps; different: one giant wrap step
+    return all(0 <= d <= 4096 for d in deltas)
+
+
+def resolve_aliases(
+    prober: ProbeSimulator,
+    addresses: Sequence[ipaddress.IPv4Address],
+    seed: int = 0,
+) -> list[frozenset[ipaddress.IPv4Address]]:
+    """Group addresses into routers: velocity bucketing + pairwise MBT."""
+    rng = random.Random(seed)
+    t0 = rng.uniform(0, 10)
+    responsive = [ip for ip in addresses if prober.responds(ip)]
+    by_velocity: dict[int, list] = defaultdict(list)
+    for ip in responsive:
+        velocity = _velocity(prober, ip, t0)
+        if velocity is not None:
+            by_velocity[int(velocity // 8)].append(ip)
+
+    parent: dict[int, int] = {int(ip): int(ip) for ip in responsive}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(x: int, y: int) -> None:
+        parent[find(x)] = find(y)
+
+    for bucket in by_velocity.values():
+        for i, a in enumerate(bucket):
+            for b in bucket[i + 1 :]:
+                if find(int(a)) == find(int(b)):
+                    continue
+                if monotonic_bounds_test(prober, a, b, t0 + 20):
+                    union(int(a), int(b))
+
+    groups: dict[int, set] = defaultdict(set)
+    for ip in responsive:
+        groups[find(int(ip))].add(ip)
+    return [frozenset(group) for group in groups.values()]
+
+
+def alias_groups_to_hostnames(
+    groups: Iterable[frozenset],
+    rdns_lookup,
+) -> list[list[str]]:
+    """Map alias groups to hostname groups (sc_hoiho's input shape)."""
+    out: list[list[str]] = []
+    for group in groups:
+        names = sorted(
+            {name for name in (rdns_lookup(ip) for ip in group) if name}
+        )
+        if names:
+            out.append(names)
+    return out

@@ -1,0 +1,156 @@
+"""Consolidating public sources into city-level PoP maps (§4.2, Table 3).
+
+The paper merges four source families per provider — published network
+maps, looking-glass router listings, PeeringDB facility records, and
+rDNS-derived locations — into one city-level topology, then reports how
+much of it rDNS alone confirms (73% overall).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..mapping.peeringdb import PeeringDB
+from ..netgen.scenario import InternetScenario
+from .hoiho import (
+    ConventionLearner,
+    extract_codes,
+    regex_for_convention,
+)
+from .model import ProviderFootprint
+from .rdns import (
+    RDNSDataset,
+    collect_rdns,
+    convention_for,
+    generate_footprint,
+    pop_rdns_confirmation,
+)
+
+
+@dataclass
+class ConsolidatedMap:
+    """Per-provider consolidated PoP map with per-source breakdown."""
+
+    provider: str
+    asn: int
+    from_map: frozenset[str] = frozenset()
+    from_looking_glass: frozenset[str] = frozenset()
+    from_peeringdb: frozenset[str] = frozenset()
+    from_rdns: frozenset[str] = frozenset()
+
+    @property
+    def cities(self) -> frozenset[str]:
+        return (
+            self.from_map
+            | self.from_looking_glass
+            | self.from_peeringdb
+            | self.from_rdns
+        )
+
+    @property
+    def rdns_confirmed_fraction(self) -> float:
+        total = self.cities
+        if not total:
+            return 0.0
+        return len(self.from_rdns & total) / len(total)
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One row of Table 3."""
+
+    provider: str
+    asn: int
+    graph_pops: int
+    hostnames: int
+    rdns_percent: float
+
+
+@dataclass
+class ConsolidationResult:
+    """Everything the Table 3 / Fig. 11-12 experiments consume."""
+
+    footprints: dict[str, ProviderFootprint] = field(default_factory=dict)
+    maps: dict[str, ConsolidatedMap] = field(default_factory=dict)
+    rdns: RDNSDataset = field(default_factory=RDNSDataset)
+
+    def table3(self) -> list[Table3Row]:
+        rows = []
+        for provider, footprint in self.footprints.items():
+            confirmed, total = pop_rdns_confirmation(footprint)
+            rows.append(
+                Table3Row(
+                    provider=provider,
+                    asn=footprint.asn,
+                    graph_pops=len(self.maps[provider].cities),
+                    hostnames=footprint.hostname_count(),
+                    rdns_percent=100.0 * confirmed / total if total else 0.0,
+                )
+            )
+        rows.sort(key=lambda r: -r.rdns_percent)
+        return rows
+
+
+def consolidate_provider(
+    footprint: ProviderFootprint,
+    peeringdb: PeeringDB,
+    rdns: RDNSDataset,
+    rng: random.Random,
+    map_coverage: float = 0.92,
+    lg_coverage: float = 0.6,
+) -> ConsolidatedMap:
+    """Merge the four §4.2 sources for one provider."""
+    truth = sorted(footprint.city_codes())
+    sources = footprint.sources
+    from_map = frozenset(
+        code for code in truth if sources.network_map and rng.random() < map_coverage
+    )
+    from_lg = frozenset(
+        code
+        for code in truth
+        if sources.looking_glass and rng.random() < lg_coverage
+    )
+    from_pdb = (
+        frozenset(peeringdb.facility_cities(footprint.asn))
+        if sources.peeringdb
+        else frozenset()
+    )
+    hostnames = [
+        router.hostname
+        for router in footprint.routers
+        if router.hostname is not None
+    ]
+    manual = regex_for_convention(convention_for(footprint.provider))
+    learned = ConventionLearner().learn(hostnames)
+    from_rdns = extract_codes(hostnames, learned=learned, manual_pattern=manual)
+    return ConsolidatedMap(
+        provider=footprint.provider,
+        asn=footprint.asn,
+        from_map=from_map,
+        from_looking_glass=from_lg,
+        from_peeringdb=from_pdb,
+        from_rdns=from_rdns,
+    )
+
+
+def consolidate_scenario(
+    scenario: InternetScenario,
+    peeringdb: PeeringDB,
+    providers: list[str] | None = None,
+    seed: int = 17,
+) -> ConsolidationResult:
+    """Run the full §4.2 pipeline over a scenario's providers."""
+    rng = random.Random(seed)
+    if providers is None:
+        providers = list(scenario.clouds) + sorted(scenario.transit_labels)
+    result = ConsolidationResult()
+    for provider in providers:
+        footprint = generate_footprint(scenario, provider, rng)
+        result.footprints[provider] = footprint
+    result.rdns = collect_rdns(list(result.footprints.values()))
+    for provider, footprint in result.footprints.items():
+        result.maps[provider] = consolidate_provider(
+            footprint, peeringdb, result.rdns, rng
+        )
+    return result

@@ -1,0 +1,151 @@
+"""Learning location codes from router hostnames (sc_hoiho-style, §4.2).
+
+The paper extracts PoP locations from router hostnames two ways: manually
+written per-provider regexes, and sc_hoiho's automatic naming-convention
+learning over MIDAR alias groups — and reports identical results (with a
+few providers yielding nothing from the learner due to too few alias
+groups).  Both methods are implemented here:
+
+* :func:`regex_for_convention` derives the "manual" regex from a known
+  naming convention;
+* :class:`ConventionLearner` learns, from hostname samples alone, which
+  token position carries a known location code.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import Optional
+
+from ..geo.cities import WORLD_CITIES
+from .rdns import NamingConvention
+
+#: Vocabulary of known location codes (the paper uses airport codes).
+KNOWN_CODES: frozenset[str] = frozenset(c.code for c in WORLD_CITIES)
+
+_TOKEN_SPLIT = re.compile(r"[.\-]")
+_CODE_TOKEN = re.compile(r"^([a-z]{3})\d*$")
+
+
+def regex_for_convention(convention: NamingConvention) -> Optional[str]:
+    """Derive the manual extraction regex from a naming convention."""
+    if not convention.template:
+        return None
+    sentinel = {
+        "iface": "000IFACE000",
+        "rid": 99991,
+        "code": "000CODE000",
+        "n": 99992,
+        "domain": convention.domain,
+    }
+    rendered = convention.template.format(**sentinel)
+    pattern = re.escape(rendered)
+    pattern = pattern.replace("000IFACE000", r"\d+")
+    pattern = pattern.replace("99991", r"\d+")
+    pattern = pattern.replace("99992", r"\d+")
+    pattern = pattern.replace("000CODE000", r"([a-z]{3})")
+    return f"^{pattern}$"
+
+
+def extract_with_regex(hostname: str, pattern: str) -> Optional[str]:
+    """Apply a manual regex; returns the location code or None."""
+    match = re.match(pattern, hostname)
+    if not match:
+        return None
+    code = match.group(1)
+    return code if code in KNOWN_CODES else None
+
+
+@dataclass(frozen=True)
+class LearnedConvention:
+    """A learned extraction rule: which token (from the left) holds the
+    code, and whether trailing digits must be stripped."""
+
+    token_index: int
+    strip_digits: bool
+    support: int
+    coverage: float
+
+    def extract(self, hostname: str) -> Optional[str]:
+        tokens = _TOKEN_SPLIT.split(hostname.lower())
+        if self.token_index >= len(tokens):
+            return None
+        token = tokens[self.token_index]
+        if self.strip_digits:
+            match = _CODE_TOKEN.match(token)
+            token = match.group(1) if match else token
+        return token if token in KNOWN_CODES else None
+
+
+class ConventionLearner:
+    """Learn the code-bearing token position from hostname samples.
+
+    Mirrors sc_hoiho's behaviour of requiring enough alias groups: with
+    fewer than ``min_support`` distinct samples, learning fails (returns
+    ``None``), as the paper observed for several ASes.
+    """
+
+    def __init__(self, min_support: int = 8, min_coverage: float = 0.5) -> None:
+        self.min_support = min_support
+        self.min_coverage = min_coverage
+
+    def learn(self, hostnames: Iterable[str]) -> Optional[LearnedConvention]:
+        samples = sorted(set(hostnames))
+        if len(samples) < self.min_support:
+            return None
+        hits: Counter[tuple[int, bool]] = Counter()
+        distinct_codes: dict[tuple[int, bool], set[str]] = {}
+        for hostname in samples:
+            tokens = _TOKEN_SPLIT.split(hostname.lower())
+            for index, token in enumerate(tokens):
+                for strip in (False, True):
+                    candidate = token
+                    if strip:
+                        match = _CODE_TOKEN.match(token)
+                        if not match:
+                            continue
+                        candidate = match.group(1)
+                    if candidate in KNOWN_CODES:
+                        hits[(index, strip)] += 1
+                        distinct_codes.setdefault((index, strip), set()).add(
+                            candidate
+                        )
+        if not hits:
+            return None
+        # Prefer the rule matching the most samples; among ties prefer the
+        # one extracting the most distinct codes (a constant token like
+        # "lon" in a domain name would extract exactly one).
+        best, count = max(
+            hits.items(),
+            key=lambda item: (item[1], len(distinct_codes[item[0]]), -item[0][0]),
+        )
+        coverage = count / len(samples)
+        if coverage < self.min_coverage or len(distinct_codes[best]) < 2:
+            return None
+        return LearnedConvention(
+            token_index=best[0],
+            strip_digits=best[1],
+            support=len(samples),
+            coverage=coverage,
+        )
+
+
+def extract_codes(
+    hostnames: Iterable[str],
+    learned: Optional[LearnedConvention] = None,
+    manual_pattern: Optional[str] = None,
+) -> frozenset[str]:
+    """All location codes extracted from ``hostnames`` by either method."""
+    codes: set[str] = set()
+    for hostname in hostnames:
+        code = None
+        if manual_pattern is not None:
+            code = extract_with_regex(hostname, manual_pattern)
+        if code is None and learned is not None:
+            code = learned.extract(hostname)
+        if code is not None:
+            codes.add(code)
+    return frozenset(codes)

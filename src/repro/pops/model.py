@@ -1,0 +1,71 @@
+"""PoP and router ground-truth models for the §9 analyses."""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..geo.cities import City
+
+
+@dataclass(frozen=True)
+class PoP:
+    """A provider's point of presence in one metro."""
+
+    provider: str
+    asn: int
+    city: City
+
+
+@dataclass(frozen=True)
+class RouterRecord:
+    """Ground truth for one router: its interfaces and (optional) rDNS.
+
+    ``hostname`` is the name every interface resolves to (None when the
+    provider has no rDNS for this router, as for all of Amazon).
+    """
+
+    provider: str
+    asn: int
+    router_id: int
+    city: City
+    interfaces: tuple[ipaddress.IPv4Address, ...]
+    hostname: Optional[str]
+
+
+@dataclass(frozen=True)
+class DataSources:
+    """Which public sources exist for a provider (§4.2's availability
+    matrix: e.g. AT&T has a map and rDNS but no PeeringDB entries; Amazon
+    has a map and PeeringDB but no rDNS)."""
+
+    network_map: bool = True
+    looking_glass: bool = True
+    peeringdb: bool = True
+    rdns: bool = True
+
+
+@dataclass
+class ProviderFootprint:
+    """A provider's PoPs plus generated router/rDNS ground truth."""
+
+    provider: str
+    asn: int
+    pops: tuple[PoP, ...]
+    routers: list[RouterRecord] = field(default_factory=list)
+    sources: DataSources = field(default_factory=DataSources)
+
+    def cities(self) -> tuple[City, ...]:
+        return tuple(p.city for p in self.pops)
+
+    def city_codes(self) -> frozenset[str]:
+        return frozenset(p.city.code for p in self.pops)
+
+    def locations(self) -> list[tuple[float, float]]:
+        return [(p.city.lat, p.city.lon) for p in self.pops]
+
+    def hostname_count(self) -> int:
+        return sum(
+            len(r.interfaces) for r in self.routers if r.hostname is not None
+        )

@@ -1,0 +1,169 @@
+"""Reverse-DNS generation and collection (§4.2).
+
+Router hostnames encode locations (airport codes etc.) under per-provider
+naming conventions.  This module generates each provider's router
+interfaces and rDNS entries, reproducing the coverage patterns of Table 3:
+NTT-style networks name everything, Microsoft names under half of its
+PoPs, and Amazon publishes no router hostnames at all.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..geo.cities import City
+from ..netgen.addressing import router_ip
+from ..netgen.scenario import InternetScenario
+from .model import DataSources, PoP, ProviderFootprint, RouterRecord
+
+
+@dataclass(frozen=True)
+class NamingConvention:
+    """One provider's router naming scheme."""
+
+    domain: str
+    #: format fields: iface, rid, code (city airport code), n (site number)
+    template: str
+    #: fraction of PoPs whose routers have rDNS entries (Table 3's "% rDNS")
+    pop_coverage: float
+
+    def hostname(self, code: str, rid: int, iface: int, site: int = 1) -> str:
+        return self.template.format(
+            iface=iface, rid=rid, code=code, n=site, domain=self.domain
+        )
+
+
+#: Conventions loosely modeled on the real networks' schemes, with Table 3's
+#: coverage levels.  Providers not listed get the default convention.
+CONVENTIONS: dict[str, NamingConvention] = {
+    "NTT": NamingConvention("gin.ntt.net", "ae-{iface}.r{rid:02d}.{code}{n:02d}.{domain}", 1.00),
+    "Hurricane Electric": NamingConvention("core.he.net", "ge{iface}.core{rid}.{code}{n}.{domain}", 0.99),
+    "AT&T": NamingConvention("ip.att.net", "cr{rid}.{code}{n}.{domain}", 0.92),
+    "Tata": NamingConvention("as6453.net", "if-ae-{iface}-{rid}.tcore{n}.{code}.{domain}", 0.90),
+    "Google": NamingConvention("1e100.net", "{code}{n:02d}s{rid:02d}-in-f{iface}.{domain}", 0.89),
+    "PCCW": NamingConvention("pccwbtn.net", "te0-{iface}-0-{rid}.br{n:02d}.{code}.{domain}", 0.85),
+    "Vodafone": NamingConvention("vodafone.net", "ae{iface}-xcr{rid}.{code}.cw.{domain}", 0.84),
+    "Zayo": NamingConvention("zip.zayo.com", "ae{iface}.cs{rid}.{code}{n}.{domain}", 0.83),
+    "Sprint": NamingConvention("sprintlink.net", "sl-crs{rid}-{code}-{iface}.{domain}", 0.67),
+    "Telxius": NamingConvention("telxius.net", "{code}{n}-cr{rid}.{domain}", 0.67),
+    "Telia": NamingConvention("ip.twelve99.net", "{code}-b{rid}-link.{domain}", 0.65),
+    "Microsoft": NamingConvention("ntwk.msn.net", "ae{iface}-0.{code}-96cbe-1b.{domain}", 0.45),
+    "Telecom Italia Sparkle": NamingConvention("seabone.net", "{code}{n}-core-{rid}.{domain}", 0.40),
+    "Orange": NamingConvention("opentransit.net", "bundle-ether{iface}.{code}cr{rid}.{domain}", 0.27),
+    "Amazon": NamingConvention("amazon.com", "", 0.0),
+}
+
+DEFAULT_CONVENTION = NamingConvention(
+    "backbone.example.net", "ae-{iface}.cr{rid}.{code}{n}.{domain}", 0.73
+)
+
+#: §4.2 data-source availability quirks.
+SOURCE_OVERRIDES: dict[str, DataSources] = {
+    "AT&T": DataSources(peeringdb=False),
+    "Amazon": DataSources(rdns=False),
+}
+
+
+def convention_for(provider: str) -> NamingConvention:
+    return CONVENTIONS.get(provider, DEFAULT_CONVENTION)
+
+
+def sources_for(provider: str) -> DataSources:
+    return SOURCE_OVERRIDES.get(provider, DataSources())
+
+
+class RDNSDataset:
+    """A collected rDNS snapshot: address → hostname."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, str] = {}
+
+    def add(self, ip: ipaddress.IPv4Address, hostname: str) -> None:
+        self._entries[int(ip)] = hostname
+
+    def lookup(self, ip: ipaddress.IPv4Address | str) -> Optional[str]:
+        return self._entries.get(int(ipaddress.IPv4Address(ip)))
+
+    def hostnames(self) -> list[str]:
+        return sorted(set(self._entries.values()))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def generate_footprint(
+    scenario: InternetScenario,
+    provider: str,
+    rng: random.Random,
+    routers_per_pop: tuple[int, int] = (2, 4),
+    interfaces_per_router: tuple[int, int] = (1, 3),
+) -> ProviderFootprint:
+    """Generate router/rDNS ground truth for one provider's footprint."""
+    asn = scenario.clouds.get(provider) or scenario.transit_labels.get(provider)
+    if asn is None:
+        raise KeyError(f"unknown provider: {provider!r}")
+    cities = scenario.pop_footprints[provider]
+    convention = convention_for(provider)
+    sources = sources_for(provider)
+    prefix = scenario.prefixes[asn]
+    footprint = ProviderFootprint(
+        provider=provider,
+        asn=asn,
+        pops=tuple(PoP(provider=provider, asn=asn, city=c) for c in cities),
+        sources=sources,
+    )
+    rid = 0
+    for city in cities:
+        named_pop = (
+            sources.rdns
+            and bool(convention.template)
+            and rng.random() < convention.pop_coverage
+        )
+        for _ in range(rng.randint(*routers_per_pop)):
+            rid += 1
+            n_ifaces = rng.randint(*interfaces_per_router)
+            try:
+                interfaces = tuple(
+                    router_ip(prefix, rid, iface) for iface in range(n_ifaces)
+                )
+            except ValueError:
+                break  # prefix router space exhausted; footprint is enough
+            hostname = (
+                convention.hostname(city.code, rid, 0, site=1)
+                if named_pop
+                else None
+            )
+            footprint.routers.append(
+                RouterRecord(
+                    provider=provider,
+                    asn=asn,
+                    router_id=rid,
+                    city=city,
+                    interfaces=interfaces,
+                    hostname=hostname,
+                )
+            )
+    return footprint
+
+
+def collect_rdns(footprints: list[ProviderFootprint]) -> RDNSDataset:
+    """Issue 'rDNS requests' over every provider's address space."""
+    dataset = RDNSDataset()
+    for footprint in footprints:
+        for router in footprint.routers:
+            if router.hostname is None:
+                continue
+            for ip in router.interfaces:
+                dataset.add(ip, router.hostname)
+    return dataset
+
+
+def pop_rdns_confirmation(footprint: ProviderFootprint) -> tuple[int, int]:
+    """(PoPs with at least one named router, total PoPs) — Table 3."""
+    named_cities = {
+        r.city.code for r in footprint.routers if r.hostname is not None
+    }
+    return len(named_cities & footprint.city_codes()), len(footprint.pops)

@@ -1,0 +1,72 @@
+"""AS-level topology substrate: graph, relationships, CAIDA I/O, tiers."""
+
+from .asgraph import ASGraph, RelationshipConflictError
+from .augment import AugmentationReport, augment_with_neighbors
+from .astype import (
+    ASType,
+    RawASType,
+    classify_graph,
+    classify_structural,
+    classify_with_users,
+    refine_with_users,
+    type_breakdown,
+)
+from .caida import (
+    CaidaFormatError,
+    dump_graph,
+    dumps_graph,
+    iter_records,
+    load_graph,
+    parse_graph,
+    parse_line,
+)
+from .relationships import Relationship, RelationshipRecord
+from .tiers import (
+    TierAssignment,
+    TierListBuilder,
+    infer_tier1_clique,
+    infer_tier2,
+    infer_tiers,
+)
+# imported last: visibility depends on repro.core, which imports the
+# submodules above
+from .visibility import (
+    invisible_peering_fraction,
+    marginal_monitor_gain,
+    rank_monitor_candidates,
+    visible_edges,
+    visible_subgraph,
+)
+
+__all__ = [
+    "ASGraph",
+    "ASType",
+    "AugmentationReport",
+    "CaidaFormatError",
+    "RawASType",
+    "Relationship",
+    "RelationshipConflictError",
+    "RelationshipRecord",
+    "TierAssignment",
+    "TierListBuilder",
+    "augment_with_neighbors",
+    "classify_graph",
+    "classify_structural",
+    "classify_with_users",
+    "dump_graph",
+    "dumps_graph",
+    "infer_tier1_clique",
+    "infer_tier2",
+    "infer_tiers",
+    "invisible_peering_fraction",
+    "iter_records",
+    "load_graph",
+    "marginal_monitor_gain",
+    "rank_monitor_candidates",
+    "visible_edges",
+    "visible_subgraph",
+    "parse_graph",
+    "parse_line",
+    "refine_with_users",
+    "type_breakdown",
+]

@@ -1,0 +1,220 @@
+"""The AS-level topology graph.
+
+``ASGraph`` is the substrate every analysis in this package runs on.  It
+stores, per AS, its provider / customer / peer neighbor sets, and offers the
+graph-shape queries the paper's metrics need (transit degree, node degree,
+stub tests) plus mutation operations used when augmenting a BGP-derived graph
+with traceroute-inferred peerings (§4.1 of the paper).
+
+Relationship semantics follow the valley-free model: a provider carries its
+customer's traffic anywhere; peers exchange traffic only for themselves and
+their customer cones.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Optional
+
+from .relationships import Relationship, RelationshipRecord
+
+
+class RelationshipConflictError(ValueError):
+    """Raised when adding an edge that contradicts an existing edge."""
+
+
+class ASGraph:
+    """Mutable AS-level topology with p2c and p2p edges.
+
+    AS numbers are plain ``int``s.  An AS exists in the graph once it appears
+    in any edge or was added via :meth:`add_as`.
+    """
+
+    def __init__(self) -> None:
+        self._providers: dict[int, set[int]] = {}
+        self._customers: dict[int, set[int]] = {}
+        self._peers: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_as(self, asn: int) -> None:
+        """Ensure ``asn`` exists in the graph (possibly with no edges)."""
+        if asn < 0:
+            raise ValueError("AS numbers must be non-negative")
+        if asn not in self._providers:
+            self._providers[asn] = set()
+            self._customers[asn] = set()
+            self._peers[asn] = set()
+
+    def add_p2c(self, provider: int, customer: int) -> None:
+        """Add a provider→customer (transit) edge."""
+        if provider == customer:
+            raise ValueError(f"self-relationship for AS{provider}")
+        if self.relationship_between(provider, customer) not in (
+            None,
+            Relationship.PROVIDER_CUSTOMER,
+        ) or customer in self._providers.get(provider, ()):
+            raise RelationshipConflictError(
+                f"conflicting relationship between AS{provider} and AS{customer}"
+            )
+        self.add_as(provider)
+        self.add_as(customer)
+        self._customers[provider].add(customer)
+        self._providers[customer].add(provider)
+
+    def add_p2p(self, a: int, b: int) -> None:
+        """Add a settlement-free peering edge."""
+        if a == b:
+            raise ValueError(f"self-relationship for AS{a}")
+        existing = self.relationship_between(a, b)
+        if existing is Relationship.PROVIDER_CUSTOMER:
+            raise RelationshipConflictError(
+                f"AS{a} and AS{b} already have a transit relationship"
+            )
+        self.add_as(a)
+        self.add_as(b)
+        self._peers[a].add(b)
+        self._peers[b].add(a)
+
+    def add_record(self, record: RelationshipRecord) -> None:
+        """Add an edge from a :class:`RelationshipRecord`."""
+        if record.relationship is Relationship.PROVIDER_CUSTOMER:
+            self.add_p2c(record.left, record.right)
+        else:
+            self.add_p2p(record.left, record.right)
+
+    def remove_edge(self, a: int, b: int) -> None:
+        """Remove whatever edge exists between ``a`` and ``b``."""
+        rel = self.relationship_between(a, b)
+        if rel is None:
+            raise KeyError(f"no edge between AS{a} and AS{b}")
+        if rel is Relationship.PEER_PEER:
+            self._peers[a].discard(b)
+            self._peers[b].discard(a)
+        elif b in self._customers[a]:
+            self._customers[a].discard(b)
+            self._providers[b].discard(a)
+        else:
+            self._customers[b].discard(a)
+            self._providers[a].discard(b)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._providers
+
+    def __len__(self) -> int:
+        return len(self._providers)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._providers)
+
+    def nodes(self) -> list[int]:
+        """All AS numbers in the graph."""
+        return list(self._providers)
+
+    def providers(self, asn: int) -> frozenset[int]:
+        """Transit providers of ``asn``."""
+        return frozenset(self._providers[asn])
+
+    def customers(self, asn: int) -> frozenset[int]:
+        """Transit customers of ``asn``."""
+        return frozenset(self._customers[asn])
+
+    def peers(self, asn: int) -> frozenset[int]:
+        """Settlement-free peers of ``asn``."""
+        return frozenset(self._peers[asn])
+
+    def neighbors(self, asn: int) -> frozenset[int]:
+        """All neighbors regardless of relationship."""
+        return frozenset(
+            self._providers[asn] | self._customers[asn] | self._peers[asn]
+        )
+
+    def relationship_between(self, a: int, b: int) -> Optional[Relationship]:
+        """Relationship on the edge a—b, or ``None`` if not adjacent."""
+        if a not in self._providers or b not in self._providers:
+            return None
+        if b in self._peers[a]:
+            return Relationship.PEER_PEER
+        if b in self._customers[a] or b in self._providers[a]:
+            return Relationship.PROVIDER_CUSTOMER
+        return None
+
+    def degree(self, asn: int) -> int:
+        """Node degree: number of unique neighbors."""
+        return len(self.neighbors(asn))
+
+    def transit_degree(self, asn: int) -> int:
+        """Transit degree per AS-Rank: unique neighbors on transit edges."""
+        return len(self._providers[asn] | self._customers[asn])
+
+    def is_stub(self, asn: int) -> bool:
+        """A stub AS provides transit to nobody."""
+        return not self._customers[asn]
+
+    def edge_count(self) -> int:
+        """Number of undirected edges (each p2c / p2p pair counted once)."""
+        transit = sum(len(c) for c in self._customers.values())
+        peering = sum(len(p) for p in self._peers.values()) // 2
+        return transit + peering
+
+    def records(self) -> Iterator[RelationshipRecord]:
+        """Iterate all edges as canonical records (deterministic order)."""
+        for provider in sorted(self._customers):
+            for customer in sorted(self._customers[provider]):
+                yield RelationshipRecord(
+                    provider, customer, Relationship.PROVIDER_CUSTOMER
+                )
+        for a in sorted(self._peers):
+            for b in sorted(self._peers[a]):
+                if a < b:
+                    yield RelationshipRecord(a, b, Relationship.PEER_PEER)
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "ASGraph":
+        """Deep copy of the graph."""
+        other = ASGraph()
+        for asn in self._providers:
+            other.add_as(asn)
+            other._providers[asn] = set(self._providers[asn])
+            other._customers[asn] = set(self._customers[asn])
+            other._peers[asn] = set(self._peers[asn])
+        return other
+
+    def without(self, excluded: Iterable[int]) -> "ASGraph":
+        """Copy of the graph with ``excluded`` ASes (and their edges) removed.
+
+        Most algorithms take an ``excluded`` set directly instead of
+        materializing the subgraph; this exists for interoperability and
+        tests.
+        """
+        excluded_set = set(excluded)
+        other = ASGraph()
+        for asn in self._providers:
+            if asn in excluded_set:
+                continue
+            other.add_as(asn)
+            other._providers[asn] = self._providers[asn] - excluded_set
+            other._customers[asn] = self._customers[asn] - excluded_set
+            other._peers[asn] = self._peers[asn] - excluded_set
+        return other
+
+    def validate(self) -> None:
+        """Check internal consistency; raises ``AssertionError`` on damage."""
+        for asn in self._providers:
+            for p in self._providers[asn]:
+                assert asn in self._customers[p], (asn, p)
+            for c in self._customers[asn]:
+                assert asn in self._providers[c], (asn, c)
+            for q in self._peers[asn]:
+                assert asn in self._peers[q], (asn, q)
+            assert not (self._peers[asn] & self._providers[asn])
+            assert not (self._peers[asn] & self._customers[asn])
+            assert not (self._providers[asn] & self._customers[asn]), asn
+            assert asn not in self._providers[asn]
+            assert asn not in self._peers[asn]

@@ -1,0 +1,99 @@
+"""AS type classification (content / access / transit / enterprise).
+
+CAIDA's AS-classification dataset buckets ASes into *content*,
+*transit/access*, and *enterprise*.  The paper refines this with APNIC user
+estimates: a transit/access AS that hosts users in the APNIC dataset is
+re-labeled *access* (§4.3), yielding the four categories of Fig. 4.
+
+``classify_graph`` reproduces a CAIDA-style structural classification for
+topologies without an external label file, and ``refine_with_users`` applies
+the paper's APNIC refinement.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping
+
+from .asgraph import ASGraph
+
+
+class ASType(enum.Enum):
+    """Four-way AS classification used in the unreachable-networks analysis."""
+
+    CONTENT = "content"
+    ACCESS = "access"
+    TRANSIT = "transit"
+    ENTERPRISE = "enterprise"
+
+
+#: CAIDA's raw three-way labels, before the APNIC refinement.
+class RawASType(enum.Enum):
+    CONTENT = "content"
+    TRANSIT_ACCESS = "transit/access"
+    ENTERPRISE = "enterprise"
+
+
+def classify_structural(graph: ASGraph, asn: int, peering_rich: int = 8) -> RawASType:
+    """CAIDA-style structural guess for one AS.
+
+    Transit providers (any customers) are transit/access.  Stubs with a rich
+    peering fan-out look like content networks; other stubs are enterprises.
+    """
+    if graph.customers(asn):
+        return RawASType.TRANSIT_ACCESS
+    if len(graph.peers(asn)) >= peering_rich:
+        return RawASType.CONTENT
+    return RawASType.ENTERPRISE
+
+
+def classify_graph(graph: ASGraph, peering_rich: int = 8) -> dict[int, RawASType]:
+    """Structurally classify every AS in the graph."""
+    return {asn: classify_structural(graph, asn, peering_rich) for asn in graph}
+
+
+def refine_with_users(
+    raw: Mapping[int, RawASType],
+    users_per_as: Mapping[int, int],
+) -> dict[int, ASType]:
+    """Apply the paper's APNIC refinement (§4.3).
+
+    Any AS hosting users is an eyeball and is labeled ACCESS (CAIDA labels
+    real eyeball ISPs transit/access because they carry customers; a
+    structural classifier sees stub eyeballs as enterprises, so the user
+    signal takes precedence here).  transit/access without users → TRANSIT;
+    remaining content and enterprise labels pass through.
+    """
+    refined: dict[int, ASType] = {}
+    for asn, label in raw.items():
+        if users_per_as.get(asn, 0) > 0 and label is not RawASType.CONTENT:
+            refined[asn] = ASType.ACCESS
+        elif label is RawASType.CONTENT:
+            refined[asn] = ASType.CONTENT
+        elif label is RawASType.ENTERPRISE:
+            refined[asn] = ASType.ENTERPRISE
+        else:
+            refined[asn] = ASType.TRANSIT
+    return refined
+
+
+def classify_with_users(
+    graph: ASGraph,
+    users_per_as: Mapping[int, int],
+    peering_rich: int = 8,
+) -> dict[int, ASType]:
+    """Full pipeline: structural classification then APNIC refinement."""
+    return refine_with_users(classify_graph(graph, peering_rich), users_per_as)
+
+
+def type_breakdown(
+    asns: frozenset[int] | set[int],
+    types: Mapping[int, ASType],
+) -> dict[ASType, int]:
+    """Count members of ``asns`` per type (ASes without a label are skipped)."""
+    counts = {t: 0 for t in ASType}
+    for asn in asns:
+        label = types.get(asn)
+        if label is not None:
+            counts[label] += 1
+    return counts

@@ -1,0 +1,62 @@
+"""Augmenting a BGP-derived AS graph with traceroute-inferred neighbors.
+
+§4.1 of the paper: BGP feeds see c2p links well but miss nearly all edge
+peerings, so neighbors discovered in traceroutes from the cloud are added to
+the graph **as p2p links**, and a link already present in the CAIDA data
+keeps its original type.  ``augment_with_neighbors`` implements exactly that
+rule and reports what it did.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from .asgraph import ASGraph
+
+
+@dataclass
+class AugmentationReport:
+    """Outcome of merging traceroute neighbors into a BGP graph."""
+
+    added_p2p: dict[int, set[int]] = field(default_factory=dict)
+    already_present: dict[int, set[int]] = field(default_factory=dict)
+    unknown_neighbors: dict[int, set[int]] = field(default_factory=dict)
+
+    def added_count(self, cloud_asn: int) -> int:
+        return len(self.added_p2p.get(cloud_asn, ()))
+
+    def total_neighbors(self, graph: ASGraph, cloud_asn: int) -> int:
+        return graph.degree(cloud_asn)
+
+
+def augment_with_neighbors(
+    graph: ASGraph,
+    inferred_neighbors: Mapping[int, Iterable[int]],
+    add_unknown_ases: bool = True,
+) -> AugmentationReport:
+    """Merge traceroute-inferred ``{cloud_asn: neighbors}`` into ``graph``.
+
+    Mutates ``graph`` in place.  New adjacencies become p2p; existing
+    adjacencies keep their BGP-derived type.  Neighbors absent from the graph
+    are added as new ASes when ``add_unknown_ases`` (they exist — the BGP
+    feeds simply never saw them) and recorded either way.
+    """
+    report = AugmentationReport()
+    for cloud_asn, neighbors in inferred_neighbors.items():
+        added = report.added_p2p.setdefault(cloud_asn, set())
+        present = report.already_present.setdefault(cloud_asn, set())
+        unknown = report.unknown_neighbors.setdefault(cloud_asn, set())
+        for neighbor in neighbors:
+            if neighbor == cloud_asn:
+                continue
+            if neighbor not in graph:
+                unknown.add(neighbor)
+                if not add_unknown_ases:
+                    continue
+            if graph.relationship_between(cloud_asn, neighbor) is not None:
+                present.add(neighbor)
+                continue
+            graph.add_p2p(cloud_asn, neighbor)
+            added.add(neighbor)
+    return report

@@ -1,0 +1,145 @@
+"""Readers and writers for CAIDA AS-relationship files.
+
+Two formats are supported, matching the public datasets the paper uses:
+
+* **serial-1** (``YYYYMMDD.as-rel.txt``): ``<provider>|<customer>|-1`` and
+  ``<peer>|<peer>|0`` lines, with ``#`` comments.  The September 2015
+  snapshot the paper's retrospective uses is in this format.
+* **serial-2** (``YYYYMMDD.as-rel2.txt``): the same, plus a fourth ``source``
+  field (``bgp`` or ``mlp``).  The September 2020 snapshot is serial-2.
+
+Files may be plain text or bz2-compressed (CAIDA publishes ``.bz2``).
+"""
+
+from __future__ import annotations
+
+import bz2
+import io
+import os
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+from typing import TextIO, Union
+
+from .asgraph import ASGraph
+from .relationships import Relationship, RelationshipRecord
+
+PathLike = Union[str, os.PathLike]
+
+
+class CaidaFormatError(ValueError):
+    """Raised when a relationship file line cannot be parsed."""
+
+    def __init__(self, lineno: int, line: str, reason: str) -> None:
+        super().__init__(f"line {lineno}: {reason}: {line!r}")
+        self.lineno = lineno
+        self.line = line
+        self.reason = reason
+
+
+def _open_text(path: PathLike) -> TextIO:
+    path = Path(path)
+    if path.suffix == ".bz2":
+        return io.TextIOWrapper(bz2.open(path, "rb"), encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def parse_line(line: str, lineno: int = 0) -> RelationshipRecord:
+    """Parse one non-comment relationship line (serial-1 or serial-2)."""
+    fields = line.strip().split("|")
+    if len(fields) not in (3, 4):
+        raise CaidaFormatError(lineno, line, "expected 3 or 4 |-separated fields")
+    try:
+        left, right, rel_value = int(fields[0]), int(fields[1]), int(fields[2])
+    except ValueError:
+        raise CaidaFormatError(lineno, line, "non-integer field") from None
+    try:
+        rel = Relationship.from_value(rel_value)
+    except ValueError:
+        raise CaidaFormatError(lineno, line, "unknown relationship code") from None
+    source = fields[3] if len(fields) == 4 else ""
+    try:
+        return RelationshipRecord(left, right, rel, source)
+    except ValueError as exc:
+        raise CaidaFormatError(lineno, line, str(exc)) from None
+
+
+def iter_records(lines: Iterable[str]) -> Iterator[RelationshipRecord]:
+    """Yield records from an iterable of raw lines, skipping comments."""
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield parse_line(line, lineno)
+
+
+def load_graph(path: PathLike) -> ASGraph:
+    """Load an :class:`ASGraph` from a serial-1/serial-2 file (optionally bz2).
+
+    Duplicate edges are tolerated; a line contradicting an earlier line
+    (e.g. p2p after p2c for the same pair) raises.
+    """
+    graph = ASGraph()
+    with _open_text(path) as handle:
+        for record in iter_records(handle):
+            _add_tolerant(graph, record)
+    return graph
+
+
+def parse_graph(text: str) -> ASGraph:
+    """Load an :class:`ASGraph` from relationship-file text."""
+    graph = ASGraph()
+    for record in iter_records(text.splitlines()):
+        _add_tolerant(graph, record)
+    return graph
+
+
+def _add_tolerant(graph: ASGraph, record: RelationshipRecord) -> None:
+    existing = graph.relationship_between(record.left, record.right)
+    if existing is record.relationship:
+        if record.relationship is Relationship.PEER_PEER:
+            return
+        if record.right in graph.customers(record.left):
+            return  # exact duplicate p2c line
+    graph.add_record(record)
+
+
+def dump_graph(
+    graph: ASGraph,
+    path: PathLike,
+    serial: int = 2,
+    source: str = "bgp",
+    header: str = "",
+) -> None:
+    """Write ``graph`` in CAIDA serial-1 (3 fields) or serial-2 (4 fields)."""
+    if serial not in (1, 2):
+        raise ValueError("serial must be 1 or 2")
+    path = Path(path)
+    opener = bz2.open if path.suffix == ".bz2" else open
+    with opener(path, "wt", encoding="utf-8") as handle:  # type: ignore[operator]
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for record in graph.records():
+            fields = [
+                str(record.left),
+                str(record.right),
+                str(int(record.relationship)),
+            ]
+            if serial == 2:
+                fields.append(record.source or source)
+            handle.write("|".join(fields) + "\n")
+
+
+def dumps_graph(graph: ASGraph, serial: int = 2, source: str = "bgp") -> str:
+    """Return the relationship-file text for ``graph``."""
+    lines = []
+    for record in graph.records():
+        fields = [
+            str(record.left),
+            str(record.right),
+            str(int(record.relationship)),
+        ]
+        if serial == 2:
+            fields.append(record.source or source)
+        lines.append("|".join(fields))
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,62 @@
+"""AS relationship primitives.
+
+The AS-level Internet is modeled with the two conventional business
+relationship types (Gao 2001): customer-to-provider (c2p / p2c depending on
+perspective) and peer-to-peer (p2p).  The CAIDA relationship files encode
+these as ``-1`` (provider-customer) and ``0`` (peer-peer); we keep the same
+values so records round-trip through the file formats unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Relationship(enum.IntEnum):
+    """Business relationship between two ASes, in CAIDA encoding."""
+
+    PROVIDER_CUSTOMER = -1
+    PEER_PEER = 0
+
+    @classmethod
+    def from_value(cls, value: int) -> "Relationship":
+        """Parse a CAIDA relationship code, rejecting unknown codes."""
+        try:
+            return cls(value)
+        except ValueError as exc:
+            raise ValueError(f"unknown relationship code: {value!r}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class RelationshipRecord:
+    """One edge of the AS graph as it appears in a relationship file.
+
+    For ``PROVIDER_CUSTOMER`` records, ``left`` is the provider and ``right``
+    the customer (CAIDA convention).  For ``PEER_PEER`` the order carries no
+    meaning.
+    """
+
+    left: int
+    right: int
+    relationship: Relationship
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.left == self.right:
+            raise ValueError(f"self-relationship for AS{self.left}")
+        if self.left < 0 or self.right < 0:
+            raise ValueError("AS numbers must be non-negative")
+
+    @property
+    def is_transit(self) -> bool:
+        """True if this is a provider-customer (transit) edge."""
+        return self.relationship is Relationship.PROVIDER_CUSTOMER
+
+    def normalized(self) -> "RelationshipRecord":
+        """Return a canonical form: peer edges ordered by ASN."""
+        if self.relationship is Relationship.PEER_PEER and self.left > self.right:
+            return RelationshipRecord(
+                self.right, self.left, self.relationship, self.source
+            )
+        return self

@@ -1,0 +1,107 @@
+"""Tier-1 clique and Tier-2 ISP identification.
+
+The paper takes its Tier-1 and Tier-2 lists from prior relationship-inference
+work (AS-Rank / ProbLink).  Those systems identify the Tier-1s as a maximal
+clique of mutually peering high-transit-degree ASes, and the Tier-2s as the
+next stratum of large transit providers below the clique.  We implement the
+same constructions so that tier membership can be inferred from any input
+graph; synthetic scenarios additionally carry ground-truth tier sets that
+these functions are validated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .asgraph import ASGraph
+
+
+@dataclass(frozen=True)
+class TierAssignment:
+    """Tier-1 and Tier-2 AS sets for a topology."""
+
+    tier1: frozenset[int]
+    tier2: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if self.tier1 & self.tier2:
+            raise ValueError("tier1 and tier2 sets overlap")
+
+    @property
+    def hierarchy(self) -> frozenset[int]:
+        """The full set of transit-hierarchy ASes to bypass (T1 ∪ T2)."""
+        return self.tier1 | self.tier2
+
+
+def infer_tier1_clique(graph: ASGraph, candidates: int = 50) -> frozenset[int]:
+    """Infer the Tier-1 clique as in AS-Rank's clique construction.
+
+    Rank ASes by transit degree; seed with the top-ranked AS that has no
+    providers, then greedily admit the next-ranked provider-free AS that
+    peers with every AS already in the clique.
+    """
+    ranked = sorted(
+        (asn for asn in graph if not graph.providers(asn)),
+        key=lambda a: (-graph.transit_degree(a), a),
+    )[:candidates]
+    clique: list[int] = []
+    for asn in ranked:
+        peers = graph.peers(asn)
+        if all(member in peers for member in clique):
+            clique.append(asn)
+    return frozenset(clique)
+
+
+def infer_tier2(
+    graph: ASGraph,
+    tier1: frozenset[int],
+    count: int = 25,
+    min_tier1_adjacency: int = 2,
+) -> frozenset[int]:
+    """Infer Tier-2 ISPs: the largest transit providers below the clique.
+
+    A Tier-2 is a non-Tier-1 transit provider adjacent (as customer or peer)
+    to at least ``min_tier1_adjacency`` Tier-1s; the ``count`` with the
+    highest transit degree qualify.
+    """
+    scored: list[tuple[int, int]] = []
+    for asn in graph:
+        if asn in tier1 or graph.is_stub(asn):
+            continue
+        adjacency = len((graph.peers(asn) | graph.providers(asn)) & tier1)
+        if adjacency >= min_tier1_adjacency:
+            scored.append((graph.transit_degree(asn), asn))
+    scored.sort(key=lambda item: (-item[0], item[1]))
+    return frozenset(asn for _, asn in scored[:count])
+
+
+def infer_tiers(
+    graph: ASGraph, tier2_count: int = 25, min_tier1_adjacency: int = 2
+) -> TierAssignment:
+    """Infer both tiers from graph structure alone."""
+    tier1 = infer_tier1_clique(graph)
+    tier2 = infer_tier2(
+        graph, tier1, count=tier2_count, min_tier1_adjacency=min_tier1_adjacency
+    )
+    return TierAssignment(tier1=tier1, tier2=tier2)
+
+
+@dataclass
+class TierListBuilder:
+    """Accumulates curated tier lists (the paper merges two algorithms'
+    cliques); resolves conflicts in favour of Tier-1."""
+
+    _tier1: set[int] = field(default_factory=set)
+    _tier2: set[int] = field(default_factory=set)
+
+    def add_tier1(self, *asns: int) -> "TierListBuilder":
+        self._tier1.update(asns)
+        self._tier2.difference_update(asns)
+        return self
+
+    def add_tier2(self, *asns: int) -> "TierListBuilder":
+        self._tier2.update(a for a in asns if a not in self._tier1)
+        return self
+
+    def build(self) -> TierAssignment:
+        return TierAssignment(frozenset(self._tier1), frozenset(self._tier2))

@@ -1,0 +1,136 @@
+"""BGP monitor visibility analysis (§2.3, §4.1).
+
+A p2p link is exported only into the two peers' customer cones, so a BGP
+monitor observes it only from inside one of those cones; c2p links are
+announced upward and are near-universally visible.  This module implements
+that visibility rule and the questions the paper's measurement argument
+rests on: which subgraph do the feeds see, how much cloud peering is
+invisible, and how much a new monitor would add.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+from .asgraph import ASGraph
+from .relationships import RelationshipRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.reachability import ConeEngine
+
+
+def _engine(graph: ASGraph) -> "ConeEngine":
+    # imported lazily: repro.core depends on repro.topology's submodules
+    from ..core.reachability import ConeEngine
+
+    return ConeEngine(graph)
+
+
+def visible_edges(
+    graph: ASGraph,
+    monitors: Iterable[int],
+    engine: "ConeEngine | None" = None,
+) -> list[RelationshipRecord]:
+    """Edges a set of BGP monitors can observe.
+
+    Transit edges are always visible; a peering edge is visible iff a
+    monitor sits at (or below, in the customer cone of) either endpoint.
+    """
+    if engine is None:
+        engine = _engine(graph)
+    monitor_mask = engine.mask_of(monitors)
+    records = []
+    for record in graph.records():
+        if record.is_transit:
+            records.append(record)
+            continue
+        cones = engine.cone_mask(record.left) | engine.cone_mask(record.right)
+        if cones & monitor_mask:
+            records.append(record)
+    return records
+
+
+def visible_subgraph(
+    graph: ASGraph,
+    monitors: Iterable[int],
+    engine: "ConeEngine | None" = None,
+) -> ASGraph:
+    """The public (CAIDA-style) view of ``graph`` from ``monitors``.
+
+    Keeps every AS as a node (relationship files list all ASes appearing
+    in any visible edge; isolated edge ASes simply look degree-poor).
+    """
+    public = ASGraph()
+    for record in visible_edges(graph, monitors, engine):
+        public.add_record(record)
+    for asn in graph:
+        public.add_as(asn)
+    return public
+
+
+def invisible_peering_fraction(
+    graph: ASGraph,
+    monitors: Iterable[int],
+    asn: int,
+    engine: "ConeEngine | None" = None,
+) -> float:
+    """Fraction of ``asn``'s peerings invisible to the monitors (the
+    paper's '90% of Google/Microsoft peers are missed by BGP feeds')."""
+    if engine is None:
+        engine = _engine(graph)
+    monitor_mask = engine.mask_of(monitors)
+    peers = graph.peers(asn)
+    if not peers:
+        return 0.0
+    own_cone = engine.cone_mask(asn)
+    invisible = 0
+    for peer in peers:
+        if not ((own_cone | engine.cone_mask(peer)) & monitor_mask):
+            invisible += 1
+    return invisible / len(peers)
+
+
+def marginal_monitor_gain(
+    graph: ASGraph,
+    monitors: Iterable[int],
+    candidate: int,
+    engine: "ConeEngine | None" = None,
+) -> int:
+    """How many additional edges ``candidate`` would reveal as a monitor."""
+    if engine is None:
+        engine = _engine(graph)
+    current = {
+        (r.left, r.right)
+        for r in visible_edges(graph, monitors, engine)
+    }
+    extended = {
+        (r.left, r.right)
+        for r in visible_edges(graph, set(monitors) | {candidate}, engine)
+    }
+    return len(extended - current)
+
+
+def rank_monitor_candidates(
+    graph: ASGraph,
+    monitors: Iterable[int],
+    candidates: Iterable[int],
+    engine: "ConeEngine | None" = None,
+    top: int = 10,
+) -> list[tuple[int, int]]:
+    """Candidates ranked by marginal visibility gain (descending).
+
+    Quantifies the paper's observation that VPs inside edge/cloud networks
+    are what traditional mapping lacks: edge candidates reveal far more
+    new links than yet another transit monitor.
+    """
+    if engine is None:
+        engine = _engine(graph)
+    monitors = set(monitors)
+    scored = [
+        (marginal_monitor_gain(graph, monitors, candidate, engine), candidate)
+        for candidate in candidates
+        if candidate not in monitors
+    ]
+    scored.sort(key=lambda item: (-item[0], item[1]))
+    return [(candidate, gain) for gain, candidate in scored[:top]]

@@ -1,0 +1,17 @@
+"""Simulated Scamper traceroute campaigns from cloud VMs."""
+
+from .artifacts import ArtifactModel
+from .engine import TracerouteCampaign, vantage_points
+from .model import Hop, Traceroute, VantagePoint
+from .pathsim import expand_path, nearest_interconnect
+
+__all__ = [
+    "ArtifactModel",
+    "Hop",
+    "Traceroute",
+    "TracerouteCampaign",
+    "VantagePoint",
+    "expand_path",
+    "nearest_interconnect",
+    "vantage_points",
+]

@@ -1,0 +1,69 @@
+"""Measurement-noise models (§4.4, §5).
+
+Each artifact corresponds to a phenomenon the paper documents:
+
+* **unresponsive hops** — routers dropping ICMP or rate-limiting; the
+  unresponsive-*border* case is what broke the initial skip-one-hop
+  inference rule;
+* **IXP misattribution** — under load balancing (or far-side addressing) a
+  border hop can respond with an address belonging to a different member of
+  the same exchange LAN, producing false-positive neighbors that survive
+  even correct resolution;
+* **rate limiting** — whole traceroutes lost (1000 pps cap, §4.1);
+* **tunnel suppression** — cloud-internal hops hidden by encapsulation or
+  TTL manipulation (Google's VPC behaviour).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..netgen.config import ArtifactRates
+from ..netgen.scenario import Interconnect, InterconnectMedium, InternetScenario
+
+
+@dataclass
+class ArtifactModel:
+    """Samples measurement noise for one campaign."""
+
+    scenario: InternetScenario
+    rates: ArtifactRates
+    rng: random.Random
+
+    def drop_whole_traceroute(self) -> bool:
+        return self.rng.random() < self.rates.rate_limited
+
+    def suppress_cloud_interior(self) -> bool:
+        return self.rng.random() < self.rates.tunnel_suppression
+
+    def border_unresponsive(self) -> bool:
+        return self.rng.random() < self.rates.unresponsive_border
+
+    def transit_unresponsive(self) -> bool:
+        return self.rng.random() < self.rates.unresponsive_hop
+
+    def border_address(
+        self, link: Interconnect
+    ) -> Optional[ipaddress.IPv4Address]:
+        """The address observed at the neighbor's border, after noise.
+
+        Returns ``None`` for an unresponsive border.  IXP borders are
+        occasionally misattributed to another member's LAN address.
+        """
+        if self.border_unresponsive():
+            return None
+        if (
+            link.medium is InterconnectMedium.IXP
+            and self.rng.random() < self.rates.ixp_misattribution
+        ):
+            ixp = self.scenario.ixp_by_id(link.ixp_id)
+            others = sorted(
+                ixp.members - {link.neighbor_asn, link.cloud_asn}
+            )
+            if others:
+                impostor = self.rng.choice(others)
+                return ixp.member_ip(impostor)
+        return link.neighbor_ip

@@ -1,0 +1,66 @@
+"""Traceroute data model (Scamper-like output, §4.1)."""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..geo.cities import City
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One TTL step: a responding address, or an unresponsive '*'."""
+
+    ttl: int
+    ip: Optional[ipaddress.IPv4Address]
+
+    @property
+    def responded(self) -> bool:
+        return self.ip is not None
+
+    def __str__(self) -> str:
+        return f"{self.ttl:2d}  {self.ip if self.ip else '*'}"
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """A measurement VM inside a cloud provider."""
+
+    cloud_asn: int
+    city: City
+    index: int
+
+    @property
+    def label(self) -> str:
+        return f"AS{self.cloud_asn}-vm{self.index}-{self.city.code}"
+
+
+@dataclass
+class Traceroute:
+    """One measurement: VM → destination prefix.
+
+    ``true_as_path`` carries the simulated forwarding path's AS sequence
+    (cloud first, destination last) as ground truth for validation
+    (Appendix A); a real campaign obviously would not have it.
+    """
+
+    vantage: VantagePoint
+    dst_ip: ipaddress.IPv4Address
+    dst_asn: int
+    hops: list[Hop] = field(default_factory=list)
+    reached: bool = False
+    true_as_path: tuple[int, ...] = ()
+
+    @property
+    def cloud_asn(self) -> int:
+        return self.vantage.cloud_asn
+
+    def responding_ips(self) -> list[ipaddress.IPv4Address]:
+        return [hop.ip for hop in self.hops if hop.ip is not None]
+
+    def __str__(self) -> str:
+        lines = [f"traceroute from {self.vantage.label} to {self.dst_ip}"]
+        lines.extend(str(hop) for hop in self.hops)
+        return "\n".join(lines)

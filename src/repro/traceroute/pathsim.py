@@ -1,0 +1,103 @@
+"""Router-level expansion of AS-level forwarding paths.
+
+Cloud traceroutes observe: a few cloud-internal hops (often hidden by
+tunneling), the *neighbor's* border interface — addressed either out of the
+neighbor's own space (PNI) or out of an exchange LAN (public peering) —
+then one ingress interface per subsequent AS, and finally the destination.
+This module turns an AS path plus the scenario's interconnect records into
+that hop sequence, applying the artifact model along the way.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..geo.distance import haversine_km
+from ..netgen.addressing import host_in, router_ip
+from ..netgen.scenario import Interconnect, InternetScenario
+from .artifacts import ArtifactModel
+from .model import Hop, Traceroute, VantagePoint
+
+
+def nearest_interconnect(
+    scenario: InternetScenario,
+    cloud_asn: int,
+    neighbor_asn: int,
+    vantage: VantagePoint,
+) -> Interconnect:
+    """The interconnect with ``neighbor_asn`` closest to the VM's city."""
+    links = scenario.interconnects.get((cloud_asn, neighbor_asn))
+    if not links:
+        raise KeyError(
+            f"no interconnect between AS{cloud_asn} and AS{neighbor_asn}"
+        )
+    return min(
+        links,
+        key=lambda link: haversine_km(
+            link.city.lat, link.city.lon, vantage.city.lat, vantage.city.lon
+        ),
+    )
+
+
+def expand_path(
+    scenario: InternetScenario,
+    artifacts: ArtifactModel,
+    rng: random.Random,
+    vantage: VantagePoint,
+    as_path: tuple[int, ...],
+) -> Traceroute:
+    """Expand an AS path (cloud first, destination last) into a traceroute."""
+    if len(as_path) < 2:
+        raise ValueError("AS path must include the cloud and a destination")
+    if as_path[0] != vantage.cloud_asn:
+        raise ValueError("AS path must start at the vantage cloud")
+    dst_asn = as_path[-1]
+    dst_ip = host_in(scenario.prefixes[dst_asn], 1)
+    trace = Traceroute(
+        vantage=vantage,
+        dst_ip=dst_ip,
+        dst_asn=dst_asn,
+        true_as_path=as_path,
+    )
+    if artifacts.drop_whole_traceroute():
+        trace.reached = False
+        return trace
+
+    hops: list[Hop] = []
+    ttl = 0
+
+    def add(ip) -> None:
+        nonlocal ttl
+        ttl += 1
+        hops.append(Hop(ttl=ttl, ip=ip))
+
+    # cloud interior (possibly tunneled away)
+    cloud_prefix = scenario.prefixes[vantage.cloud_asn]
+    if not artifacts.suppress_cloud_interior():
+        add(router_ip(cloud_prefix, vantage.index, 0))
+        add(router_ip(cloud_prefix, vantage.index, 1))
+
+    # neighbor border interface
+    neighbor = as_path[1]
+    link = nearest_interconnect(
+        scenario, vantage.cloud_asn, neighbor, vantage
+    )
+    add(artifacts.border_address(link))
+
+    # subsequent transit ASes: one ingress interface each
+    for asn in as_path[2:-1]:
+        if artifacts.transit_unresponsive():
+            add(None)
+        else:
+            add(router_ip(scenario.prefixes[asn], asn % 64, 0))
+
+    # destination (when it is not the direct neighbor, add its ingress too)
+    if len(as_path) > 2:
+        if artifacts.transit_unresponsive():
+            add(None)
+        else:
+            add(router_ip(scenario.prefixes[dst_asn], dst_asn % 64, 0))
+    add(dst_ip)
+    trace.hops = hops
+    trace.reached = True
+    return trace

@@ -1,0 +1,98 @@
+"""Shared fixtures: a hand-analyzable mini-Internet and random topologies.
+
+The ``mini`` fixture builds a 10-AS topology whose reachability, cones,
+reliance and leak behaviour are all computed by hand in the tests:
+
+* Tier-1 clique: AS1 — AS2 (peers)
+* Tier-2: AS11 (customer of AS1), AS12 (customer of AS2), AS11—AS12 peers
+* Cloud: AS100, transit provider AS11, peers {AS2, AS12, AS201, AS202}
+* Edges: AS201 (customer of AS11, provider of AS204), AS202 (customer of
+  AS12), AS203 (customer of AS1), AS301 content (customer of AS12)
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.topology import ASGraph, TierAssignment
+
+T1A, T1B = 1, 2
+T2A, T2B = 11, 12
+CLOUD = 100
+E1, E2, E3, E4 = 201, 202, 203, 204
+CONTENT = 301
+
+
+def build_mini() -> tuple[ASGraph, TierAssignment]:
+    graph = ASGraph()
+    graph.add_p2c(T1A, T2A)
+    graph.add_p2c(T1B, T2B)
+    graph.add_p2c(T2A, CLOUD)
+    graph.add_p2c(T2A, E1)
+    graph.add_p2c(T2B, E2)
+    graph.add_p2c(T2B, CONTENT)
+    graph.add_p2c(T1A, E3)
+    graph.add_p2c(E1, E4)
+    graph.add_p2p(T1A, T1B)
+    graph.add_p2p(T2A, T2B)
+    graph.add_p2p(CLOUD, T2B)
+    graph.add_p2p(CLOUD, T1B)
+    graph.add_p2p(CLOUD, E1)
+    graph.add_p2p(CLOUD, E2)
+    tiers = TierAssignment(
+        tier1=frozenset({T1A, T1B}), tier2=frozenset({T2A, T2B})
+    )
+    return graph, tiers
+
+
+@pytest.fixture
+def mini() -> tuple[ASGraph, TierAssignment]:
+    return build_mini()
+
+
+@pytest.fixture
+def mini_graph(mini) -> ASGraph:
+    return mini[0]
+
+
+@pytest.fixture
+def mini_tiers(mini) -> TierAssignment:
+    return mini[1]
+
+
+def random_internet(
+    rng: random.Random,
+    n_tier1: int = 3,
+    n_transit: int = 6,
+    n_edge: int = 20,
+    peer_prob: float = 0.2,
+) -> ASGraph:
+    """A random valley-free-plausible topology for property tests.
+
+    Tier-1s form a clique; each transit AS buys from 1-2 Tier-1s; each edge
+    AS buys from 1-2 transit ASes; random peerings are sprinkled between
+    same-or-adjacent layers without contradicting transit edges.
+    """
+    graph = ASGraph()
+    tier1 = list(range(1, n_tier1 + 1))
+    transit = list(range(100, 100 + n_transit))
+    edge = list(range(1000, 1000 + n_edge))
+    for i, a in enumerate(tier1):
+        graph.add_as(a)
+        for b in tier1[i + 1 :]:
+            graph.add_p2p(a, b)
+    for t in transit:
+        for provider in rng.sample(tier1, k=rng.randint(1, min(2, n_tier1))):
+            graph.add_p2c(provider, t)
+    for e in edge:
+        for provider in rng.sample(transit, k=rng.randint(1, 2)):
+            if graph.relationship_between(provider, e) is None:
+                graph.add_p2c(provider, e)
+    candidates = transit + edge
+    for i, a in enumerate(candidates):
+        for b in candidates[i + 1 :]:
+            if rng.random() < peer_prob and graph.relationship_between(a, b) is None:
+                graph.add_p2p(a, b)
+    return graph

@@ -1,0 +1,138 @@
+"""Unit tests for the ASGraph substrate."""
+
+import pytest
+
+from repro.topology import ASGraph, Relationship, RelationshipConflictError
+from repro.topology.relationships import RelationshipRecord
+
+from .conftest import CLOUD, E1, T1A, T1B, T2A, T2B
+
+
+class TestConstruction:
+    def test_add_p2c_sets_both_directions(self):
+        g = ASGraph()
+        g.add_p2c(1, 2)
+        assert g.customers(1) == {2}
+        assert g.providers(2) == {1}
+        assert g.peers(1) == frozenset()
+
+    def test_add_p2p_is_symmetric(self):
+        g = ASGraph()
+        g.add_p2p(1, 2)
+        assert g.peers(1) == {2}
+        assert g.peers(2) == {1}
+
+    def test_self_loop_rejected(self):
+        g = ASGraph()
+        with pytest.raises(ValueError):
+            g.add_p2c(5, 5)
+        with pytest.raises(ValueError):
+            g.add_p2p(5, 5)
+
+    def test_negative_asn_rejected(self):
+        g = ASGraph()
+        with pytest.raises(ValueError):
+            g.add_as(-1)
+
+    def test_p2p_conflicts_with_existing_p2c(self):
+        g = ASGraph()
+        g.add_p2c(1, 2)
+        with pytest.raises(RelationshipConflictError):
+            g.add_p2p(1, 2)
+
+    def test_p2c_conflicts_with_existing_p2p(self):
+        g = ASGraph()
+        g.add_p2p(1, 2)
+        with pytest.raises(RelationshipConflictError):
+            g.add_p2c(1, 2)
+
+    def test_mutual_transit_rejected(self):
+        g = ASGraph()
+        g.add_p2c(1, 2)
+        with pytest.raises(RelationshipConflictError):
+            g.add_p2c(2, 1)
+
+    def test_duplicate_edges_idempotent(self):
+        g = ASGraph()
+        g.add_p2c(1, 2)
+        g.add_p2c(1, 2)
+        g.add_p2p(3, 4)
+        g.add_p2p(4, 3)
+        assert g.edge_count() == 2
+
+    def test_add_record(self):
+        g = ASGraph()
+        g.add_record(RelationshipRecord(1, 2, Relationship.PROVIDER_CUSTOMER))
+        g.add_record(RelationshipRecord(2, 3, Relationship.PEER_PEER))
+        assert g.customers(1) == {2}
+        assert g.peers(2) == {3}
+
+
+class TestQueries:
+    def test_mini_membership(self, mini_graph):
+        assert CLOUD in mini_graph
+        assert 999999 not in mini_graph
+        assert len(mini_graph) == 10
+
+    def test_neighbors_union(self, mini_graph):
+        assert mini_graph.neighbors(CLOUD) == {T2A, T2B, T1B, E1, 202}
+
+    def test_relationship_between(self, mini_graph):
+        assert (
+            mini_graph.relationship_between(T2A, CLOUD)
+            is Relationship.PROVIDER_CUSTOMER
+        )
+        assert (
+            mini_graph.relationship_between(CLOUD, T2B)
+            is Relationship.PEER_PEER
+        )
+        assert mini_graph.relationship_between(CLOUD, T1A) is None
+        assert mini_graph.relationship_between(CLOUD, 424242) is None
+
+    def test_degrees(self, mini_graph):
+        assert mini_graph.degree(CLOUD) == 5
+        assert mini_graph.transit_degree(CLOUD) == 1  # only its provider
+        assert mini_graph.transit_degree(T2A) == 3  # AS1 + two customers
+
+    def test_is_stub(self, mini_graph):
+        assert mini_graph.is_stub(CLOUD)
+        assert not mini_graph.is_stub(E1)
+        assert not mini_graph.is_stub(T1A)
+
+    def test_edge_count(self, mini_graph):
+        assert mini_graph.edge_count() == 14
+
+    def test_records_roundtrip(self, mini_graph):
+        rebuilt = ASGraph()
+        for record in mini_graph.records():
+            rebuilt.add_record(record)
+        assert sorted(rebuilt.nodes()) == sorted(mini_graph.nodes())
+        assert rebuilt.edge_count() == mini_graph.edge_count()
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self, mini_graph):
+        clone = mini_graph.copy()
+        clone.add_p2p(CLOUD, T1A)
+        assert mini_graph.relationship_between(CLOUD, T1A) is None
+        assert clone.relationship_between(CLOUD, T1A) is Relationship.PEER_PEER
+
+    def test_without_removes_nodes_and_edges(self, mini_graph):
+        sub = mini_graph.without({T1A, T1B})
+        assert T1A not in sub
+        assert T2A in sub
+        assert sub.providers(T2A) == frozenset()
+        sub.validate()
+
+    def test_remove_edge(self, mini_graph):
+        g = mini_graph.copy()
+        g.remove_edge(CLOUD, T2B)
+        assert g.relationship_between(CLOUD, T2B) is None
+        g.remove_edge(T2A, CLOUD)
+        assert g.providers(CLOUD) == frozenset()
+        with pytest.raises(KeyError):
+            g.remove_edge(CLOUD, T2B)
+        g.validate()
+
+    def test_validate_passes_on_mini(self, mini_graph):
+        mini_graph.validate()

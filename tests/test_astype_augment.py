@@ -1,0 +1,100 @@
+"""Unit tests for AS-type classification and traceroute augmentation."""
+
+import pytest
+
+from repro.topology import (
+    ASGraph,
+    ASType,
+    RawASType,
+    Relationship,
+    augment_with_neighbors,
+    classify_graph,
+    classify_structural,
+    classify_with_users,
+    refine_with_users,
+    type_breakdown,
+)
+
+from .conftest import CLOUD, CONTENT, E3, T1A, T2A, T2B, build_mini
+
+
+class TestClassification:
+    def test_transit_provider(self, mini_graph):
+        assert (
+            classify_structural(mini_graph, T1A) is RawASType.TRANSIT_ACCESS
+        )
+        assert (
+            classify_structural(mini_graph, T2A) is RawASType.TRANSIT_ACCESS
+        )
+
+    def test_stub_enterprise(self, mini_graph):
+        assert classify_structural(mini_graph, E3) is RawASType.ENTERPRISE
+
+    def test_peering_rich_stub_is_content(self, mini_graph):
+        assert (
+            classify_structural(mini_graph, CLOUD, peering_rich=4)
+            is RawASType.CONTENT
+        )
+
+    def test_refinement_with_users(self, mini_graph):
+        raw = classify_graph(mini_graph)
+        refined = refine_with_users(raw, {T2A: 1000, E3: 50})
+        assert refined[T2A] is ASType.ACCESS
+        assert refined[T1A] is ASType.TRANSIT
+        assert refined[E3] is ASType.ACCESS  # user signal wins over stub
+
+    def test_classify_with_users_pipeline(self, mini_graph):
+        refined = classify_with_users(mini_graph, {T2A: 10}, peering_rich=4)
+        assert refined[CLOUD] is ASType.CONTENT
+        assert refined[T2A] is ASType.ACCESS
+
+    def test_type_breakdown(self):
+        types = {1: ASType.ACCESS, 2: ASType.ACCESS, 3: ASType.CONTENT}
+        counts = type_breakdown({1, 2, 3, 99}, types)
+        assert counts[ASType.ACCESS] == 2
+        assert counts[ASType.CONTENT] == 1
+        assert counts[ASType.TRANSIT] == 0
+
+
+class TestAugmentation:
+    def test_new_neighbors_become_p2p(self):
+        graph, _ = build_mini()
+        report = augment_with_neighbors(graph, {CLOUD: [E3, CONTENT]})
+        assert (
+            graph.relationship_between(CLOUD, E3) is Relationship.PEER_PEER
+        )
+        assert report.added_p2p[CLOUD] == {E3, CONTENT}
+
+    def test_existing_links_keep_type(self):
+        graph, _ = build_mini()
+        report = augment_with_neighbors(graph, {CLOUD: [T2A, T2B]})
+        # AS11 stays the cloud's provider; AS12 stays a peer.
+        assert (
+            graph.relationship_between(T2A, CLOUD)
+            is Relationship.PROVIDER_CUSTOMER
+        )
+        assert report.already_present[CLOUD] == {T2A, T2B}
+        assert report.added_count(CLOUD) == 0
+
+    def test_unknown_ases_added_by_default(self):
+        graph, _ = build_mini()
+        report = augment_with_neighbors(graph, {CLOUD: [40000]})
+        assert 40000 in graph
+        assert report.unknown_neighbors[CLOUD] == {40000}
+        assert graph.relationship_between(CLOUD, 40000) is Relationship.PEER_PEER
+
+    def test_unknown_ases_skippable(self):
+        graph, _ = build_mini()
+        augment_with_neighbors(graph, {CLOUD: [40000]}, add_unknown_ases=False)
+        assert 40000 not in graph
+
+    def test_self_neighbor_ignored(self):
+        graph, _ = build_mini()
+        report = augment_with_neighbors(graph, {CLOUD: [CLOUD]})
+        assert report.added_count(CLOUD) == 0
+
+    def test_total_neighbors_reporting(self):
+        graph, _ = build_mini()
+        before = graph.degree(CLOUD)
+        report = augment_with_neighbors(graph, {CLOUD: [E3]})
+        assert report.total_neighbors(graph, CLOUD) == before + 1

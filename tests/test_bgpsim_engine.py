@@ -1,0 +1,175 @@
+"""Unit tests for the Gao-Rexford propagation engine (hand-computed routes)."""
+
+import pytest
+
+from repro.bgpsim import RouteClass, Seed, propagate
+
+from .conftest import (
+    CLOUD,
+    CONTENT,
+    E1,
+    E2,
+    E3,
+    E4,
+    T1A,
+    T1B,
+    T2A,
+    T2B,
+)
+
+
+class TestSingleOrigin:
+    def test_origin_route(self, mini_graph):
+        state = propagate(mini_graph, Seed(asn=CLOUD))
+        origin = state.route(CLOUD)
+        assert origin.length == 0
+        assert origin.origins == {"origin"}
+        assert not origin.parents
+
+    def test_provider_gets_customer_route(self, mini_graph):
+        state = propagate(mini_graph, Seed(asn=CLOUD))
+        route = state.route(T2A)
+        assert route.route_class is RouteClass.CUSTOMER
+        assert route.length == 1
+        assert route.parents == {CLOUD}
+
+    def test_peer_prefers_short_peer_route(self, mini_graph):
+        # AS2 peers with the cloud directly and would also hear a longer
+        # peer route from AS1; direct wins.
+        state = propagate(mini_graph, Seed(asn=CLOUD))
+        route = state.route(T1B)
+        assert route.route_class is RouteClass.PEER
+        assert route.length == 1
+        assert route.parents == {CLOUD}
+
+    def test_customer_class_preferred_at_tier1(self, mini_graph):
+        # AS1 hears the cloud via customer AS11 (len 2); customer routes are
+        # kept even though a shorter peer route exists via AS2? No — AS2's
+        # route is peer-learned and is never exported to a peer, so AS1's
+        # only route is via AS11.
+        state = propagate(mini_graph, Seed(asn=CLOUD))
+        route = state.route(T1A)
+        assert route.route_class is RouteClass.CUSTOMER
+        assert route.length == 2
+        assert route.parents == {T2A}
+
+    def test_provider_route_at_stub(self, mini_graph):
+        state = propagate(mini_graph, Seed(asn=CLOUD))
+        route = state.route(E3)
+        assert route.route_class is RouteClass.PROVIDER
+        assert route.length == 3
+        assert route.parents == {T1A}
+
+    def test_peer_beats_provider_class(self, mini_graph):
+        # AS202 could use provider AS12 (len 2) but holds a direct peer
+        # route from the cloud (len 1, PEER class).
+        state = propagate(mini_graph, Seed(asn=CLOUD))
+        route = state.route(E2)
+        assert route.route_class is RouteClass.PEER
+        assert route.length == 1
+        assert route.parents == {CLOUD}
+
+    def test_everyone_routed_under_full_graph(self, mini_graph):
+        state = propagate(mini_graph, Seed(asn=CLOUD))
+        assert state.reachable_ases() == frozenset(mini_graph.nodes()) - {CLOUD}
+
+    def test_content_gets_provider_route(self, mini_graph):
+        state = propagate(mini_graph, Seed(asn=CLOUD))
+        route = state.route(CONTENT)
+        assert route.route_class is RouteClass.PROVIDER
+        assert route.parents == {T2B}
+        assert route.length == 2
+
+    def test_excluded_nodes_do_not_forward(self, mini_graph):
+        state = propagate(mini_graph, Seed(asn=CLOUD), excluded={T2A, T2B, T1A, T1B})
+        assert not state.has_route(T1A)
+        assert not state.has_route(CONTENT)  # only reachable via AS12
+        assert state.route(E4).length == 2  # via peer AS201
+
+    def test_excluded_seed_rejected(self, mini_graph):
+        with pytest.raises(ValueError):
+            propagate(mini_graph, Seed(asn=CLOUD), excluded={CLOUD})
+
+    def test_unknown_seed_rejected(self, mini_graph):
+        with pytest.raises(KeyError):
+            propagate(mini_graph, Seed(asn=31337))
+
+    def test_export_restriction_limits_first_hop(self, mini_graph):
+        seed = Seed(asn=CLOUD, export_to=frozenset({T2A}))
+        state = propagate(mini_graph, seed)
+        # Direct peers not in the export set hear the route only via the
+        # hierarchy (AS2 via AS1) or not at all.
+        assert state.route(E2).route_class is RouteClass.PROVIDER
+        assert state.route(T1B).route_class is RouteClass.PEER
+        assert state.route(T1B).parents == {T1A}
+
+
+class TestTies:
+    def test_tied_parents_are_merged(self):
+        from repro.topology import ASGraph
+
+        g = ASGraph()
+        # diamond: origin 1 -> providers 2 and 3 -> shared provider 4
+        g.add_p2c(2, 1)
+        g.add_p2c(3, 1)
+        g.add_p2c(4, 2)
+        g.add_p2c(4, 3)
+        state = propagate(g, Seed(asn=1))
+        top = state.route(4)
+        assert top.parents == {2, 3}
+        assert state.count_best_paths(4) == 2
+        paths = set(state.enumerate_best_paths(4))
+        assert paths == {(4, 2, 1), (4, 3, 1)}
+
+    def test_contains_path(self, mini_graph):
+        state = propagate(mini_graph, Seed(asn=CLOUD))
+        assert state.contains_path((E3, T1A, T2A, CLOUD))
+        assert not state.contains_path((E3, T1A, CLOUD))
+        assert not state.contains_path((E3, T1B, CLOUD))
+
+
+class TestMultiSeed:
+    def test_customer_class_leak_wins_over_peer(self, mini_graph):
+        # AS301 leaks the cloud's prefix: AS12 and AS2 prefer the leaked
+        # customer-learned route over legitimate peer routes.
+        legit = Seed(asn=CLOUD, key="origin")
+        leak = Seed(asn=CONTENT, key="leak", initial_length=2)
+        state = propagate(mini_graph, (legit, leak))
+        assert state.origins_at(T2B) == {"leak"}
+        assert state.route(T2B).route_class is RouteClass.CUSTOMER
+        assert state.origins_at(T1B) == {"leak"}
+        # but peers with a direct route to the cloud stay clean
+        assert state.origins_at(E2) == {"origin"}
+        assert state.origins_at(T2A) == {"origin"}
+        assert state.origins_at(E4) == {"origin"}
+
+    def test_peer_locked_neighbor_drops_leak(self, mini_graph):
+        legit = Seed(asn=CLOUD, key="origin")
+        leak = Seed(asn=CONTENT, key="leak", initial_length=2)
+        state = propagate(
+            mini_graph,
+            (legit, leak),
+            peer_locked={T2B, T1B, T2A},
+            locked_origin=CLOUD,
+        )
+        assert state.origins_at(T2B) == {"origin"}
+        assert state.origins_at(T1B) == {"origin"}
+
+    def test_duplicate_seed_asn_rejected(self, mini_graph):
+        with pytest.raises(ValueError):
+            propagate(
+                mini_graph,
+                (Seed(asn=CLOUD, key="a"), Seed(asn=CLOUD, key="b")),
+            )
+
+    def test_origin_sets_merge_on_exact_tie(self):
+        from repro.topology import ASGraph
+
+        g = ASGraph()
+        # 10 provides for both origins 1 and 2 at equal distance
+        g.add_p2c(10, 1)
+        g.add_p2c(10, 2)
+        state = propagate(
+            g, (Seed(asn=1, key="origin"), Seed(asn=2, key="leak"))
+        )
+        assert state.origins_at(10) == {"origin", "leak"}

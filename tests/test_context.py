@@ -1,0 +1,51 @@
+"""Unit tests for the experiment context plumbing."""
+
+import os
+
+import pytest
+
+from repro.experiments.context import (
+    DEFAULT_PROFILE,
+    build_context,
+    cached_context,
+)
+
+
+class TestCachedContext:
+    def test_same_key_returns_same_object(self):
+        a = cached_context("tiny", seed=77)
+        b = cached_context("tiny", seed=77)
+        assert a is b
+
+    def test_different_seed_rebuilds(self):
+        a = cached_context("tiny", seed=77)
+        b = cached_context("tiny", seed=78)
+        assert a is not b
+
+    def test_measure_flag_is_part_of_key(self):
+        measured = cached_context("tiny", seed=77, measure=True)
+        truth = cached_context("tiny", seed=77, measure=False)
+        assert measured is not truth
+        assert truth.inferred == {}
+
+    def test_env_profile_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "tiny")
+        ctx = cached_context(seed=77)
+        assert ctx.scenario.config.name == "tiny"
+
+    def test_default_profile_constant(self):
+        assert DEFAULT_PROFILE in ("tiny", "small", "year2020")
+
+
+class TestBuildContext:
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            build_context("nope")
+
+    def test_seeded_build_is_deterministic(self):
+        a = build_context("tiny", seed=5)
+        b = build_context("tiny", seed=5)
+        assert set(a.graph.records()) == set(b.graph.records())
+        assert {
+            c: i.neighbors for c, i in a.inferred.items()
+        } == {c: i.neighbors for c, i in b.inferred.items()}

@@ -1,0 +1,119 @@
+"""Edge-case tests for the propagation engine."""
+
+import pytest
+
+from repro.bgpsim import RouteClass, Seed, propagate
+from repro.topology import ASGraph
+
+from .conftest import CLOUD, E2, T2B
+
+
+def chain(*pairs):
+    g = ASGraph()
+    for provider, customer in pairs:
+        g.add_p2c(provider, customer)
+    return g
+
+
+class TestExportRestrictions:
+    def test_empty_export_set_announces_to_nobody(self, mini_graph):
+        seed = Seed(asn=CLOUD, export_to=frozenset())
+        state = propagate(mini_graph, seed)
+        assert state.reachable_ases() == frozenset()
+        assert state.route(CLOUD) is not None  # the origin holds its route
+
+    def test_export_set_applies_to_every_first_hop_class(self, mini_graph):
+        # export only to one peer: nobody else hears it except through
+        # that peer's exports (peer routes are not re-exported to peers)
+        seed = Seed(asn=CLOUD, export_to=frozenset({E2}))
+        state = propagate(mini_graph, seed)
+        assert state.route(E2).route_class is RouteClass.PEER
+        assert not state.has_route(T2B)
+        assert state.reachable_ases() == {E2}  # E2 has no customers
+
+
+class TestInitialLengths:
+    def test_longer_initial_length_loses_tie_break(self):
+        # two seeds announce to a shared provider; the one with the
+        # shorter carried path wins selection
+        g = chain((10, 1), (10, 2))
+        state = propagate(
+            g,
+            (
+                Seed(asn=1, key="short", initial_length=0),
+                Seed(asn=2, key="long", initial_length=3),
+            ),
+        )
+        assert state.origins_at(10) == {"short"}
+        assert state.route(10).length == 1
+
+    def test_equal_initial_lengths_tie(self):
+        g = chain((10, 1), (10, 2))
+        state = propagate(
+            g,
+            (
+                Seed(asn=1, key="a", initial_length=2),
+                Seed(asn=2, key="b", initial_length=2),
+            ),
+        )
+        assert state.origins_at(10) == {"a", "b"}
+        assert state.route(10).length == 3
+
+    def test_seed_entry_never_overwritten_by_other_seed(self):
+        # the leak seed keeps exporting its own announcement even when a
+        # better legitimate route reaches it
+        g = chain((10, 1), (10, 2), (2, 3))
+        state = propagate(
+            g,
+            (
+                Seed(asn=1, key="origin", initial_length=0),
+                Seed(asn=2, key="leak", initial_length=5),
+            ),
+        )
+        # AS3, customer of the leaker, receives the leaker's announcement
+        assert state.origins_at(3) == {"leak"}
+        assert state.route(3).length == 6
+
+
+class TestLockedCorners:
+    def test_locked_nonneighbor_is_blackholed(self, mini_graph):
+        # strict semantics: a locked AS that is not the origin's neighbor
+        # accepts nothing at all for this prefix
+        state = propagate(
+            mini_graph,
+            Seed(asn=CLOUD),
+            peer_locked={204},  # E4 is two hops from the cloud
+            locked_origin=CLOUD,
+        )
+        assert not state.has_route(204)
+
+    def test_locked_seed_is_ignored(self, mini_graph):
+        # a seed never blocks itself even if listed in the lock set
+        state = propagate(
+            mini_graph,
+            Seed(asn=CLOUD),
+            peer_locked={CLOUD},
+            locked_origin=CLOUD,
+        )
+        assert state.reachable_ases()
+
+
+class TestDeepChains:
+    def test_long_provider_chain_lengths(self):
+        # 0 <- 1 <- 2 <- ... <- 40 (each next is the customer)
+        g = ASGraph()
+        for i in range(40):
+            g.add_p2c(i + 1, i)
+        state = propagate(g, Seed(asn=0))
+        for i in range(1, 41):
+            assert state.route(i).length == i
+            assert state.route(i).route_class is RouteClass.CUSTOMER
+
+    def test_long_customer_chain_lengths(self):
+        g = ASGraph()
+        for i in range(40):
+            g.add_p2c(i, i + 1)
+        state = propagate(g, Seed(asn=0))
+        for i in range(1, 41):
+            assert state.route(i).route_class is RouteClass.PROVIDER
+            assert state.route(i).length == i

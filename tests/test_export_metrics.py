@@ -1,0 +1,106 @@
+"""Unit tests for CSV export and the metrics-comparison extension."""
+
+import csv
+
+import pytest
+
+from repro.experiments import (
+    build_context,
+    export_results,
+    metrics_comparison,
+    run_all,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return build_context("tiny")
+
+
+@pytest.fixture(scope="module")
+def ctx2015():
+    return build_context("tiny2015")
+
+
+@pytest.fixture(scope="module")
+def results(ctx, ctx2015):
+    return run_all(ctx, ctx2015, leaks_per_config=6)
+
+
+class TestExport:
+    def test_exports_every_known_result(self, results, tmp_path):
+        written = export_results(results, tmp_path / "csv")
+        names = {path.name for path in written}
+        expected = {
+            "fig2_reachability.csv",
+            "table1_2015.csv",
+            "table1_2020.csv",
+            "fig3_scatter.csv",
+            "fig4_unreachable.csv",
+            "fig6_reliance_histogram.csv",
+            "table2_top_reliance.csv",
+            "fig7_8_leak_cdfs.csv",
+            "fig9_users_detoured.csv",
+            "fig10_over_time.csv",
+            "fig11_pop_overlap.csv",
+            "fig12_coverage.csv",
+            "table3_rdns.csv",
+            "sec4_peer_counts.csv",
+            "sec5_stage_rates.csv",
+            "appendixA_path_match.csv",
+            "appendixB_tier1_reliance.csv",
+            "appendixD_geolocation.csv",
+            "fig13_path_lengths.csv",
+            "metrics_comparison.csv",
+        }
+        assert expected <= names
+
+    def test_csvs_are_parseable_with_headers(self, results, tmp_path):
+        written = export_results(results, tmp_path / "csv2")
+        for path in written:
+            with open(path, newline="") as handle:
+                rows = list(csv.reader(handle))
+            assert rows, path
+            header = rows[0]
+            assert all(header), path
+            for row in rows[1:]:
+                assert len(row) == len(header), path
+
+    def test_fig2_contents(self, results, tmp_path):
+        export_results(results, tmp_path / "csv3")
+        with open(tmp_path / "csv3" / "fig2_reachability.csv", newline="") as f:
+            rows = list(csv.DictReader(f))
+        clouds = [r for r in rows if r["cohort"] == "cloud"]
+        assert len(clouds) == 4
+        for row in rows:
+            assert int(row["hierarchy_free"]) <= int(row["provider_free"])
+
+    def test_unknown_keys_skipped(self, tmp_path):
+        written = export_results({"mystery": object()}, tmp_path / "csv4")
+        assert written == []
+
+
+class TestMetricsComparison:
+    def test_rows_cover_clouds_and_hierarchy(self, ctx):
+        result = metrics_comparison.run(ctx, hegemony_sample=10)
+        names = {row.name for row in result.rows}
+        assert {"Google", "Microsoft", "IBM", "Amazon"} <= names
+        assert len(result.rows) == 4 + len(ctx.tiers.tier1) + len(
+            ctx.tiers.tier2
+        )
+
+    def test_clouds_have_no_cone_but_high_hfr(self, ctx):
+        result = metrics_comparison.run(ctx, hegemony_sample=10)
+        google = result.row("Google")
+        assert google.customer_cone == 0
+        assert google.hierarchy_free > 0
+        # Google ranks much better on HFR than on customer cone
+        assert result.rank_of("Google", "hierarchy_free") < result.rank_of(
+            "Google", "customer_cone"
+        )
+
+    def test_hegemony_in_range_and_renders(self, ctx):
+        result = metrics_comparison.run(ctx, hegemony_sample=8)
+        for row in result.rows:
+            assert 0.0 <= row.hegemony <= 1.0
+        assert "hegemony" in result.render()

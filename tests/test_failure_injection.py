@@ -1,0 +1,101 @@
+"""Failure-injection tests: the pipeline degrades gracefully, never
+silently fabricates data."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bgpsim import Seed, propagate
+from repro.neighbors import FINAL_STAGE, infer_all_clouds, stage_by_name
+from repro.netgen import ArtifactRates, build_scenario, tiny
+from repro.traceroute import TracerouteCampaign
+
+
+def scenario_with(**artifact_overrides):
+    base = ArtifactRates()
+    config = replace(tiny(seed=13), artifacts=replace(base, **artifact_overrides))
+    return build_scenario(config)
+
+
+class TestTotalRateLimiting:
+    def test_no_traceroutes_survive(self):
+        scenario = scenario_with(rate_limited=1.0)
+        campaign = TracerouteCampaign(scenario, seed=1)
+        cloud = scenario.clouds["Google"]
+        traces = campaign.run_cloud(cloud)
+        assert traces
+        assert all(not t.reached for t in traces)
+        inferred = infer_all_clouds(scenario, {cloud: traces}, FINAL_STAGE)
+        assert inferred[cloud].neighbors == set()
+        assert inferred[cloud].used == 0
+
+
+class TestTotalTunneling:
+    def test_everything_discarded_without_cloud_hops(self):
+        scenario = scenario_with(tunnel_suppression=1.0, rate_limited=0.0)
+        campaign = TracerouteCampaign(scenario, seed=1)
+        cloud = scenario.clouds["Google"]
+        traces = campaign.run_cloud(cloud)
+        inferred = infer_all_clouds(scenario, {cloud: traces}, FINAL_STAGE)
+        # no traceroute has a cloud hop adjacent to the border → nothing
+        # can be inferred (the paper's Google standard-tier problem)
+        assert inferred[cloud].neighbors == set()
+        assert inferred[cloud].discarded == len(
+            [t for t in traces if t.reached]
+        )
+
+
+class TestTotalBorderLoss:
+    def test_discard_policy_yields_nothing_and_skip_policy_fabricates(self):
+        scenario = scenario_with(
+            unresponsive_border=1.0, rate_limited=0.0, tunnel_suppression=0.0
+        )
+        campaign = TracerouteCampaign(scenario, seed=1)
+        cloud = scenario.clouds["Google"]
+        traces = campaign.run_cloud(cloud)
+        final = infer_all_clouds(scenario, {cloud: traces}, FINAL_STAGE)
+        assert final[cloud].neighbors == set()
+        # V0's skip-one-hop rule fabricates neighbors from second hops
+        naive = infer_all_clouds(
+            scenario, {cloud: traces}, stage_by_name("V0")
+        )
+        truth = scenario.true_cloud_neighbors(cloud)
+        fabricated = naive[cloud].neighbors - truth
+        assert fabricated  # exactly the §5 failure mode
+
+
+class TestMaximumMisattribution:
+    def test_fdr_explodes_with_full_misattribution(self):
+        clean = scenario_with(ixp_misattribution=0.0, rate_limited=0.0)
+        dirty = scenario_with(ixp_misattribution=1.0, rate_limited=0.0)
+        for scenario, expect_noise in ((clean, False), (dirty, True)):
+            campaign = TracerouteCampaign(scenario, seed=1)
+            cloud = scenario.clouds["Google"]
+            traces = campaign.run_cloud(cloud)
+            inferred = infer_all_clouds(scenario, {cloud: traces}, FINAL_STAGE)
+            truth = scenario.true_cloud_neighbors(cloud)
+            false_positives = inferred[cloud].neighbors - truth
+            if expect_noise:
+                assert false_positives
+            else:
+                assert not false_positives
+
+
+class TestDisconnectedDestinations:
+    def test_unrouted_destination_produces_no_trace(self):
+        scenario = build_scenario(tiny(seed=13))
+        graph = scenario.graph
+        graph.add_as(777)  # disconnected AS with no prefix
+        campaign = TracerouteCampaign(scenario, seed=1)
+        cloud = scenario.clouds["Google"]
+        from repro.traceroute import vantage_points
+
+        vm = vantage_points(scenario, cloud)[0]
+        assert campaign.forwarding_path(vm, 777, wan_egress=True) is None
+
+    def test_propagation_with_isolated_node(self):
+        scenario = build_scenario(tiny(seed=13))
+        graph = scenario.graph.copy()
+        graph.add_as(777)
+        state = propagate(graph, Seed(asn=777))
+        assert state.reachable_ases() == frozenset()

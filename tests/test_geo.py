@@ -1,0 +1,142 @@
+"""Unit tests for the geography substrate."""
+
+import pytest
+
+from repro.geo import (
+    CONTINENT_ORDER,
+    COVERAGE_RADII_KM,
+    Continent,
+    PopulationGrid,
+    WORLD_CITIES,
+    cities_in,
+    city_by_code,
+    coverage_rows,
+    haversine_km,
+    largest_cities,
+    population_coverage,
+    rtt_floor_ms,
+    total_population_m,
+    within_km,
+)
+
+
+class TestCities:
+    def test_dataset_sanity(self):
+        assert len(WORLD_CITIES) > 100
+        codes = {c.code for c in WORLD_CITIES}
+        assert len(codes) == len(WORLD_CITIES)
+        for city in WORLD_CITIES:
+            assert -90 <= city.lat <= 90
+            assert -180 <= city.lon <= 180
+            assert city.population_m > 0
+
+    def test_lookup(self):
+        nyc = city_by_code("NYC")
+        assert nyc.name == "New York"
+        assert nyc.continent is Continent.NORTH_AMERICA
+        with pytest.raises(KeyError):
+            city_by_code("xxx")
+
+    def test_every_continent_represented(self):
+        for continent in Continent:
+            assert cities_in(continent)
+
+    def test_largest_cities_sorted(self):
+        top = largest_cities(5)
+        pops = [c.population_m for c in top]
+        assert pops == sorted(pops, reverse=True)
+        assert top[0].name == "Tokyo"
+
+    def test_total_population(self):
+        assert 800 < total_population_m() < 2000  # ~1.1B metro residents
+
+
+class TestDistance:
+    def test_zero_distance(self):
+        assert haversine_km(51.5, -0.1, 51.5, -0.1) == 0.0
+
+    def test_known_distance_london_paris(self):
+        lon = city_by_code("lon")
+        par = city_by_code("par")
+        d = haversine_km(lon.lat, lon.lon, par.lat, par.lon)
+        assert 330 < d < 360  # ~344 km
+
+    def test_antipodal_is_half_circumference(self):
+        d = haversine_km(0, 0, 0, 180)
+        assert d == pytest.approx(20015, rel=0.01)
+
+    def test_within_km(self):
+        assert within_km(0, 0, 0, 1, 112)
+        assert not within_km(0, 0, 0, 2, 112)
+
+    def test_rtt_floor_increases_with_distance(self):
+        assert rtt_floor_ms(100) < rtt_floor_ms(1000)
+        assert rtt_floor_ms(100) == pytest.approx(1.5, rel=0.01)
+
+
+class TestPopulationGrid:
+    def test_total_preserved(self):
+        grid = PopulationGrid()
+        assert grid.total_population == pytest.approx(
+            total_population_m() * 1e6, rel=1e-9
+        )
+
+    def test_city_center_coverage(self):
+        grid = PopulationGrid()
+        tokyo = city_by_code("tyo")
+        covered = grid.population_within([(tokyo.lat, tokyo.lon)], 500)
+        # all of Tokyo plus Nagoya etc.; far more than Tokyo's core weight
+        assert covered >= 37.3e6 * 0.46
+
+    def test_no_coverage_in_ocean(self):
+        grid = PopulationGrid()
+        assert grid.population_within([(-48.0, -120.0)], 300) == 0.0
+
+    def test_union_not_double_counted(self):
+        grid = PopulationGrid()
+        tokyo = city_by_code("tyo")
+        point = (tokyo.lat, tokyo.lon)
+        single = grid.population_within([point], 500)
+        double = grid.population_within([point, point], 500)
+        assert single == double
+
+    def test_continent_restriction(self):
+        grid = PopulationGrid()
+        europe = grid.continent_population(Continent.EUROPE)
+        assert 0 < europe < grid.total_population
+        lon = city_by_code("lon")
+        covered = grid.population_within(
+            [(lon.lat, lon.lon)], 500, Continent.ASIA
+        )
+        assert covered == 0.0
+
+
+class TestCoverage:
+    def test_radii_constants(self):
+        assert COVERAGE_RADII_KM == (500, 700, 1000)
+
+    def test_coverage_monotone_in_radius(self):
+        grid = PopulationGrid()
+        lon = city_by_code("lon")
+        cov = population_coverage(grid, [(lon.lat, lon.lon)])
+        assert 0 < cov[500] <= cov[700] <= cov[1000] <= 1.0
+
+    def test_coverage_rows_world_and_continent(self):
+        grid = PopulationGrid()
+        lon = city_by_code("lon")
+        rows = coverage_rows(
+            grid, {"TestNet": [(lon.lat, lon.lon)]}, per_continent=True
+        )
+        labels = {(r.label, r.region) for r in rows}
+        assert ("TestNet", "World") in labels
+        assert ("TestNet", "Europe") in labels
+        assert len(rows) == 1 + len(CONTINENT_ORDER)
+        world = next(r for r in rows if r.region == "World")
+        assert 0 < world.percent(500) <= world.percent(1000) <= 100
+        with pytest.raises(KeyError):
+            world.percent(123)
+
+    def test_empty_footprint_zero_coverage(self):
+        grid = PopulationGrid()
+        cov = population_coverage(grid, [])
+        assert cov == {500: 0.0, 700: 0.0, 1000: 0.0}

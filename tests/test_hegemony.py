@@ -1,0 +1,86 @@
+"""Unit tests for the AS hegemony metric."""
+
+import random
+
+import pytest
+
+from repro.bgpsim import Seed, propagate
+from repro.bgpsim.cache import RoutingStateCache
+from repro.core import (
+    global_hegemony,
+    local_hegemony,
+    path_cross_fractions,
+    trimmed_mean,
+)
+
+from .conftest import CLOUD, CONTENT, E1, E2, E3, E4, T1A, T1B, T2A, T2B
+
+
+class TestTrimmedMean:
+    def test_plain_mean_when_small(self):
+        assert trimmed_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_trims_extremes(self):
+        values = [0.0] * 2 + [0.5] * 16 + [1.0] * 2
+        assert trimmed_mean(values, trim=0.1) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert trimmed_mean([]) == 0.0
+
+
+class TestCrossFractions:
+    def test_fractions_from_mini(self, mini_graph):
+        state = propagate(mini_graph, Seed(asn=CLOUD))
+        fractions = path_cross_fractions(state, T2A)
+        # AS11 carries AS1's only path (via 11) and AS203's (via 1)
+        assert fractions[T2A] == 1.0
+        assert fractions[T1A] == 1.0
+        assert fractions[E3] == 1.0
+        # direct peers never cross AS11
+        assert fractions[T2B] == 0.0
+        assert fractions[E2] == 0.0
+        assert fractions[CLOUD] == 0.0  # the origin
+
+    def test_absent_target(self, mini_graph):
+        state = propagate(mini_graph, Seed(asn=CLOUD), excluded={T2A})
+        assert path_cross_fractions(state, T2A) == {}
+
+    def test_fraction_range(self, mini_graph):
+        state = propagate(mini_graph, Seed(asn=CLOUD))
+        for target in mini_graph.nodes():
+            for value in path_cross_fractions(state, target).values():
+                assert 0.0 <= value <= 1.0
+
+
+class TestHegemony:
+    def test_local_hegemony_of_sole_provider(self, mini_graph):
+        # everything AS204 is reached through goes via AS201
+        value = local_hegemony(mini_graph, E4, E1)
+        assert value > 0.9
+
+    def test_local_hegemony_of_unused_as(self, mini_graph):
+        value = local_hegemony(mini_graph, CLOUD, E4)
+        assert value == 0.0
+
+    def test_global_hegemony_ranks_transit_over_stubs(self, mini_graph):
+        scores = global_hegemony(
+            mini_graph,
+            targets=[T2A, T2B, E4, CONTENT],
+            origins=sorted(mini_graph.nodes()),
+        )
+        assert scores[T2A] > scores[E4]
+        assert scores[T2B] > scores[CONTENT]
+        for value in scores.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_cache_reuse(self, mini_graph):
+        cache = RoutingStateCache(mini_graph)
+        local_hegemony(mini_graph, CLOUD, T2A, cache)
+        local_hegemony(mini_graph, CLOUD, T2B, cache)
+        assert len(cache) == 1  # one origin, one propagation
+
+    def test_sampled_origins(self, mini_graph):
+        scores = global_hegemony(
+            mini_graph, targets=[T2A], sample=4, rng=random.Random(1)
+        )
+        assert set(scores) == {T2A}

@@ -1,0 +1,165 @@
+"""Unit tests for AS-relationship inference (Gao / AS-Rank-style)."""
+
+import random
+
+import pytest
+
+from repro.collectors import collect_ribs
+from repro.inference import (
+    clean_paths,
+    coverage,
+    evaluate_inference,
+    infer_asrank,
+    infer_clique_from_paths,
+    infer_gao,
+    observed_adjacencies,
+    observed_degree,
+    observed_transit_degree,
+)
+from repro.netgen import build_scenario, tiny
+from repro.topology import Relationship
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(tiny())
+
+
+@pytest.fixture(scope="module")
+def paths(scenario):
+    dump = collect_ribs(
+        scenario.graph, scenario.monitors, scenario.prefixes,
+        rng=random.Random(1),
+    )
+    return dump.paths()
+
+
+class TestPathHelpers:
+    def test_clean_paths_removes_prepending(self):
+        assert clean_paths([(1, 1, 2, 2, 3)]) == [(1, 2, 3)]
+
+    def test_clean_paths_drops_loops(self):
+        assert clean_paths([(1, 2, 1)]) == []
+        assert clean_paths([(1, 2, 3), (4, 5, 4)]) == [(1, 2, 3)]
+
+    def test_observed_degree(self):
+        degree = observed_degree([(1, 2, 3), (1, 4)])
+        assert degree[1] == 2
+        assert degree[2] == 2
+        assert degree[4] == 1
+
+    def test_transit_degree_counts_middle_positions(self):
+        td = observed_transit_degree([(1, 2, 3), (4, 2, 5)])
+        assert td[2] == 4
+        assert 1 not in td  # never in the middle
+
+    def test_adjacencies(self):
+        edges = observed_adjacencies([(1, 2, 3)])
+        assert edges == {frozenset((1, 2)), frozenset((2, 3))}
+
+
+class TestHandBuiltExample:
+    """A tiny hierarchy where both algorithms must get every edge right."""
+
+    # Two Tier-1s (1, 2) peering at the top, three customers each
+    # (10-12 / 20-22), stubs 100 and 200, monitors at 100/200/11/21.
+    PATHS = [
+        (100, 10, 1, 11), (100, 10, 1, 12), (100, 10, 1),
+        (100, 10, 1, 2), (100, 10, 1, 2, 20), (100, 10, 1, 2, 21),
+        (100, 10, 1, 2, 22), (100, 10, 1, 2, 20, 200),
+        (200, 20, 2, 21), (200, 20, 2, 22), (200, 20, 2),
+        (200, 20, 2, 1), (200, 20, 2, 1, 10), (200, 20, 2, 1, 11),
+        (200, 20, 2, 1, 12), (200, 20, 2, 1, 10, 100),
+        (11, 1, 10), (11, 1, 12), (11, 1), (11, 1, 10, 100),
+        (11, 1, 2), (11, 1, 2, 20), (11, 1, 2, 21), (11, 1, 2, 22),
+        (21, 2, 20), (21, 2, 22), (21, 2), (21, 2, 20, 200),
+        (21, 2, 1), (21, 2, 1, 10), (21, 2, 1, 11), (21, 2, 1, 12),
+    ] * 2
+
+    def test_gao_recovers_hierarchy(self):
+        result = infer_gao(self.PATHS)
+        rel = result.relationship_of
+        assert rel(1, 2) is Relationship.PEER_PEER
+        assert rel(1, 10) is Relationship.PROVIDER_CUSTOMER
+        assert rel(10, 100) is Relationship.PROVIDER_CUSTOMER
+
+    def test_asrank_recovers_hierarchy(self):
+        result = infer_asrank(self.PATHS)
+        graph = result.as_graph()
+        assert graph.relationship_between(1, 2) is Relationship.PEER_PEER
+        assert 10 in graph.customers(1)
+        assert 100 in graph.customers(10)
+        assert result.clique == {1, 2}
+
+
+class TestOnScenario:
+    def test_asrank_clique_is_real_tier1s(self, scenario, paths):
+        from repro.inference.paths import clean_paths as cp
+        from repro.inference.paths import observed_transit_degree as otd
+
+        usable = cp(paths)
+        clique = infer_clique_from_paths(usable, otd(usable))
+        # every clique member is a genuine transit network (Tier-1/Tier-2/
+        # regional), never a stub or an edge AS
+        assert clique
+        for asn in clique:
+            assert not scenario.graph.is_stub(asn), asn
+            assert scenario.kind_of(asn).value in (
+                "tier1", "tier2", "regional"
+            )
+
+    def test_asrank_beats_gao_overall(self, scenario, paths):
+        gao_acc = evaluate_inference(scenario.graph, infer_gao(paths).records)
+        asrank_acc = evaluate_inference(
+            scenario.graph, infer_asrank(paths).records
+        )
+        assert asrank_acc.accuracy > gao_acc.accuracy
+        assert asrank_acc.accuracy > 0.8
+        assert asrank_acc.p2c_accuracy > 0.9
+
+    def test_gao_weak_on_peerings_strong_on_transit(self, scenario, paths):
+        # Gao's known failure mode (the reason AS-Rank/ProbLink exist):
+        # peerings are much harder for it than transit edges
+        acc = evaluate_inference(scenario.graph, infer_gao(paths).records)
+        assert acc.accuracy > 0.4
+        assert acc.p2p_accuracy > 0.3
+        assert acc.unknown_edges == 0  # collectors only report real links
+
+    def test_coverage_below_one(self, scenario, paths):
+        # BGP collectors cannot see most edge peerings (§4.1), so path
+        # coverage of the true edge set is well below 100%
+        result = infer_asrank(paths)
+        cov = coverage(scenario.graph, result.records)
+        assert 0.2 < cov < 0.95
+
+    def test_inferred_graph_is_valid(self, scenario, paths):
+        graph = infer_asrank(paths).as_graph()
+        graph.validate()
+        assert len(graph) > 0
+
+
+class TestEvaluation:
+    def test_accuracy_math(self, scenario):
+        truth = scenario.graph
+        records = list(truth.records())
+        acc = evaluate_inference(truth, records)
+        assert acc.accuracy == 1.0
+        assert acc.p2c_accuracy == 1.0
+        assert acc.p2p_accuracy == 1.0
+        assert coverage(truth, records) == 1.0
+
+    def test_reversed_p2c_is_wrong(self, scenario):
+        from repro.topology.relationships import RelationshipRecord
+
+        truth = scenario.graph
+        record = next(r for r in truth.records() if r.is_transit)
+        flipped = RelationshipRecord(
+            record.right, record.left, Relationship.PROVIDER_CUSTOMER
+        )
+        acc = evaluate_inference(truth, [flipped])
+        assert acc.accuracy == 0.0
+        assert acc.p2c_total == 1
+
+    def test_summary_renders(self, scenario):
+        acc = evaluate_inference(scenario.graph, list(scenario.graph.records()))
+        assert "overall" in acc.summary()

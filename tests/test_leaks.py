@@ -1,0 +1,158 @@
+"""Unit tests for route-leak resilience simulation (§8)."""
+
+import random
+
+import pytest
+
+from repro.bgpsim import LeakMode, Seed
+from repro.core import (
+    LEAK_CONFIGURATIONS,
+    PeerLockSemantics,
+    average_resilience_curve,
+    cdf_points,
+    configuration_seed_and_locks,
+    fraction_at_most,
+    resilience_curve,
+    simulate_leak,
+)
+
+from .conftest import CLOUD, CONTENT, E3, T1B, T2B
+
+
+class TestSimulateLeak:
+    def test_content_leak_detours_hierarchy(self, mini_graph):
+        outcome = simulate_leak(mini_graph, CLOUD, CONTENT)
+        # AS12 prefers the leaked customer route; AS2's only customer route
+        # comes from AS12, so both are detoured (hand-computed).
+        assert outcome.detoured == {T2B, T1B}
+        assert outcome.total_ases == 10
+        assert outcome.fraction_detoured == pytest.approx(2 / 8)
+
+    def test_distant_stub_leak_is_harmless(self, mini_graph):
+        outcome = simulate_leak(mini_graph, CLOUD, E3)
+        assert outcome.detoured == frozenset()
+        assert outcome.fraction_detoured == 0.0
+
+    def test_peer_locking_stops_content_leak(self, mini_graph, mini_tiers):
+        seed, locks = configuration_seed_and_locks(
+            mini_graph, CLOUD, mini_tiers, "announce_all_t1t2_lock"
+        )
+        outcome = simulate_leak(mini_graph, seed, CONTENT, peer_locked=locks)
+        assert outcome.detoured == frozenset()
+
+    def test_global_lock_virtually_immunizes(self, mini_graph, mini_tiers):
+        # Global locking confines the leak's effect to ASes whose only
+        # legitimate paths already traverse the leaker (worst-case
+        # accounting); it never makes any leak worse.
+        seed, locks = configuration_seed_and_locks(
+            mini_graph, CLOUD, mini_tiers, "announce_all_global_lock"
+        )
+        for leaker in mini_graph.nodes():
+            if leaker == CLOUD:
+                continue
+            locked = simulate_leak(mini_graph, seed, leaker, peer_locked=locks)
+            unlocked = simulate_leak(mini_graph, CLOUD, leaker)
+            if locked is None:
+                continue
+            assert locked.detoured <= unlocked.detoured
+
+    def test_global_lock_specific_outcomes(self, mini_graph, mini_tiers):
+        seed, locks = configuration_seed_and_locks(
+            mini_graph, CLOUD, mini_tiers, "announce_all_global_lock"
+        )
+        # The content AS's leak dies at its locked provider AS12.
+        outcome = simulate_leak(mini_graph, seed, CONTENT, peer_locked=locks)
+        assert outcome.detoured == frozenset()
+        # A stub's leak to its unlocked Tier-1 provider loses on length.
+        outcome = simulate_leak(mini_graph, seed, E3, peer_locked=locks)
+        assert outcome.detoured == frozenset()
+
+    def test_hijack_mode_needs_no_route(self, mini_graph):
+        g = mini_graph.copy()
+        g.add_as(999)  # disconnected AS cannot re-announce but can hijack
+        assert simulate_leak(g, CLOUD, 999) is None
+        outcome = simulate_leak(g, CLOUD, 999, mode=LeakMode.HIJACK)
+        assert outcome is not None
+        assert outcome.detoured == frozenset()  # no neighbors to leak to
+
+    def test_hijack_detours_more_than_reannounce(self, mini_graph):
+        leak = simulate_leak(mini_graph, CLOUD, CONTENT)
+        hijack = simulate_leak(mini_graph, CLOUD, CONTENT, mode=LeakMode.HIJACK)
+        assert leak.detoured <= hijack.detoured
+
+    def test_invalid_leaker_rejected(self, mini_graph):
+        with pytest.raises(ValueError):
+            simulate_leak(mini_graph, CLOUD, CLOUD)
+        with pytest.raises(ValueError):
+            simulate_leak(mini_graph, CLOUD, 8888)
+
+    def test_users_weighting(self, mini_graph):
+        outcome = simulate_leak(mini_graph, CLOUD, CONTENT)
+        users = {T2B: 50, T1B: 30, E3: 20}
+        assert outcome.fraction_users_detoured(users) == pytest.approx(0.8)
+        assert outcome.fraction_users_detoured({E3: 7}) == 0.0
+        assert outcome.fraction_users_detoured({}) == 0.0
+
+    def test_announce_hierarchy_only_weakens_resilience(self, mini, mini_tiers):
+        graph, tiers = mini
+        # When the cloud announces only to the hierarchy, its direct peer
+        # routes vanish and the content leak captures strictly more ASes.
+        seed, _ = configuration_seed_and_locks(
+            graph, CLOUD, tiers, "announce_hierarchy_only"
+        )
+        restricted = simulate_leak(graph, seed, CONTENT)
+        baseline = simulate_leak(graph, CLOUD, CONTENT)
+        assert baseline.detoured < restricted.detoured
+
+
+class TestSemanticsAblation:
+    def test_erratum_filters_at_least_as_much_as_original(self, mini, mini_tiers):
+        graph, tiers = mini
+        seed, locks = configuration_seed_and_locks(
+            graph, CLOUD, tiers, "announce_all_t1t2_lock"
+        )
+        for leaker in graph.nodes():
+            if leaker == CLOUD:
+                continue
+            erratum = simulate_leak(
+                graph, seed, leaker, peer_locked=locks,
+                semantics=PeerLockSemantics.ERRATUM,
+            )
+            original = simulate_leak(
+                graph, seed, leaker, peer_locked=locks,
+                semantics=PeerLockSemantics.ORIGINAL,
+            )
+            if erratum is None or original is None:
+                continue
+            assert erratum.detoured <= original.detoured
+
+
+class TestCurves:
+    def test_resilience_curve_sorted(self, mini, mini_tiers):
+        graph, tiers = mini
+        leakers = [a for a in graph.nodes() if a != CLOUD]
+        for configuration in LEAK_CONFIGURATIONS:
+            curve = resilience_curve(graph, CLOUD, tiers, configuration, leakers)
+            assert curve == sorted(curve)
+            assert all(0.0 <= x <= 1.0 for x in curve)
+
+    def test_average_resilience_curve(self, mini_graph):
+        curve = average_resilience_curve(
+            mini_graph, random.Random(7), origins=4, leakers_per_origin=4
+        )
+        assert curve
+        assert all(0.0 <= x <= 1.0 for x in curve)
+
+    def test_cdf_points(self):
+        points = cdf_points([0.5, 0.1, 0.1, 1.0])
+        assert points[0] == (0.1, 0.25)
+        assert points[-1] == (1.0, 1.0)
+
+    def test_fraction_at_most(self):
+        assert fraction_at_most([0.0, 0.1, 0.5], 0.2) == pytest.approx(2 / 3)
+        assert fraction_at_most([], 0.5) == 0.0
+
+    def test_unknown_configuration_rejected(self, mini, mini_tiers):
+        graph, tiers = mini
+        with pytest.raises(ValueError):
+            configuration_seed_and_locks(graph, CLOUD, tiers, "bogus")

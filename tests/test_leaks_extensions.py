@@ -1,0 +1,107 @@
+"""Unit tests for the leak-model extensions (sub-prefix hijack, lock
+coverage sweep)."""
+
+import random
+
+import pytest
+
+from repro.bgpsim import LeakMode
+from repro.core import (
+    PeerLockSemantics,
+    lock_coverage_sweep,
+    simulate_leak,
+)
+
+from .conftest import CLOUD, CONTENT, E3, T2B
+
+
+class TestSubprefixHijack:
+    def test_subprefix_detours_everyone_reachable(self, mini_graph):
+        outcome = simulate_leak(
+            mini_graph, CLOUD, CONTENT, mode=LeakMode.SUBPREFIX
+        )
+        # the more-specific always wins: everyone with any route to the
+        # leaker is detoured, except the origin itself
+        assert outcome.detoured == (
+            frozenset(mini_graph.nodes()) - {CLOUD, CONTENT}
+        )
+
+    def test_subprefix_worse_than_equal_length_modes(self, mini_graph):
+        leak = simulate_leak(mini_graph, CLOUD, CONTENT)
+        hijack = simulate_leak(mini_graph, CLOUD, CONTENT, mode=LeakMode.HIJACK)
+        subprefix = simulate_leak(
+            mini_graph, CLOUD, CONTENT, mode=LeakMode.SUBPREFIX
+        )
+        assert leak.detoured <= hijack.detoured <= subprefix.detoured
+
+    def test_peer_locking_still_filters_subprefix(self, mini_graph):
+        locked = simulate_leak(
+            mini_graph, CLOUD, CONTENT, mode=LeakMode.SUBPREFIX,
+            peer_locked=mini_graph.neighbors(CLOUD),
+        )
+        unlocked = simulate_leak(
+            mini_graph, CLOUD, CONTENT, mode=LeakMode.SUBPREFIX
+        )
+        # AS12 (locked) drops the leak entirely, protecting its cone and
+        # everything behind it
+        assert T2B not in locked.detoured
+        assert locked.detoured < unlocked.detoured
+
+    def test_original_semantics_weaker_on_subprefix(self, mini_graph):
+        locks = mini_graph.neighbors(CLOUD)
+        erratum = simulate_leak(
+            mini_graph, CLOUD, CONTENT, mode=LeakMode.SUBPREFIX,
+            peer_locked=locks, semantics=PeerLockSemantics.ERRATUM,
+        )
+        original = simulate_leak(
+            mini_graph, CLOUD, CONTENT, mode=LeakMode.SUBPREFIX,
+            peer_locked=locks, semantics=PeerLockSemantics.ORIGINAL,
+        )
+        assert erratum.detoured <= original.detoured
+
+    def test_disconnected_leaker_detours_nobody(self, mini_graph):
+        g = mini_graph.copy()
+        g.add_as(999)
+        outcome = simulate_leak(g, CLOUD, 999, mode=LeakMode.SUBPREFIX)
+        assert outcome.detoured == frozenset()
+
+
+class TestLockCoverageSweep:
+    def test_zero_coverage_equals_plain_leak(self, mini_graph):
+        leakers = [CONTENT, E3]
+        sweep = lock_coverage_sweep(
+            mini_graph, CLOUD, leakers, coverages=(0.0,),
+        )
+        expected = []
+        for leaker in leakers:
+            outcome = simulate_leak(mini_graph, CLOUD, leaker)
+            expected.append(outcome.fraction_detoured)
+        assert sweep[0.0] == pytest.approx(sum(expected) / len(expected))
+
+    def test_sweep_trends_downward(self, mini_graph):
+        leakers = sorted(a for a in mini_graph.nodes() if a != CLOUD)
+        sweep = lock_coverage_sweep(
+            mini_graph, CLOUD, leakers,
+            coverages=(0.0, 0.5, 1.0),
+            rng=random.Random(4),
+        )
+        assert sweep[1.0] <= sweep[0.0] + 1e-9
+        assert set(sweep) == {0.0, 0.5, 1.0}
+
+    def test_full_coverage_matches_global_lock(self, mini_graph):
+        from repro.core import configuration_seed_and_locks
+        from repro.topology import TierAssignment
+
+        leakers = sorted(a for a in mini_graph.nodes() if a != CLOUD)
+        sweep = lock_coverage_sweep(
+            mini_graph, CLOUD, leakers, coverages=(1.0,)
+        )
+        fractions = []
+        for leaker in leakers:
+            outcome = simulate_leak(
+                mini_graph, CLOUD, leaker,
+                peer_locked=mini_graph.neighbors(CLOUD),
+            )
+            if outcome is not None:
+                fractions.append(outcome.fraction_detoured)
+        assert sweep[1.0] == pytest.approx(sum(fractions) / len(fractions))

@@ -1,0 +1,140 @@
+"""Unit tests for the reachability metric family (§6)."""
+
+import pytest
+
+from repro.core import (
+    ConeEngine,
+    ReachabilityReport,
+    all_customer_cone_sizes,
+    customer_cone,
+    customer_cone_size,
+    full_reachability,
+    hierarchy_free_reachability,
+    hierarchy_free_set,
+    hierarchy_free_sweep,
+    node_degree,
+    provider_free_reachability,
+    rank_by,
+    reachability_report,
+    tier1_free_reachability,
+    transit_degree,
+)
+
+from .conftest import CLOUD, CONTENT, E1, E2, E3, E4, T1A, T1B, T2A, T2B
+
+
+class TestCloudReachability:
+    def test_full(self, mini):
+        graph, _ = mini
+        assert full_reachability(graph, CLOUD) == 9
+
+    def test_provider_free(self, mini):
+        graph, _ = mini
+        assert provider_free_reachability(graph, CLOUD) == 6
+
+    def test_tier1_free(self, mini):
+        graph, tiers = mini
+        assert tier1_free_reachability(graph, CLOUD, tiers) == 5
+
+    def test_hierarchy_free(self, mini):
+        graph, tiers = mini
+        assert hierarchy_free_reachability(graph, CLOUD, tiers) == 3
+
+    def test_hierarchy_free_set(self, mini):
+        graph, tiers = mini
+        assert hierarchy_free_set(graph, CLOUD, tiers) == {E1, E2, E4}
+
+    def test_report_nesting(self, mini):
+        graph, tiers = mini
+        report = reachability_report(graph, CLOUD, tiers)
+        assert report.full == 9
+        assert report.provider_free == 6
+        assert report.tier1_free == 5
+        assert report.hierarchy_free == 3
+
+    def test_report_fractions(self, mini):
+        graph, tiers = mini
+        report = reachability_report(graph, CLOUD, tiers)
+        fractions = report.as_fractions(len(graph))
+        assert fractions["full"] == 1.0
+        assert fractions["hierarchy_free"] == pytest.approx(3 / 9)
+
+    def test_report_rejects_non_nested(self):
+        with pytest.raises(ValueError):
+            ReachabilityReport(
+                origin=1, full=5, provider_free=6, tier1_free=2, hierarchy_free=1
+            )
+
+
+class TestTierOrigins:
+    def test_tier1_provider_free_is_max(self, mini):
+        graph, tiers = mini
+        assert provider_free_reachability(graph, T1A) == len(graph) - 1
+        assert provider_free_reachability(graph, T1B) == len(graph) - 1
+
+    def test_tier1_loses_reach_without_other_tier1s(self, mini):
+        graph, tiers = mini
+        # AS1 without AS2: loses AS12's cone except what its own cone holds.
+        assert tier1_free_reachability(graph, T1A, tiers) == 5
+        # AS2's own cone is small; its extra peering with the cloud does not
+        # extend it because the cloud has no customers.
+        assert tier1_free_reachability(graph, T1B, tiers) == 4
+
+    def test_tier2_hierarchy_free(self, mini):
+        graph, tiers = mini
+        # Without AS1/AS2/AS12, AS11 is left with its own customer cone.
+        assert hierarchy_free_reachability(graph, T2A, tiers) == 3
+
+
+class TestSweep:
+    def test_sweep_matches_per_origin(self, mini):
+        graph, tiers = mini
+        sweep = hierarchy_free_sweep(graph, tiers)
+        assert set(sweep) == set(graph.nodes())
+        for origin, value in sweep.items():
+            assert value == hierarchy_free_reachability(graph, origin, tiers)
+
+    def test_sweep_with_explicit_origins_and_engine(self, mini):
+        graph, tiers = mini
+        engine = ConeEngine(graph, excluded=tiers.hierarchy)
+        sweep = hierarchy_free_sweep(
+            graph, tiers, origins=[CLOUD, E3], engine=engine
+        )
+        assert sweep == {
+            CLOUD: 3,
+            E3: hierarchy_free_reachability(graph, E3, tiers),
+        }
+
+    def test_sweep_rejects_mismatched_engine(self, mini):
+        graph, tiers = mini
+        engine = ConeEngine(graph)  # no exclusion
+        with pytest.raises(ValueError):
+            hierarchy_free_sweep(graph, tiers, engine=engine)
+
+    def test_rank_by(self):
+        ranked = rank_by({1: 5, 2: 9, 3: 5})
+        assert ranked == [(2, 9), (1, 5), (3, 5)]
+
+
+class TestCones:
+    def test_customer_cone_contents(self, mini_graph):
+        assert customer_cone(mini_graph, T2A) == {CLOUD, E1, E4}
+        assert customer_cone(mini_graph, T1A) == {T2A, CLOUD, E1, E4, E3}
+        assert customer_cone(mini_graph, CLOUD) == frozenset()
+
+    def test_customer_cone_size(self, mini_graph):
+        assert customer_cone_size(mini_graph, T1A) == 5
+        assert customer_cone_size(mini_graph, CONTENT) == 0
+
+    def test_all_cone_sizes(self, mini_graph):
+        sizes = all_customer_cone_sizes(mini_graph)
+        for asn in mini_graph.nodes():
+            assert sizes[asn] == customer_cone_size(mini_graph, asn)
+
+    def test_degrees(self, mini_graph):
+        assert node_degree(mini_graph, CLOUD) == 5
+        assert transit_degree(mini_graph, CLOUD) == 1
+
+    def test_unknown_as_raises(self, mini_graph):
+        with pytest.raises(KeyError):
+            customer_cone(mini_graph, 5555)

@@ -1,0 +1,245 @@
+"""Unit tests for the synthetic Internet generator."""
+
+import ipaddress
+
+import pytest
+
+from repro.core import hierarchy_free_reachability
+from repro.netgen import (
+    ASKind,
+    InterconnectMedium,
+    build_scenario,
+    profile,
+    tiny,
+)
+from repro.netgen.addressing import (
+    allocate_as_prefixes,
+    as_prefix,
+    host_in,
+    ixp_lan,
+    router_ip,
+)
+from repro.netgen.population import eyeball_ases, zipf_shares
+from repro.topology import Relationship
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(tiny())
+
+
+class TestAddressing:
+    def test_as_prefixes_disjoint(self):
+        prefixes = allocate_as_prefixes([10, 20, 30])
+        nets = list(prefixes.values())
+        assert len({str(n) for n in nets}) == 3
+        for i, a in enumerate(nets):
+            for b in nets[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_ixp_lan_disjoint_from_as_space(self):
+        assert not as_prefix(0).overlaps(ixp_lan(0))
+        assert ixp_lan(1) != ixp_lan(2)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            as_prefix(10**6)
+        with pytest.raises(ValueError):
+            ixp_lan(-1)
+
+    def test_host_and_router_ips_inside_prefix(self):
+        prefix = as_prefix(3)
+        assert host_in(prefix, 5) in prefix
+        assert router_ip(prefix, 2, 1) in prefix
+        assert router_ip(prefix, 2, 1) != router_ip(prefix, 2, 2)
+        with pytest.raises(ValueError):
+            host_in(prefix, 0)
+
+
+class TestPopulationHelpers:
+    def test_zipf_shares_normalized(self):
+        shares = zipf_shares(5)
+        assert sum(shares) == pytest.approx(1.0)
+        assert shares == sorted(shares, reverse=True)
+        assert zipf_shares(0) == []
+
+    def test_eyeball_ases(self):
+        assert eyeball_ases({1: 10, 2: 0, 3: 5}) == {1, 3}
+
+
+class TestScenarioStructure:
+    def test_deterministic(self):
+        a = build_scenario(tiny(seed=3))
+        b = build_scenario(tiny(seed=3))
+        assert a.summary() == b.summary()
+        assert sorted(a.graph.nodes()) == sorted(b.graph.nodes())
+        assert a.prefixes == b.prefixes
+
+    def test_seed_changes_topology(self):
+        a = build_scenario(tiny(seed=3))
+        b = build_scenario(tiny(seed=4))
+        assert set(a.graph.records()) != set(b.graph.records())
+
+    def test_graph_valid_and_counts(self, scenario):
+        scenario.graph.validate()
+        cfg = scenario.config
+        assert len(scenario.graph) == cfg.total_ases
+        assert len(scenario.tiers.tier1) == cfg.n_tier1
+        assert len(scenario.tiers.tier2) == cfg.n_tier2
+
+    def test_tier1_clique(self, scenario):
+        tier1 = sorted(scenario.tiers.tier1)
+        for i, a in enumerate(tier1):
+            assert not scenario.graph.providers(a)
+            for b in tier1[i + 1 :]:
+                assert (
+                    scenario.graph.relationship_between(a, b)
+                    is Relationship.PEER_PEER
+                )
+
+    def test_every_as_connected(self, scenario):
+        for asn in scenario.graph:
+            if scenario.kind_of(asn) is ASKind.IXP:
+                continue
+            assert scenario.graph.degree(asn) > 0, scenario.name_of(asn)
+
+    def test_clouds_are_stub_like(self, scenario):
+        for asn in scenario.cloud_asns():
+            assert scenario.graph.providers(asn)
+            assert len(scenario.graph.peers(asn)) > 3
+
+    def test_ixp_ases_not_in_graph(self, scenario):
+        for ixp in scenario.ixps:
+            assert ixp.asn not in scenario.graph
+            assert scenario.as_info[ixp.asn].kind is ASKind.IXP
+
+    def test_prefixes_cover_graph(self, scenario):
+        assert set(scenario.prefixes) == set(scenario.graph.nodes())
+        nets = sorted(scenario.prefixes.values(), key=lambda n: int(n[0]))
+        for a, b in zip(nets, nets[1:]):
+            assert not a.overlaps(b)
+
+    def test_users_only_on_access(self, scenario):
+        for asn, count in scenario.users.items():
+            assert count >= 0
+            assert scenario.kind_of(asn) is ASKind.ACCESS
+        assert scenario.users  # somebody has users
+
+    def test_transit_labels(self, scenario):
+        assert scenario.transit_labels["Level 3"] == 3356
+        assert scenario.transit_labels["Hurricane Electric"] == 6939
+
+
+class TestPublicView:
+    def test_public_is_subgraph(self, scenario):
+        pub, truth = scenario.public_graph, scenario.graph
+        assert sorted(pub.nodes()) == sorted(truth.nodes())
+        for record in pub.records():
+            assert (
+                truth.relationship_between(record.left, record.right)
+                is record.relationship
+            )
+
+    def test_all_transit_edges_visible(self, scenario):
+        for record in scenario.graph.records():
+            if record.is_transit:
+                assert (
+                    scenario.public_graph.relationship_between(
+                        record.left, record.right
+                    )
+                    is Relationship.PROVIDER_CUSTOMER
+                )
+
+    def test_bgp_misses_most_cloud_peers(self, scenario):
+        missed_fractions = []
+        for asn in scenario.cloud_asns():
+            truth = scenario.true_cloud_neighbors(asn)
+            visible = scenario.visible_cloud_neighbors(asn)
+            assert visible <= truth
+            missed_fractions.append(1 - len(visible) / len(truth))
+        # a large share of cloud neighbors is invisible even in the tiny
+        # profile (the realistic profiles miss ~90%, like the paper)
+        assert sum(missed_fractions) / len(missed_fractions) > 0.3
+
+    def test_monitor_count(self, scenario):
+        assert scenario.monitors
+        assert scenario.monitors <= set(scenario.graph.nodes())
+
+
+class TestInterconnects:
+    def test_every_cloud_neighbor_has_interconnect(self, scenario):
+        for cloud in scenario.cloud_asns():
+            neighbors = scenario.true_cloud_neighbors(cloud)
+            linked = {
+                n for (c, n) in scenario.interconnects if c == cloud
+            }
+            assert linked == set(neighbors)
+
+    def test_ixp_interconnects_use_member_ips(self, scenario):
+        for links in scenario.interconnects.values():
+            for link in links:
+                if link.medium is InterconnectMedium.IXP:
+                    ixp = scenario.ixp_by_id(link.ixp_id)
+                    assert link.neighbor_ip in ixp.lan
+                    assert link.neighbor_asn in ixp.members
+                    assert link.cloud_asn in ixp.members
+                else:
+                    prefix = scenario.prefixes[link.neighbor_asn]
+                    assert link.neighbor_ip in prefix
+
+    def test_member_ip_requires_membership(self, scenario):
+        ixp = scenario.ixps[0]
+        with pytest.raises(KeyError):
+            ixp.member_ip(999999999)
+
+
+class TestFootprints:
+    def test_cloud_pops_include_china(self, scenario):
+        for name in scenario.clouds:
+            codes = {c.code for c in scenario.pop_footprints[name]}
+            assert "sha" in codes and "bjs" in codes
+
+    def test_transit_pops_exclude_mainland_china(self, scenario):
+        for label in scenario.transit_labels:
+            codes = {c.code for c in scenario.pop_footprints[label]}
+            assert "sha" not in codes and "bjs" not in codes
+
+    def test_vm_cities_subset_of_pops(self, scenario):
+        for name, asn in scenario.clouds.items():
+            pops = set(scenario.pop_footprints[name])
+            assert set(scenario.vm_cities[asn]) <= pops
+
+
+class TestProfiles:
+    def test_profile_lookup(self):
+        cfg = profile("tiny", seed=11)
+        assert cfg.seed == 11
+        with pytest.raises(KeyError):
+            profile("nope")
+
+    def test_year_profiles_scale(self):
+        cfg2020 = profile("year2020")
+        cfg2015 = profile("year2015")
+        assert cfg2015.total_ases < cfg2020.total_ases
+        amazon2015 = next(c for c in cfg2015.clouds if c.name == "Amazon")
+        amazon2020 = next(c for c in cfg2020.clouds if c.name == "Amazon")
+        assert amazon2015.edge_peer_fraction < amazon2020.edge_peer_fraction
+        microsoft2015 = next(c for c in cfg2015.clouds if c.name == "Microsoft")
+        assert microsoft2015.vm_locations == 0
+
+
+class TestPaperShapes:
+    """Coarse structural facts the experiments depend on."""
+
+    def test_clouds_have_high_hierarchy_free_reach(self, scenario):
+        n = len(scenario.graph) - 1
+        google = scenario.clouds["Google"]
+        value = hierarchy_free_reachability(scenario.graph, google, scenario.tiers)
+        assert value / n > 0.5
+
+    def test_amazon_fewest_cloud_neighbors(self, scenario):
+        counts = {
+            name: len(scenario.true_cloud_neighbors(asn))
+            for name, asn in scenario.clouds.items()
+        }
+        assert counts["Amazon"] == min(counts.values())

@@ -1,0 +1,60 @@
+"""Unit tests for path-length distributions (Appendix E / Fig. 13)."""
+
+import pytest
+
+from repro.core import (
+    PathLengthMix,
+    fig13_bars,
+    normalize_mix,
+    path_length_mix,
+    path_length_weights,
+)
+
+from .conftest import CLOUD, CONTENT, E2, E3, E4, T1A, T2A
+
+
+class TestWeights:
+    def test_unweighted_bins_from_cloud(self, mini_graph):
+        totals = path_length_weights(mini_graph, CLOUD)
+        # 1 hop: AS11, AS12, AS2, AS201, AS202 (direct neighbors)
+        # 2 hops: AS1, AS301, AS204; 3+: AS203
+        assert totals == {"1": 5.0, "2": 3.0, "3+": 1.0}
+
+    def test_restricted_to_subset(self, mini_graph):
+        totals = path_length_weights(
+            mini_graph, CLOUD, restrict_to={E2, E3, CONTENT}
+        )
+        assert totals == {"1": 1.0, "2": 1.0, "3+": 1.0}
+
+    def test_user_weighted(self, mini_graph):
+        users = {E2: 100, E3: 300, E4: 100}
+        totals = path_length_weights(mini_graph, CLOUD, weights=users)
+        assert totals == {"1": 100.0, "2": 100.0, "3+": 300.0}
+
+    def test_excluded_nodes_shift_lengths(self, mini_graph):
+        totals = path_length_weights(mini_graph, CLOUD, excluded={T2A})
+        # AS11 gone: its customers/cone must be reached other ways.
+        assert totals["1"] == 4.0  # AS12, AS2, AS201, AS202
+
+
+class TestMix:
+    def test_mix_fractions(self, mini_graph):
+        mix = path_length_mix(mini_graph, CLOUD)
+        assert mix.one_hop == pytest.approx(5 / 9)
+        assert mix.two_hop == pytest.approx(3 / 9)
+        assert mix.three_plus == pytest.approx(1 / 9)
+        assert mix.as_dict()["1"] == mix.one_hop
+
+    def test_empty_mix(self):
+        assert normalize_mix({}) == PathLengthMix(0.0, 0.0, 0.0)
+
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            PathLengthMix(0.9, 0.4, 0.1)
+
+    def test_fig13_bars(self, mini_graph):
+        users = {E2: 10, E3: 30}
+        bars = fig13_bars(mini_graph, CLOUD, users)
+        assert set(bars) == {"ases", "eyeball_ases", "population"}
+        assert bars["eyeball_ases"].one_hop == pytest.approx(1 / 2)
+        assert bars["population"].three_plus == pytest.approx(3 / 4)

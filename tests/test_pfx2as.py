@@ -1,0 +1,99 @@
+"""Unit tests for the RouteViews-style prefix-to-AS dataset."""
+
+import ipaddress
+import random
+
+import pytest
+
+from repro.collectors import collect_ribs
+from repro.mapping import (
+    Pfx2AsDataset,
+    Pfx2AsEntry,
+    Pfx2AsFormatError,
+    dump_pfx2as,
+    dumps_pfx2as,
+    load_pfx2as,
+    parse_pfx2as,
+    pfx2as_from_dump,
+)
+from repro.netgen import build_scenario, tiny
+
+
+def net(s: str) -> ipaddress.IPv4Network:
+    return ipaddress.IPv4Network(s)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(tiny())
+
+
+@pytest.fixture(scope="module")
+def dataset(scenario):
+    dump = collect_ribs(
+        scenario.graph, scenario.monitors, scenario.prefixes,
+        rng=random.Random(3),
+    )
+    return pfx2as_from_dump(dump)
+
+
+class TestDerivation:
+    def test_covers_routed_origins(self, scenario, dataset):
+        # every AS visible to at least one monitor appears as an origin
+        assert len(dataset.origins()) >= 0.95 * len(scenario.graph)
+
+    def test_prefixes_match_scenario(self, scenario, dataset):
+        for asn in sorted(dataset.origins())[:30]:
+            assert scenario.prefixes[asn] in dataset.prefixes_of(asn)
+
+    def test_one_prefix_per_as_selection(self, scenario, dataset):
+        targets = dataset.one_prefix_per_as()
+        assert set(targets) == dataset.origins()
+        for asn, prefix in list(targets.items())[:20]:
+            assert prefix == scenario.prefixes[asn]
+
+    def test_no_moas_in_clean_scenario(self, dataset):
+        assert dataset.moas_prefixes() == []
+
+
+class TestFormat:
+    def test_round_trip(self, dataset, tmp_path):
+        path = tmp_path / "routeviews-rv2.pfx2as"
+        dump_pfx2as(dataset, path)
+        again = load_pfx2as(path)
+        assert len(again) == len(dataset)
+        assert again.origins() == dataset.origins()
+        assert again.one_prefix_per_as() == dataset.one_prefix_per_as()
+
+    def test_moas_serialization(self):
+        dataset = Pfx2AsDataset(
+            [Pfx2AsEntry(prefix=net("10.0.0.0/16"), origins=(7, 9))]
+        )
+        text = dumps_pfx2as(dataset)
+        assert text == "10.0.0.0\t16\t7_9\n"
+        again = parse_pfx2as(text)
+        assert again.entries[0].is_moas
+        assert again.prefixes_of(7) == again.prefixes_of(9)
+
+    def test_as_set_parsing(self):
+        dataset = parse_pfx2as("10.0.0.0\t24\t7_9,11\n")
+        assert dataset.entries[0].origins == (7, 9, 11)
+
+    def test_space_separated_accepted(self):
+        dataset = parse_pfx2as("10.0.0.0 24 7\n")
+        assert dataset.entries[0].origins == (7,)
+
+    def test_comments_and_blanks_skipped(self):
+        assert len(parse_pfx2as("# header\n\n10.0.0.0\t24\t7\n")) == 1
+
+    def test_malformed_rejected(self):
+        with pytest.raises(Pfx2AsFormatError):
+            parse_pfx2as("10.0.0.0\t24\n")
+        with pytest.raises(Pfx2AsFormatError):
+            parse_pfx2as("10.0.0.0\tx\t7\n")
+        with pytest.raises(Pfx2AsFormatError):
+            parse_pfx2as("10.0.0.0\t24\tx\n")
+
+    def test_empty(self):
+        assert dumps_pfx2as(Pfx2AsDataset()) == ""
+        assert len(parse_pfx2as("")) == 0

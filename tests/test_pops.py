@@ -1,0 +1,215 @@
+"""Unit tests for the PoP/rDNS/alias/consolidation pipeline (§4.2)."""
+
+import random
+
+import pytest
+
+from repro.mapping import peeringdb_from_scenario
+from repro.netgen import build_scenario, tiny
+from repro.pops import (
+    ConventionLearner,
+    DataSources,
+    NamingConvention,
+    ProbeSimulator,
+    alias_groups_to_hostnames,
+    collect_rdns,
+    consolidate_provider,
+    consolidate_scenario,
+    convention_for,
+    extract_codes,
+    extract_with_regex,
+    generate_footprint,
+    monotonic_bounds_test,
+    pop_rdns_confirmation,
+    regex_for_convention,
+    resolve_aliases,
+    sources_for,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(tiny())
+
+
+@pytest.fixture(scope="module")
+def he_footprint(scenario):
+    return generate_footprint(
+        scenario, "Hurricane Electric", random.Random(3)
+    )
+
+
+class TestConventions:
+    def test_known_provider_conventions(self):
+        ntt = convention_for("NTT")
+        name = ntt.hostname("lon", 20, 3, site=12)
+        assert name == "ae-3.r20.lon12.gin.ntt.net"
+
+    def test_default_convention_for_unknown(self):
+        assert convention_for("SomeISP") is convention_for("OtherISP")
+
+    def test_amazon_has_no_rdns(self):
+        assert convention_for("Amazon").pop_coverage == 0.0
+        assert not sources_for("Amazon").rdns
+
+    def test_att_has_no_peeringdb(self):
+        assert not sources_for("AT&T").peeringdb
+        assert sources_for("AT&T").rdns
+
+
+class TestFootprintGeneration:
+    def test_footprint_covers_pops(self, scenario, he_footprint):
+        expected = {c.code for c in scenario.pop_footprints["Hurricane Electric"]}
+        assert he_footprint.city_codes() == expected
+        assert he_footprint.routers
+
+    def test_interfaces_in_provider_prefix(self, scenario, he_footprint):
+        prefix = scenario.prefixes[he_footprint.asn]
+        for router in he_footprint.routers:
+            for ip in router.interfaces:
+                assert ip in prefix
+
+    def test_amazon_generates_no_hostnames(self, scenario):
+        fp = generate_footprint(scenario, "Amazon", random.Random(3))
+        assert fp.hostname_count() == 0
+        confirmed, total = pop_rdns_confirmation(fp)
+        assert confirmed == 0 and total == len(fp.pops)
+
+    def test_unknown_provider_raises(self, scenario):
+        with pytest.raises(KeyError):
+            generate_footprint(scenario, "Nonexistent", random.Random(0))
+
+    def test_rdns_collection_round_trip(self, he_footprint):
+        dataset = collect_rdns([he_footprint])
+        named = [r for r in he_footprint.routers if r.hostname]
+        assert len(dataset) == sum(len(r.interfaces) for r in named)
+        for router in named:
+            for ip in router.interfaces:
+                assert dataset.lookup(ip) == router.hostname
+        assert dataset.lookup("203.0.113.1") is None
+
+
+class TestHoiho:
+    def test_manual_regex_extracts_code(self):
+        pattern = regex_for_convention(convention_for("NTT"))
+        assert extract_with_regex("ae-3.r20.lon12.gin.ntt.net", pattern) == "lon"
+        assert extract_with_regex("garbage.example.com", pattern) is None
+        # a syntactically valid name with an unknown code is rejected
+        assert extract_with_regex("ae-3.r20.zzz12.gin.ntt.net", pattern) is None
+
+    def test_regex_for_empty_template(self):
+        assert regex_for_convention(NamingConvention("x", "", 0.0)) is None
+
+    def test_learner_agrees_with_manual(self, he_footprint):
+        hostnames = [r.hostname for r in he_footprint.routers if r.hostname]
+        learned = ConventionLearner().learn(hostnames)
+        manual = regex_for_convention(convention_for("Hurricane Electric"))
+        assert learned is not None
+        for hostname in hostnames:
+            assert learned.extract(hostname) == extract_with_regex(
+                hostname, manual
+            )
+
+    def test_learner_needs_support(self):
+        learner = ConventionLearner(min_support=8)
+        few = [f"cr1.lon{i}.example.net" for i in range(3)]
+        assert learner.learn(few) is None
+
+    def test_learner_needs_code_diversity(self):
+        # constant token: looks like a code but extracts a single city
+        learner = ConventionLearner(min_support=2)
+        names = [f"r{i}.lon.fixed.example.net" for i in range(10)]
+        assert learner.learn(names) is None
+
+    def test_extract_codes_union(self, he_footprint):
+        hostnames = [r.hostname for r in he_footprint.routers if r.hostname]
+        manual = regex_for_convention(convention_for("Hurricane Electric"))
+        codes = extract_codes(hostnames, manual_pattern=manual)
+        named_cities = {
+            r.city.code for r in he_footprint.routers if r.hostname
+        }
+        assert codes == named_cities
+
+
+class TestAliasResolution:
+    def test_probe_simulator_counters_shared(self, he_footprint):
+        prober = ProbeSimulator(he_footprint.routers, seed=0)
+        router = next(r for r in he_footprint.routers if len(r.interfaces) > 1)
+        a, b = router.interfaces[0], router.interfaces[1]
+        assert prober.probe(a, 1.0) is not None
+        assert monotonic_bounds_test(prober, a, b, t0=5.0)
+
+    def test_different_routers_fail_mbt_mostly(self, he_footprint):
+        prober = ProbeSimulator(he_footprint.routers, seed=0)
+        routers = he_footprint.routers[:8]
+        failures = 0
+        pairs = 0
+        for i, r1 in enumerate(routers):
+            for r2 in routers[i + 1 :]:
+                pairs += 1
+                if not monotonic_bounds_test(
+                    prober, r1.interfaces[0], r2.interfaces[0], t0=3.0
+                ):
+                    failures += 1
+        assert failures > pairs * 0.6
+
+    def test_resolution_recovers_ground_truth(self, he_footprint):
+        routers = he_footprint.routers[:12]
+        prober = ProbeSimulator(routers, seed=1)
+        ips = [ip for r in routers for ip in r.interfaces]
+        groups = {frozenset(g) for g in resolve_aliases(prober, ips, seed=2)}
+        truth = {frozenset(r.interfaces) for r in routers}
+        # velocity bucketing + MBT recovers nearly all routers exactly
+        assert len(groups & truth) >= len(truth) - 1
+
+    def test_unresponsive_addresses_ignored(self, he_footprint):
+        prober = ProbeSimulator(he_footprint.routers[:3], seed=1)
+        import ipaddress
+
+        stranger = ipaddress.IPv4Address("203.0.113.7")
+        assert not prober.responds(stranger)
+        groups = resolve_aliases(prober, [stranger], seed=0)
+        assert groups == []
+
+    def test_groups_to_hostnames(self, he_footprint):
+        routers = he_footprint.routers[:6]
+        dataset = collect_rdns([he_footprint])
+        groups = [frozenset(r.interfaces) for r in routers]
+        hostname_groups = alias_groups_to_hostnames(groups, dataset.lookup)
+        named = [r for r in routers if r.hostname]
+        assert len(hostname_groups) == len(named)
+
+
+class TestConsolidation:
+    def test_consolidated_map_unions_sources(self, scenario, he_footprint):
+        pdb = peeringdb_from_scenario(scenario)
+        dataset = collect_rdns([he_footprint])
+        cmap = consolidate_provider(
+            he_footprint, pdb, dataset, random.Random(0)
+        )
+        assert cmap.from_rdns <= he_footprint.city_codes()
+        assert cmap.cities <= he_footprint.city_codes() | cmap.from_peeringdb
+        assert cmap.from_map  # map source is present for HE
+        assert 0.0 <= cmap.rdns_confirmed_fraction <= 1.0
+
+    def test_scenario_consolidation_table3(self, scenario):
+        pdb = peeringdb_from_scenario(scenario)
+        result = consolidate_scenario(
+            scenario, pdb, providers=["Amazon", "Google", "Hurricane Electric"]
+        )
+        rows = {row.provider: row for row in result.table3()}
+        assert rows["Amazon"].rdns_percent == 0.0
+        assert rows["Amazon"].hostnames == 0
+        assert rows["Hurricane Electric"].rdns_percent > 90.0
+        assert rows["Google"].graph_pops > 0
+
+    def test_sources_respected(self, scenario):
+        fp = generate_footprint(scenario, "Level 3", random.Random(0))
+        object.__setattr__  # silence lint; DataSources is frozen
+        fp.sources = DataSources(network_map=False, looking_glass=False)
+        pdb = peeringdb_from_scenario(scenario)
+        cmap = consolidate_provider(
+            fp, pdb, collect_rdns([fp]), random.Random(0)
+        )
+        assert not cmap.from_map
+        assert not cmap.from_looking_glass

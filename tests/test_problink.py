@@ -1,0 +1,107 @@
+"""Unit tests for ProbLink-style probabilistic relationship inference."""
+
+import random
+
+import pytest
+
+from repro.collectors import collect_ribs
+from repro.inference import (
+    LinkFeatures,
+    evaluate_inference,
+    extract_features,
+    infer_asrank,
+    infer_gao,
+    infer_problink,
+)
+from repro.inference.paths import clean_paths, observed_transit_degree
+from repro.netgen import build_scenario, tiny
+from repro.topology import Relationship
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(tiny())
+
+
+@pytest.fixture(scope="module")
+def paths(scenario):
+    dump = collect_ribs(
+        scenario.graph, scenario.monitors, scenario.prefixes,
+        rng=random.Random(1),
+    )
+    return dump.paths()
+
+
+@pytest.fixture(scope="module")
+def problink_result(paths):
+    return infer_problink(paths)
+
+
+class TestFeatures:
+    def test_feature_extraction_covers_all_edges(self, paths):
+        usable = clean_paths(paths)
+        td = observed_transit_degree(usable)
+        features = extract_features(usable, td, customer_edges=set())
+        from repro.inference import observed_adjacencies
+
+        assert set(features) == observed_adjacencies(usable)
+
+    def test_feature_tuple_caps_vantage_points(self):
+        feature = LinkFeatures(
+            vantage_points=99,
+            seen_non_apex=True,
+            degree_ratio_bucket=1,
+            triplet_bucket=2,
+        )
+        assert feature.as_tuple() == (5, True, 1, 2)
+
+    def test_triplet_feature_reacts_to_customer_edges(self, paths):
+        usable = clean_paths(paths)
+        td = observed_transit_degree(usable)
+        empty = extract_features(usable, td, customer_edges=set())
+        assert all(f.triplet_bucket == 0 for f in empty.values())
+        # seed with a real customer edge: some links now precede descents
+        some_path = next(p for p in usable if len(p) >= 3)
+        customer_edge = (some_path[2], some_path[1])
+        seeded = extract_features(usable, td, customer_edges={customer_edge})
+        assert any(f.triplet_bucket > 0 for f in seeded.values())
+
+
+class TestInference:
+    def test_converges(self, problink_result):
+        assert 1 <= problink_result.iterations <= 10
+
+    def test_improves_on_asrank(self, scenario, paths, problink_result):
+        asrank_acc = evaluate_inference(
+            scenario.graph, infer_asrank(paths).records
+        )
+        problink_acc = evaluate_inference(
+            scenario.graph, problink_result.records
+        )
+        assert problink_acc.accuracy >= asrank_acc.accuracy
+        assert problink_acc.p2p_accuracy > asrank_acc.p2p_accuracy
+        assert problink_acc.accuracy > 0.9
+
+    def test_beats_gao_clearly(self, scenario, paths, problink_result):
+        gao_acc = evaluate_inference(scenario.graph, infer_gao(paths).records)
+        problink_acc = evaluate_inference(
+            scenario.graph, problink_result.records
+        )
+        assert problink_acc.accuracy > gao_acc.accuracy + 0.1
+
+    def test_records_form_valid_graph(self, problink_result):
+        graph = problink_result.as_graph()
+        graph.validate()
+        kinds = {r.relationship for r in problink_result.records}
+        assert Relationship.PROVIDER_CUSTOMER in kinds
+        assert Relationship.PEER_PEER in kinds
+
+    def test_same_edge_set_as_seed(self, paths, problink_result):
+        seed_edges = {
+            frozenset((r.left, r.right))
+            for r in infer_asrank(paths).records
+        }
+        problink_edges = {
+            frozenset((r.left, r.right)) for r in problink_result.records
+        }
+        assert problink_edges == seed_edges

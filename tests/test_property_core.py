@@ -1,0 +1,244 @@
+"""Property-based tests (hypothesis) for the core routing algorithms.
+
+The central invariants:
+
+* reachability computed three ways (exact BFS, BGP propagation, bitset
+  cone engine) always agrees;
+* excluding more ASes never increases reachability (constraint nesting);
+* every tied-best path produced by the engine is valley-free;
+* reliance conserves mass: summed over the origin's first-hop neighbors it
+  accounts for every receiver exactly once;
+* peer locking never helps a route leak (erratum semantics).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bgpsim import RouteClass, Seed, propagate
+from repro.core import (
+    ConeEngine,
+    path_counts,
+    reachable_set,
+    reliance_from_state,
+    simulate_leak,
+)
+from repro.topology import ASGraph, Relationship
+
+from .conftest import random_internet
+
+GRAPH_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def graph_from_seed(seed: int) -> ASGraph:
+    return random_internet(random.Random(seed))
+
+
+def pick_origin(graph: ASGraph, seed: int) -> int:
+    nodes = sorted(graph.nodes())
+    return nodes[seed % len(nodes)]
+
+
+class TestReachabilityAgreement:
+    @GRAPH_SETTINGS
+    @given(seed=st.integers(0, 10**6), origin_pick=st.integers(0, 10**6))
+    def test_bfs_matches_propagation(self, seed, origin_pick):
+        graph = graph_from_seed(seed)
+        origin = pick_origin(graph, origin_pick)
+        state = propagate(graph, Seed(asn=origin))
+        assert reachable_set(graph, origin) == state.reachable_ases()
+
+    @GRAPH_SETTINGS
+    @given(
+        seed=st.integers(0, 10**6),
+        origin_pick=st.integers(0, 10**6),
+        excl_seed=st.integers(0, 10**6),
+    )
+    def test_bfs_matches_propagation_with_exclusions(
+        self, seed, origin_pick, excl_seed
+    ):
+        graph = graph_from_seed(seed)
+        origin = pick_origin(graph, origin_pick)
+        rng = random.Random(excl_seed)
+        others = [a for a in graph.nodes() if a != origin]
+        excluded = frozenset(rng.sample(others, k=min(8, len(others))))
+        state = propagate(graph, Seed(asn=origin), excluded=excluded)
+        assert reachable_set(graph, origin, excluded) == state.reachable_ases()
+
+    @GRAPH_SETTINGS
+    @given(seed=st.integers(0, 10**6), origin_pick=st.integers(0, 10**6))
+    def test_cone_engine_matches_exact(self, seed, origin_pick):
+        graph = graph_from_seed(seed)
+        origin = pick_origin(graph, origin_pick)
+        tier1 = frozenset(a for a in graph if not graph.providers(a))
+        engine = ConeEngine(graph, excluded=tier1)
+        expected = len(
+            reachable_set(
+                graph, origin, (tier1 | graph.providers(origin)) - {origin}
+            )
+        )
+        assert engine.provider_free_count(origin) == expected
+
+
+class TestMonotonicity:
+    @GRAPH_SETTINGS
+    @given(
+        seed=st.integers(0, 10**6),
+        origin_pick=st.integers(0, 10**6),
+        excl_seed=st.integers(0, 10**6),
+    )
+    def test_excluding_more_never_expands_reach(
+        self, seed, origin_pick, excl_seed
+    ):
+        graph = graph_from_seed(seed)
+        origin = pick_origin(graph, origin_pick)
+        rng = random.Random(excl_seed)
+        others = [a for a in graph.nodes() if a != origin]
+        smaller = frozenset(rng.sample(others, k=min(4, len(others))))
+        larger = smaller | frozenset(
+            rng.sample(others, k=min(8, len(others)))
+        )
+        reach_small = reachable_set(graph, origin, smaller)
+        reach_large = reachable_set(graph, origin, larger)
+        assert reach_large <= reach_small
+
+
+class TestValleyFree:
+    @staticmethod
+    def assert_valley_free(graph: ASGraph, path: tuple[int, ...]) -> None:
+        """path is (receiver, ..., origin); traffic flows receiver→origin,
+        announcements flow origin→receiver.  Walking from the origin, the
+        announcement must climb c2p edges, cross at most one p2p edge, then
+        descend p2c edges."""
+        hops = list(reversed(path))  # origin first
+        phase = "up"
+        for sender, receiver in zip(hops, hops[1:]):
+            rel = graph.relationship_between(sender, receiver)
+            assert rel is not None
+            if rel is Relationship.PEER_PEER:
+                assert phase == "up"
+                phase = "down"
+            elif receiver in graph.providers(sender):
+                assert phase == "up"
+            else:
+                assert receiver in graph.customers(sender)
+                phase = "down"
+
+    @GRAPH_SETTINGS
+    @given(seed=st.integers(0, 10**6), origin_pick=st.integers(0, 10**6))
+    def test_enumerated_best_paths_are_valley_free(self, seed, origin_pick):
+        graph = graph_from_seed(seed)
+        origin = pick_origin(graph, origin_pick)
+        state = propagate(graph, Seed(asn=origin))
+        for asn in sorted(state.routes)[::5]:
+            for path in state.enumerate_best_paths(asn, limit=8):
+                self.assert_valley_free(graph, path)
+
+    @GRAPH_SETTINGS
+    @given(seed=st.integers(0, 10**6), origin_pick=st.integers(0, 10**6))
+    def test_route_class_matches_first_edge(self, seed, origin_pick):
+        graph = graph_from_seed(seed)
+        origin = pick_origin(graph, origin_pick)
+        state = propagate(graph, Seed(asn=origin))
+        for asn, route in state.routes.items():
+            if asn == origin:
+                continue
+            for parent in route.parents:
+                if route.route_class is RouteClass.CUSTOMER:
+                    assert parent in graph.customers(asn)
+                elif route.route_class is RouteClass.PEER:
+                    assert parent in graph.peers(asn)
+                else:
+                    assert parent in graph.providers(asn)
+
+
+class TestRelianceInvariants:
+    @GRAPH_SETTINGS
+    @given(seed=st.integers(0, 10**6), origin_pick=st.integers(0, 10**6))
+    def test_mass_conservation_at_first_hops(self, seed, origin_pick):
+        graph = graph_from_seed(seed)
+        origin = pick_origin(graph, origin_pick)
+        state = propagate(graph, Seed(asn=origin))
+        rely = reliance_from_state(state, exact=True)
+        receivers = len(state.routes) - 1
+        if receivers == 0:
+            return
+        first_hop_mass = sum(
+            value
+            for asn, value in rely.items()
+            if state.routes[asn].parents == {origin}
+        )
+        assert first_hop_mass == pytest.approx(receivers)
+
+    @GRAPH_SETTINGS
+    @given(seed=st.integers(0, 10**6), origin_pick=st.integers(0, 10**6))
+    def test_every_receiver_relies_on_itself(self, seed, origin_pick):
+        graph = graph_from_seed(seed)
+        origin = pick_origin(graph, origin_pick)
+        state = propagate(graph, Seed(asn=origin))
+        rely = reliance_from_state(state)
+        for asn in state.routes:
+            if asn != origin:
+                assert rely[asn] >= 1.0 - 1e-9
+
+    @GRAPH_SETTINGS
+    @given(seed=st.integers(0, 10**6), origin_pick=st.integers(0, 10**6))
+    def test_path_counts_match_enumeration(self, seed, origin_pick):
+        graph = graph_from_seed(seed)
+        origin = pick_origin(graph, origin_pick)
+        state = propagate(graph, Seed(asn=origin))
+        counts = path_counts(state)
+        for asn in sorted(state.routes)[::7]:
+            enumerated = list(state.enumerate_best_paths(asn, limit=10_000))
+            assert counts[asn] == len(enumerated)
+            assert counts[asn] == state.count_best_paths(asn)
+
+
+class TestLeakInvariants:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(0, 10**6),
+        origin_pick=st.integers(0, 10**6),
+        leaker_pick=st.integers(0, 10**6),
+    )
+    def test_peer_locking_never_hurts(self, seed, origin_pick, leaker_pick):
+        graph = graph_from_seed(seed)
+        origin = pick_origin(graph, origin_pick)
+        nodes = [a for a in sorted(graph.nodes()) if a != origin]
+        leaker = nodes[leaker_pick % len(nodes)]
+        unlocked = simulate_leak(graph, origin, leaker)
+        locked = simulate_leak(
+            graph, origin, leaker,
+            peer_locked=graph.neighbors(origin),
+        )
+        if unlocked is None or locked is None:
+            return
+        assert locked.detoured <= unlocked.detoured
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(0, 10**6),
+        origin_pick=st.integers(0, 10**6),
+        leaker_pick=st.integers(0, 10**6),
+    )
+    def test_detoured_never_includes_seeds(self, seed, origin_pick, leaker_pick):
+        graph = graph_from_seed(seed)
+        origin = pick_origin(graph, origin_pick)
+        nodes = [a for a in sorted(graph.nodes()) if a != origin]
+        leaker = nodes[leaker_pick % len(nodes)]
+        outcome = simulate_leak(graph, origin, leaker)
+        if outcome is None:
+            return
+        assert origin not in outcome.detoured
+        assert leaker not in outcome.detoured
+        assert 0.0 <= outcome.fraction_detoured <= 1.0

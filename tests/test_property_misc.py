@@ -1,0 +1,113 @@
+"""Property-based tests for the substrates around the core: CAIDA I/O,
+LPM resolution, geometry, population helpers."""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.pathlen import PathLengthMix, normalize_mix
+from repro.geo import haversine_km
+from repro.mapping import IpAsnService
+from repro.netgen.population import zipf_shares
+from repro.topology import dumps_graph, parse_graph
+
+from .conftest import random_internet
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestCaidaRoundTrip:
+    @RELAXED
+    @given(seed=st.integers(0, 10**6), serial=st.sampled_from([1, 2]))
+    def test_graph_survives_serialization(self, seed, serial):
+        graph = random_internet(random.Random(seed))
+        text = dumps_graph(graph, serial=serial)
+        again = parse_graph(text)
+        assert sorted(again.nodes()) == sorted(graph.nodes())
+        assert again.edge_count() == graph.edge_count()
+        for record in graph.records():
+            assert (
+                again.relationship_between(record.left, record.right)
+                is record.relationship
+            )
+
+
+class TestLongestPrefixMatch:
+    @RELAXED
+    @given(
+        data=st.lists(
+            st.tuples(st.integers(0, 2**32 - 1), st.integers(8, 28)),
+            min_size=1,
+            max_size=20,
+        ),
+        probe=st.integers(0, 2**32 - 1),
+    )
+    def test_lpm_returns_longest_covering_prefix(self, data, probe):
+        service = IpAsnService()
+        networks: list[tuple[ipaddress.IPv4Network, int]] = []
+        for index, (base, length) in enumerate(data):
+            network = ipaddress.IPv4Network((base, length), strict=False)
+            try:
+                service.announce(network, index + 1)
+                networks.append((network, index + 1))
+            except ValueError:
+                pass  # same prefix announced twice with different ASN
+        address = ipaddress.IPv4Address(probe)
+        expected = None
+        best_len = -1
+        for network, asn in networks:
+            if address in network and network.prefixlen > best_len:
+                expected, best_len = asn, network.prefixlen
+        assert service.lookup(address) == expected
+
+
+class TestGeometry:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        lat1=st.floats(-90, 90),
+        lon1=st.floats(-180, 180),
+        lat2=st.floats(-90, 90),
+        lon2=st.floats(-180, 180),
+    )
+    def test_haversine_symmetric_and_bounded(self, lat1, lon1, lat2, lon2):
+        d1 = haversine_km(lat1, lon1, lat2, lon2)
+        d2 = haversine_km(lat2, lon2, lat1, lon1)
+        assert d1 == pytest.approx(d2, abs=1e-6)
+        assert 0.0 <= d1 <= 20040.0  # half circumference + rounding
+
+    @settings(max_examples=50, deadline=None)
+    @given(lat=st.floats(-90, 90), lon=st.floats(-180, 180))
+    def test_haversine_identity(self, lat, lon):
+        assert haversine_km(lat, lon, lat, lon) == 0.0
+
+
+class TestDistributions:
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(1, 200), exponent=st.floats(0.1, 3.0))
+    def test_zipf_shares_are_a_distribution(self, n, exponent):
+        shares = zipf_shares(n, exponent)
+        assert len(shares) == n
+        assert sum(shares) == pytest.approx(1.0)
+        assert all(s > 0 for s in shares)
+        assert shares == sorted(shares, reverse=True)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        one=st.floats(0, 1000),
+        two=st.floats(0, 1000),
+        three=st.floats(0, 1000),
+    )
+    def test_normalize_mix_is_a_distribution(self, one, two, three):
+        mix = normalize_mix({"1": one, "2": two, "3+": three})
+        assert isinstance(mix, PathLengthMix)
+        total = mix.one_hop + mix.two_hop + mix.three_plus
+        assert total == 0.0 or total == pytest.approx(1.0)

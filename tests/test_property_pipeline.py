@@ -1,0 +1,153 @@
+"""Property-based tests across the measurement/inference pipeline."""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bgpsim import Seed, propagate
+from repro.bgpsim.cache import RoutingStateCache
+from repro.collectors import collect_ribs, dumps_mrt, parse_mrt
+from repro.core.hegemony import (
+    local_hegemony,
+    path_cross_fractions,
+    trimmed_mean,
+)
+from repro.inference import evaluate_inference, infer_asrank
+from repro.mapping.pfx2as import (
+    Pfx2AsDataset,
+    Pfx2AsEntry,
+    dumps_pfx2as,
+    parse_pfx2as,
+    pfx2as_from_dump,
+)
+
+from .conftest import random_internet
+
+RELAXED = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def graph_and_prefixes(seed: int):
+    graph = random_internet(random.Random(seed))
+    prefixes = {
+        asn: ipaddress.IPv4Network(((16 << 24) + (i << 16), 16))
+        for i, asn in enumerate(sorted(graph.nodes()))
+    }
+    return graph, prefixes
+
+
+def monitors_for(graph, seed: int, k: int = 6):
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes())
+    return rng.sample(nodes, k=min(k, len(nodes)))
+
+
+class TestCollectorProperties:
+    @RELAXED
+    @given(seed=st.integers(0, 10**6), mseed=st.integers(0, 10**6))
+    def test_all_rib_paths_are_tied_best(self, seed, mseed):
+        graph, prefixes = graph_and_prefixes(seed)
+        monitors = monitors_for(graph, mseed)
+        origins = sorted(graph.nodes())[::4]
+        dump = collect_ribs(
+            graph, monitors, prefixes, origins=origins,
+            rng=random.Random(seed),
+        )
+        cache = RoutingStateCache(graph)
+        for entry in dump.entries[::7]:
+            state = cache.state_for(entry.origin)
+            assert state.contains_path(entry.as_path)
+
+    @RELAXED
+    @given(seed=st.integers(0, 10**6), mseed=st.integers(0, 10**6))
+    def test_mrt_round_trip(self, seed, mseed):
+        graph, prefixes = graph_and_prefixes(seed)
+        monitors = monitors_for(graph, mseed)
+        origins = sorted(graph.nodes())[::5]
+        dump = collect_ribs(
+            graph, monitors, prefixes, origins=origins,
+            rng=random.Random(seed),
+        )
+        assert parse_mrt(dumps_mrt(dump)).paths() == dump.paths()
+
+    @RELAXED
+    @given(seed=st.integers(0, 10**6), mseed=st.integers(0, 10**6))
+    def test_inference_never_invents_edges(self, seed, mseed):
+        graph, prefixes = graph_and_prefixes(seed)
+        monitors = monitors_for(graph, mseed)
+        dump = collect_ribs(
+            graph, monitors, prefixes, rng=random.Random(seed)
+        )
+        result = infer_asrank(dump.paths())
+        accuracy = evaluate_inference(graph, result.records)
+        assert accuracy.unknown_edges == 0
+
+    @RELAXED
+    @given(seed=st.integers(0, 10**6), mseed=st.integers(0, 10**6))
+    def test_pfx2as_round_trip_and_origins(self, seed, mseed):
+        graph, prefixes = graph_and_prefixes(seed)
+        monitors = monitors_for(graph, mseed)
+        dump = collect_ribs(
+            graph, monitors, prefixes, rng=random.Random(seed)
+        )
+        dataset = pfx2as_from_dump(dump)
+        again = parse_pfx2as(dumps_pfx2as(dataset))
+        assert again.origins() == dataset.origins()
+        assert len(again) == len(dataset)
+        for asn, prefix in dataset.one_prefix_per_as().items():
+            assert prefix == prefixes[asn]
+
+
+class TestHegemonyProperties:
+    @RELAXED
+    @given(
+        seed=st.integers(0, 10**6),
+        origin_pick=st.integers(0, 10**6),
+        target_pick=st.integers(0, 10**6),
+    )
+    def test_hegemony_bounded(self, seed, origin_pick, target_pick):
+        graph = random_internet(random.Random(seed))
+        nodes = sorted(graph.nodes())
+        origin = nodes[origin_pick % len(nodes)]
+        target = nodes[target_pick % len(nodes)]
+        if origin == target:
+            return
+        value = local_hegemony(graph, origin, target)
+        assert 0.0 <= value <= 1.0
+
+    @RELAXED
+    @given(seed=st.integers(0, 10**6), origin_pick=st.integers(0, 10**6))
+    def test_cross_fractions_consistent_with_paths(self, seed, origin_pick):
+        graph = random_internet(random.Random(seed))
+        nodes = sorted(graph.nodes())
+        origin = nodes[origin_pick % len(nodes)]
+        state = propagate(graph, Seed(asn=origin))
+        routed = sorted(state.routes)
+        target = routed[len(routed) // 2]
+        fractions = path_cross_fractions(state, target)
+        for asn in routed[::6]:
+            paths = list(state.enumerate_best_paths(asn, limit=500))
+            if not paths or len(paths) >= 500:
+                continue
+            exact = sum(1 for p in paths if target in p) / len(paths)
+            assert fractions[asn] == pytest.approx(exact)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(st.floats(0, 1), max_size=40),
+        trim=st.floats(0, 0.4),
+    )
+    def test_trimmed_mean_within_range(self, values, trim):
+        result = trimmed_mean(values, trim)
+        if values:
+            assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+        else:
+            assert result == 0.0

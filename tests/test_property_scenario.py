@@ -1,0 +1,76 @@
+"""Property-based tests on scenario generation and serialization."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.netgen import (
+    build_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+    tiny,
+)
+
+SCENARIO_SETTINGS = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestGenerationInvariants:
+    @SCENARIO_SETTINGS
+    @given(seed=st.integers(0, 10**6))
+    def test_generated_graph_is_always_valid(self, seed):
+        scenario = build_scenario(tiny(seed=seed))
+        scenario.graph.validate()
+        scenario.public_graph.validate()
+        # the public view never contains an edge the truth lacks
+        for record in scenario.public_graph.records():
+            assert (
+                scenario.graph.relationship_between(record.left, record.right)
+                is record.relationship
+            )
+
+    @SCENARIO_SETTINGS
+    @given(seed=st.integers(0, 10**6))
+    def test_tier1_clique_and_cloud_invariants(self, seed):
+        scenario = build_scenario(tiny(seed=seed))
+        tier1 = sorted(scenario.tiers.tier1)
+        for i, a in enumerate(tier1):
+            assert not scenario.graph.providers(a)
+            for b in tier1[i + 1 :]:
+                assert b in scenario.graph.peers(a)
+        for cloud in scenario.cloud_asns():
+            assert scenario.graph.providers(cloud)
+            assert not scenario.graph.customers(cloud)
+            links = {
+                n for (c, n) in scenario.interconnects if c == cloud
+            }
+            assert links == set(scenario.graph.neighbors(cloud))
+
+    @SCENARIO_SETTINGS
+    @given(seed=st.integers(0, 10**6))
+    def test_users_and_prefixes_consistent(self, seed):
+        scenario = build_scenario(tiny(seed=seed))
+        assert set(scenario.prefixes) == set(scenario.graph.nodes())
+        for asn, count in scenario.users.items():
+            assert count >= 0
+            assert asn in scenario.graph
+
+
+class TestSerializationProperty:
+    @SCENARIO_SETTINGS
+    @given(seed=st.integers(0, 10**6))
+    def test_round_trip_is_identity(self, seed):
+        scenario = build_scenario(tiny(seed=seed))
+        restored = scenario_from_dict(scenario_to_dict(scenario))
+        assert set(restored.graph.records()) == set(scenario.graph.records())
+        assert restored.tiers == scenario.tiers
+        assert restored.users == scenario.users
+        assert restored.prefixes == scenario.prefixes
+        assert restored.config == scenario.config
+        assert restored.pop_footprints == scenario.pop_footprints
+        for key, links in scenario.interconnects.items():
+            assert restored.interconnects[key] == links

@@ -1,0 +1,135 @@
+"""Unit tests for valley-free reachability and the bitset cone engine."""
+
+import random
+
+import pytest
+
+from repro.bgpsim import Seed, propagate
+from repro.core import ConeEngine, reachability, reachable_set
+from repro.core.metrics import (
+    hierarchy_free_reachability,
+    provider_free_reachability,
+)
+
+from .conftest import (
+    CLOUD,
+    CONTENT,
+    E1,
+    E2,
+    E3,
+    E4,
+    T1A,
+    T1B,
+    T2A,
+    T2B,
+    random_internet,
+)
+
+
+class TestReachableSet:
+    def test_full_reach_from_cloud(self, mini_graph):
+        reach = reachable_set(mini_graph, CLOUD)
+        assert reach == frozenset(mini_graph.nodes()) - {CLOUD}
+
+    def test_provider_free_from_cloud(self, mini_graph):
+        reach = reachable_set(mini_graph, CLOUD, excluded={T2A})
+        assert reach == {T2B, T1B, E1, E2, E4, CONTENT}
+
+    def test_tier1_free_from_cloud(self, mini_graph):
+        reach = reachable_set(mini_graph, CLOUD, excluded={T2A, T1A, T1B})
+        assert reach == {T2B, E1, E2, E4, CONTENT}
+
+    def test_hierarchy_free_from_cloud(self, mini_graph):
+        reach = reachable_set(
+            mini_graph, CLOUD, excluded={T2A, T2B, T1A, T1B}
+        )
+        assert reach == {E1, E2, E4}
+
+    def test_origin_never_in_result_even_if_excluded_listed(self, mini_graph):
+        reach = reachable_set(mini_graph, CLOUD, excluded={CLOUD})
+        assert CLOUD not in reach
+        assert reach  # exclusion of the origin itself is ignored
+
+    def test_unknown_origin_raises(self, mini_graph):
+        with pytest.raises(KeyError):
+            reachable_set(mini_graph, 987654)
+
+    def test_tier1_origin_reaches_everything(self, mini_graph):
+        assert reachability(mini_graph, T1A) == len(mini_graph) - 1
+
+    def test_matches_bgp_propagation(self, mini_graph):
+        for origin in mini_graph.nodes():
+            state = propagate(mini_graph, Seed(asn=origin))
+            assert reachable_set(mini_graph, origin) == state.reachable_ases()
+
+    def test_matches_bgp_propagation_excluded(self, mini_graph, mini_tiers):
+        excluded = mini_tiers.hierarchy
+        for origin in mini_graph.nodes():
+            if origin in excluded:
+                continue
+            state = propagate(mini_graph, Seed(asn=origin), excluded=excluded)
+            assert (
+                reachable_set(mini_graph, origin, excluded)
+                == state.reachable_ases()
+            )
+
+
+class TestConeEngine:
+    def test_cone_masks_match_direct_cones(self, mini_graph):
+        engine = ConeEngine(mini_graph)
+        from repro.core import customer_cone
+
+        for asn in mini_graph.nodes():
+            direct = customer_cone(mini_graph, asn)
+            assert engine.cone_size(asn) == len(direct)
+
+    def test_restricted_cones_exclude_hierarchy(self, mini_graph, mini_tiers):
+        engine = ConeEngine(mini_graph, excluded=mini_tiers.hierarchy)
+        # AS1's cone is gone from the index entirely
+        assert T1A not in engine.bit_index
+        # the cloud's restricted cone is just itself
+        assert engine.cone_size(CLOUD) == 0
+
+    def test_provider_free_count_matches_exact(self, mini_graph, mini_tiers):
+        engine = ConeEngine(mini_graph, excluded=mini_tiers.hierarchy)
+        for origin in mini_graph.nodes():
+            expected = hierarchy_free_reachability(
+                mini_graph, origin, mini_tiers
+            )
+            assert engine.provider_free_count(origin) == expected
+
+    def test_provider_free_count_no_exclusion(self, mini_graph):
+        engine = ConeEngine(mini_graph)
+        for origin in mini_graph.nodes():
+            assert engine.provider_free_count(origin) == (
+                provider_free_reachability(mini_graph, origin)
+            )
+
+    def test_cycle_detection(self):
+        from repro.topology import ASGraph
+
+        g = ASGraph()
+        g.add_p2c(1, 2)
+        g.add_p2c(2, 3)
+        g.add_p2c(3, 1)
+        with pytest.raises(ValueError, match="cycle"):
+            ConeEngine(g)
+
+
+class TestRandomizedAgreement:
+    """The three reachability implementations agree on random topologies."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bfs_vs_engine_vs_propagation(self, seed):
+        rng = random.Random(seed)
+        graph = random_internet(rng)
+        tier1 = frozenset(a for a in graph if not graph.providers(a))
+        engine = ConeEngine(graph, excluded=tier1)
+        for origin in list(graph.nodes())[::3]:
+            if origin in tier1:
+                continue
+            excluded = (tier1 | graph.providers(origin)) - {origin}
+            exact = reachable_set(graph, origin, excluded)
+            state = propagate(graph, Seed(asn=origin), excluded=excluded)
+            assert exact == state.reachable_ases()
+            assert engine.provider_free_count(origin) == len(exact)

@@ -1,0 +1,125 @@
+"""Unit tests for the reliance metric (§7)."""
+
+import pytest
+
+from repro.bgpsim import Seed, propagate
+from repro.core import (
+    hierarchy_free_reliance,
+    path_counts,
+    reliance,
+    reliance_from_state,
+    reliance_histogram,
+    tier1_free_reliance,
+    top_reliance,
+)
+from repro.topology import ASGraph, TierAssignment
+
+from .conftest import CLOUD, E1, E2, E4, T2A
+
+
+def build_fig5() -> ASGraph:
+    """The paper's Fig. 5 example: t reaches o via x(u|v) and y(w)."""
+    o, u, v, w, x, y, t = 1, 2, 3, 4, 5, 6, 7
+    g = ASGraph()
+    # o's providers u, v, w; x buys from u and v; y buys from w;
+    # t buys from x and y.  All path lengths to o are then equal (2 hops to
+    # x/y, 3 to t), giving t three tied best paths.
+    g.add_p2c(u, o)
+    g.add_p2c(v, o)
+    g.add_p2c(w, o)
+    g.add_p2c(x, u)
+    g.add_p2c(x, v)
+    g.add_p2c(y, w)
+    g.add_p2c(t, x)
+    g.add_p2c(t, y)
+    return g
+
+
+class TestFig5Example:
+    def test_t_has_three_best_paths(self):
+        g = build_fig5()
+        state = propagate(g, Seed(asn=1))
+        assert state.count_best_paths(7) == 3
+        assert set(state.enumerate_best_paths(7)) == {
+            (7, 5, 2, 1),
+            (7, 5, 3, 1),
+            (7, 6, 4, 1),
+        }
+
+    def test_reliance_restricted_to_t(self):
+        # The paper computes the example's reliance with t as the only
+        # receiving network: rely(o,x)=2/3, u=v=w=y=1/3, rely(o,t)=1.
+        g = build_fig5()
+        state = propagate(g, Seed(asn=1))
+        rely = reliance_from_state(state, receivers=[7], exact=True)
+        assert rely[5] == pytest.approx(2 / 3)
+        assert rely[2] == pytest.approx(1 / 3)
+        assert rely[3] == pytest.approx(1 / 3)
+        assert rely[4] == pytest.approx(1 / 3)
+        assert rely[6] == pytest.approx(1 / 3)
+        assert rely[7] == pytest.approx(1.0)
+
+    def test_exact_and_float_agree(self):
+        g = build_fig5()
+        state = propagate(g, Seed(asn=1))
+        exact = reliance_from_state(state, exact=True)
+        approx = reliance_from_state(state, exact=False)
+        assert set(exact) == set(approx)
+        for asn in exact:
+            assert approx[asn] == pytest.approx(exact[asn])
+
+
+class TestRelianceProperties:
+    def test_every_receiver_relies_on_itself(self, mini_graph):
+        rely = reliance(mini_graph, CLOUD)
+        for asn in mini_graph.nodes():
+            if asn != CLOUD:
+                assert rely[asn] >= 1.0
+
+    def test_total_mass_conserved(self, mini_graph):
+        # Summing each receiver's path-membership fractions over first-hop
+        # neighbors of the origin accounts for every receiver exactly once.
+        rely = reliance(mini_graph, CLOUD)
+        state = propagate(mini_graph, Seed(asn=CLOUD))
+        first_hops = {
+            asn
+            for asn, route in state.routes.items()
+            if route.parents == {CLOUD}
+        }
+        receivers = len(mini_graph) - 1
+        assert sum(rely[h] for h in first_hops) == pytest.approx(receivers)
+
+    def test_hierarchy_free_reliance_mini(self, mini):
+        graph, tiers = mini
+        rely = hierarchy_free_reliance(graph, CLOUD, tiers, exact=True)
+        # Routed: E1 (peer), E2 (peer), E4 (via E1).
+        assert rely == {E1: 2.0, E2: 1.0, E4: 1.0}
+
+    def test_tier1_free_reliance_includes_tier2(self, mini):
+        graph, tiers = mini
+        rely = tier1_free_reliance(graph, CLOUD, tiers)
+        assert rely[12] > 1.0  # AS12 carries AS301/AS202's only paths? E2
+        # peers directly with the cloud, so only AS301 transits AS12.
+        assert rely[12] == pytest.approx(2.0)
+
+    def test_path_counts(self, mini_graph):
+        state = propagate(mini_graph, Seed(asn=CLOUD))
+        counts = path_counts(state)
+        assert counts[CLOUD] == 1
+        assert counts[T2A] == 1
+        assert all(v >= 1 for v in counts.values())
+
+
+class TestHelpers:
+    def test_top_reliance(self):
+        values = {1: 5.0, 2: 9.5, 3: 9.5, 4: 0.5}
+        assert top_reliance(values, 2) == [(2, 9.5), (3, 9.5)]
+
+    def test_reliance_histogram_bins(self):
+        values = {1: 1.0, 2: 24.9, 3: 25.0, 4: 49.0, 5: 600.0}
+        hist = reliance_histogram(values, bin_width=25)
+        assert hist == {0: 2, 25: 2, 600: 1}
+
+    def test_reliance_histogram_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            reliance_histogram({1: 1.0}, bin_width=0)

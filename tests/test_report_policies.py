@@ -1,0 +1,101 @@
+"""Unit tests for report formatting and bgpsim policy helpers."""
+
+import pytest
+
+from repro.bgpsim import (
+    LeakMode,
+    Seed,
+    hierarchy_only_seed,
+    leak_seed,
+    origin_seed,
+    peer_lock_set,
+)
+from repro.experiments.report import cdf_summary, format_table, percent
+
+from .conftest import CLOUD, CONTENT, E1, E2, E3, T1B, T2A, T2B
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ("name", "value"), [("a", 1), ("longer", 22)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert "---" in lines[2]
+        assert len(lines) == 5
+
+    def test_format_table_empty_rows(self):
+        text = format_table(("x",), [])
+        assert "x" in text
+
+    def test_percent(self):
+        assert percent(0.5) == "50.0%"
+        assert percent(0.123456, 2) == "12.35%"
+
+    def test_cdf_summary(self):
+        assert cdf_summary([]) == "n=0"
+        summary = cdf_summary([0.1, 0.2, 0.3, 0.4])
+        assert "n=4" in summary
+        assert "median=30.0%" in summary
+        assert "max=40.0%" in summary
+
+
+class TestSeeds:
+    def test_origin_seed_defaults(self):
+        seed = origin_seed(42)
+        assert seed.asn == 42
+        assert seed.key == "origin"
+        assert seed.initial_length == 0
+        assert seed.exports_to(7)
+
+    def test_negative_initial_length_rejected(self):
+        with pytest.raises(ValueError):
+            Seed(asn=1, initial_length=-1)
+
+    def test_hierarchy_only_seed_restricts_exports(self, mini):
+        graph, tiers = mini
+        seed = hierarchy_only_seed(graph, CLOUD, tiers)
+        assert seed.exports_to(T2A)  # provider
+        assert seed.exports_to(T2B)  # Tier-2 peer
+        assert seed.exports_to(T1B)  # Tier-1 peer
+        assert not seed.exports_to(E1)  # edge peer excluded
+        assert not seed.exports_to(E2)
+
+    def test_leak_seed_reannounce_uses_path_length(self, mini_graph):
+        seed = leak_seed(mini_graph, CLOUD, CONTENT)
+        assert seed.key == "leak"
+        assert seed.initial_length == 2  # CONTENT's best path to the cloud
+
+    def test_leak_seed_hijack_is_zero(self, mini_graph):
+        seed = leak_seed(mini_graph, CLOUD, E3, mode=LeakMode.HIJACK)
+        assert seed.initial_length == 0
+
+    def test_leak_seed_without_route_raises(self, mini_graph):
+        g = mini_graph.copy()
+        g.add_as(999)
+        with pytest.raises(ValueError, match="no route"):
+            leak_seed(g, CLOUD, 999)
+
+    def test_leak_seed_explicit_length(self, mini_graph):
+        seed = leak_seed(mini_graph, CLOUD, CONTENT, legit_path_length=5)
+        assert seed.initial_length == 5
+
+
+class TestPeerLockSets:
+    def test_scopes(self, mini):
+        graph, tiers = mini
+        assert peer_lock_set(graph, CLOUD, tiers, "none") == frozenset()
+        assert peer_lock_set(graph, CLOUD, tiers, "tier1") == {T1B}
+        assert peer_lock_set(graph, CLOUD, tiers, "tier1+tier2") == {
+            T1B, T2A, T2B,
+        }
+        assert peer_lock_set(graph, CLOUD, tiers, "all") == graph.neighbors(
+            CLOUD
+        )
+
+    def test_unknown_scope(self, mini):
+        graph, tiers = mini
+        with pytest.raises(ValueError):
+            peer_lock_set(graph, CLOUD, tiers, "everything")

@@ -1,0 +1,94 @@
+"""Unit tests for scenario JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.netgen import (
+    build_scenario,
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+    tiny,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(tiny(seed=21))
+
+
+@pytest.fixture(scope="module")
+def restored(scenario):
+    return scenario_from_dict(scenario_to_dict(scenario))
+
+
+class TestRoundTrip:
+    def test_graph_preserved(self, scenario, restored):
+        assert sorted(restored.graph.nodes()) == sorted(scenario.graph.nodes())
+        assert set(restored.graph.records()) == set(scenario.graph.records())
+        restored.graph.validate()
+
+    def test_public_graph_preserved(self, scenario, restored):
+        assert set(restored.public_graph.records()) == set(
+            scenario.public_graph.records()
+        )
+
+    def test_metadata_preserved(self, scenario, restored):
+        assert restored.tiers == scenario.tiers
+        assert restored.clouds == scenario.clouds
+        assert restored.users == scenario.users
+        assert restored.monitors == scenario.monitors
+        assert restored.prefixes == scenario.prefixes
+        assert restored.transit_labels == scenario.transit_labels
+        assert restored.facebook_asn == scenario.facebook_asn
+
+    def test_config_preserved(self, scenario, restored):
+        assert restored.config == scenario.config
+
+    def test_ixps_and_interconnects_preserved(self, scenario, restored):
+        assert len(restored.ixps) == len(scenario.ixps)
+        for before, after in zip(scenario.ixps, restored.ixps):
+            assert before == after
+        assert set(restored.interconnects) == set(scenario.interconnects)
+        for key in scenario.interconnects:
+            assert restored.interconnects[key] == scenario.interconnects[key]
+
+    def test_geography_preserved(self, scenario, restored):
+        assert restored.pop_footprints == scenario.pop_footprints
+        assert restored.vm_cities == scenario.vm_cities
+        for asn, info in scenario.as_info.items():
+            assert restored.as_info[asn] == info
+
+    def test_restored_scenario_is_usable(self, restored):
+        from repro.core import hierarchy_free_reachability
+
+        google = restored.clouds["Google"]
+        value = hierarchy_free_reachability(
+            restored.graph, google, restored.tiers
+        )
+        assert value > 0
+
+
+class TestFiles:
+    def test_plain_json_file(self, scenario, tmp_path):
+        path = tmp_path / "scenario.json"
+        save_scenario(scenario, path)
+        loaded = load_scenario(path)
+        assert loaded.summary() == scenario.summary()
+        json.loads(path.read_text())  # valid JSON on disk
+
+    def test_gzip_file(self, scenario, tmp_path):
+        plain = tmp_path / "scenario.json"
+        packed = tmp_path / "scenario.json.gz"
+        save_scenario(scenario, plain)
+        save_scenario(scenario, packed)
+        assert packed.stat().st_size < plain.stat().st_size
+        assert load_scenario(packed).summary() == scenario.summary()
+
+    def test_version_check(self, scenario):
+        data = scenario_to_dict(scenario)
+        data["format_version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            scenario_from_dict(data)

@@ -1,0 +1,80 @@
+"""Unit tests for tier identification."""
+
+import pytest
+
+from repro.topology import (
+    ASGraph,
+    TierAssignment,
+    TierListBuilder,
+    infer_tier1_clique,
+    infer_tier2,
+    infer_tiers,
+)
+
+from .conftest import T1A, T1B, T2A, T2B, build_mini
+
+
+class TestTierAssignment:
+    def test_hierarchy_union(self):
+        tiers = TierAssignment(frozenset({1, 2}), frozenset({3}))
+        assert tiers.hierarchy == {1, 2, 3}
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            TierAssignment(frozenset({1}), frozenset({1, 2}))
+
+
+class TestInference:
+    def test_mini_clique(self):
+        graph, _ = build_mini()
+        clique = infer_tier1_clique(graph)
+        assert clique == {T1A, T1B}
+
+    def test_mini_tier2(self):
+        graph, _ = build_mini()
+        tier1 = frozenset({T1A, T1B})
+        tier2 = infer_tier2(graph, tier1, count=5, min_tier1_adjacency=1)
+        assert T2A in tier2
+        assert T2B in tier2
+        assert T1A not in tier2
+
+    def test_infer_tiers_end_to_end(self):
+        graph, expected = build_mini()
+        tiers = infer_tiers(graph, tier2_count=2, min_tier1_adjacency=1)
+        assert tiers.tier1 == expected.tier1
+        assert tiers.tier2 == expected.tier2
+
+    def test_clique_requires_mutual_peering(self):
+        g = ASGraph()
+        # three provider-free ASes, but only 1-2 peer
+        g.add_p2p(1, 2)
+        g.add_as(3)
+        g.add_p2c(1, 10)
+        g.add_p2c(2, 11)
+        g.add_p2c(3, 12)
+        g.add_p2c(3, 13)
+        clique = infer_tier1_clique(g)
+        # AS3 has the highest transit degree and seeds the clique; AS1/AS2
+        # do not peer with it and are left out.
+        assert clique == {3}
+
+    def test_stub_never_tier2(self):
+        graph, _ = build_mini()
+        tier2 = infer_tier2(
+            graph, frozenset({T1A, T1B}), count=10, min_tier1_adjacency=0
+        )
+        assert 203 not in tier2
+        assert 301 not in tier2
+
+
+class TestBuilder:
+    def test_builder_resolves_conflicts(self):
+        tiers = (
+            TierListBuilder()
+            .add_tier2(5, 6)
+            .add_tier1(1, 5)
+            .add_tier2(1)
+            .build()
+        )
+        assert tiers.tier1 == {1, 5}
+        assert tiers.tier2 == {6}

@@ -1,0 +1,163 @@
+"""Unit tests for the traceroute simulator."""
+
+import random
+
+import pytest
+
+from repro.bgpsim import Seed, propagate
+from repro.netgen import ArtifactRates, ScenarioConfig, build_scenario, tiny
+from repro.traceroute import (
+    ArtifactModel,
+    TracerouteCampaign,
+    expand_path,
+    nearest_interconnect,
+    vantage_points,
+)
+
+
+def quiet_config(seed: int = 7) -> ScenarioConfig:
+    """Tiny profile with all measurement noise disabled."""
+    from dataclasses import replace
+
+    return replace(
+        tiny(seed),
+        artifacts=ArtifactRates(
+            unresponsive_hop=0.0,
+            unresponsive_border=0.0,
+            ixp_unannounced=0.5,
+            ixp_misattribution=0.0,
+            rate_limited=0.0,
+            tunnel_suppression=0.0,
+            policy_deviation=0.0,
+            route_server_fraction=0.0,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def quiet():
+    return build_scenario(quiet_config())
+
+
+@pytest.fixture(scope="module")
+def noisy():
+    return build_scenario(tiny())
+
+
+class TestVantagePoints:
+    def test_one_vm_per_datacenter_city(self, quiet):
+        for asn in quiet.cloud_asns():
+            vms = vantage_points(quiet, asn)
+            assert len(vms) == len(quiet.vm_cities[asn])
+            assert len({vm.label for vm in vms}) == len(vms)
+
+
+class TestExpandPath:
+    def test_clean_path_structure(self, quiet):
+        campaign = TracerouteCampaign(quiet, seed=1)
+        cloud = quiet.clouds["Google"]
+        vm = vantage_points(quiet, cloud)[0]
+        neighbor = sorted(quiet.graph.neighbors(cloud))[0]
+        trace = campaign.measure(vm, neighbor, wan_egress=True)
+        assert trace.reached
+        assert trace.true_as_path[0] == cloud
+        assert trace.true_as_path[-1] == neighbor
+        # all hops respond with noise off
+        assert all(h.responded for h in trace.hops)
+        # last hop is the destination address
+        assert trace.hops[-1].ip == trace.dst_ip
+
+    def test_cloud_interior_uses_cloud_prefix(self, quiet):
+        campaign = TracerouteCampaign(quiet, seed=1)
+        cloud = quiet.clouds["IBM"]
+        vm = vantage_points(quiet, cloud)[0]
+        dst = sorted(
+            a for a in quiet.graph if a not in quiet.cloud_asns()
+        )[0]
+        trace = campaign.measure(vm, dst, wan_egress=True)
+        prefix = quiet.prefixes[cloud]
+        assert trace.hops[0].ip in prefix
+        assert trace.hops[1].ip in prefix
+        assert trace.hops[2].ip not in prefix  # the border
+
+    def test_border_hop_matches_interconnect(self, quiet):
+        campaign = TracerouteCampaign(quiet, seed=3)
+        cloud = quiet.clouds["Microsoft"]
+        vm = vantage_points(quiet, cloud)[0]
+        for dst in sorted(quiet.graph.neighbors(cloud))[:5]:
+            trace = campaign.measure(vm, dst, wan_egress=True)
+            if trace.true_as_path[1] != dst:
+                continue
+            link = nearest_interconnect(quiet, cloud, dst, vm)
+            assert trace.hops[2].ip == link.neighbor_ip
+
+    def test_invalid_paths_rejected(self, quiet):
+        campaign = TracerouteCampaign(quiet, seed=1)
+        cloud = quiet.clouds["Google"]
+        vm = vantage_points(quiet, cloud)[0]
+        with pytest.raises(ValueError):
+            expand_path(quiet, campaign.artifacts, random.Random(0), vm, (cloud,))
+        with pytest.raises(ValueError):
+            expand_path(
+                quiet, campaign.artifacts, random.Random(0), vm, (1, 2)
+            )
+
+
+class TestForwardingPaths:
+    def test_paths_are_tied_best(self, quiet):
+        campaign = TracerouteCampaign(quiet, seed=5)
+        cloud = quiet.clouds["Google"]
+        vm = vantage_points(quiet, cloud)[0]
+        for dst in sorted(quiet.graph.nodes())[::7]:
+            if dst == cloud:
+                continue
+            path = campaign.forwarding_path(vm, dst, wan_egress=True)
+            if path is None:
+                continue
+            state = propagate(quiet.graph, Seed(asn=dst))
+            assert state.contains_path(path)
+
+    def test_self_destination_skipped(self, quiet):
+        campaign = TracerouteCampaign(quiet, seed=5)
+        cloud = quiet.clouds["Google"]
+        vm = vantage_points(quiet, cloud)[0]
+        assert campaign.forwarding_path(vm, cloud, wan_egress=True) is None
+
+    def test_early_exit_is_deterministic_per_vm(self, quiet):
+        campaign = TracerouteCampaign(quiet, seed=5)
+        cloud = quiet.clouds["Amazon"]
+        vms = vantage_points(quiet, cloud)
+        dst = sorted(
+            a for a in quiet.graph if a not in quiet.cloud_asns()
+        )[10]
+        first = campaign.forwarding_path(vms[0], dst, wan_egress=False)
+        again = campaign.forwarding_path(vms[0], dst, wan_egress=False)
+        assert first[1] == again[1]  # same VM → same exit
+
+
+class TestCampaign:
+    def test_run_cloud_counts(self, quiet):
+        campaign = TracerouteCampaign(quiet, seed=2)
+        cloud = quiet.clouds["IBM"]
+        destinations = sorted(quiet.graph.nodes())[:10]
+        traces = campaign.run_cloud(cloud, destinations=destinations)
+        vms = len(vantage_points(quiet, cloud))
+        expected_dsts = len([d for d in destinations if d != cloud])
+        assert len(traces) == vms * expected_dsts
+
+    def test_noise_produces_unresponsive_hops(self, noisy):
+        campaign = TracerouteCampaign(noisy, seed=2)
+        traces = campaign.run_cloud(noisy.clouds["Google"])
+        assert any(
+            not hop.responded for trace in traces for hop in trace.hops
+        )
+        assert any(not t.reached for t in traces)  # rate limiting
+
+    def test_trace_string_rendering(self, quiet):
+        campaign = TracerouteCampaign(quiet, seed=1)
+        cloud = quiet.clouds["Google"]
+        vm = vantage_points(quiet, cloud)[0]
+        dst = sorted(quiet.graph.neighbors(cloud))[0]
+        text = str(campaign.measure(vm, dst, wan_egress=True))
+        assert "traceroute from" in text
+        assert str(vm.cloud_asn) in text

@@ -1,0 +1,117 @@
+"""Unit tests for BGP monitor visibility analysis."""
+
+import pytest
+
+from repro.core import ConeEngine
+from repro.netgen import build_scenario, tiny
+from repro.topology import (
+    Relationship,
+    invisible_peering_fraction,
+    marginal_monitor_gain,
+    rank_monitor_candidates,
+    visible_edges,
+    visible_subgraph,
+)
+
+from .conftest import CLOUD, CONTENT, E1, E2, E3, E4, T1A, T1B, T2A, T2B
+
+
+class TestVisibleEdges:
+    def test_transit_always_visible(self, mini_graph):
+        records = visible_edges(mini_graph, monitors=[])
+        transit = [r for r in records if r.is_transit]
+        truth_transit = [r for r in mini_graph.records() if r.is_transit]
+        assert len(transit) == len(truth_transit)
+
+    def test_no_monitors_hide_all_peerings(self, mini_graph):
+        records = visible_edges(mini_graph, monitors=[])
+        assert all(r.is_transit for r in records)
+
+    def test_monitor_in_cone_reveals_peering(self, mini_graph):
+        # E4 sits in E1's customer cone; E1 peers with the cloud, so that
+        # peering becomes visible, but the cloud's other peerings stay dark
+        records = visible_edges(mini_graph, monitors=[E4])
+        peerings = {
+            frozenset((r.left, r.right))
+            for r in records
+            if not r.is_transit
+        }
+        assert frozenset((CLOUD, E1)) in peerings
+        assert frozenset((CLOUD, E2)) not in peerings
+
+    def test_monitor_at_endpoint_reveals_peering(self, mini_graph):
+        records = visible_edges(mini_graph, monitors=[E2])
+        peerings = {
+            frozenset((r.left, r.right))
+            for r in records
+            if not r.is_transit
+        }
+        assert frozenset((CLOUD, E2)) in peerings
+
+    def test_tier1_monitor_sees_clique_peering(self, mini_graph):
+        records = visible_edges(mini_graph, monitors=[E3])  # in AS1's cone
+        peerings = {
+            frozenset((r.left, r.right))
+            for r in records
+            if not r.is_transit
+        }
+        assert frozenset((T1A, T1B)) in peerings
+
+    def test_shared_engine_accepted(self, mini_graph):
+        engine = ConeEngine(mini_graph)
+        a = visible_edges(mini_graph, [E4], engine)
+        b = visible_edges(mini_graph, [E4])
+        assert a == b
+
+
+class TestVisibleSubgraph:
+    def test_all_nodes_kept(self, mini_graph):
+        public = visible_subgraph(mini_graph, monitors=[])
+        assert sorted(public.nodes()) == sorted(mini_graph.nodes())
+
+    def test_matches_scenario_public_graph(self):
+        scenario = build_scenario(tiny())
+        rebuilt = visible_subgraph(scenario.graph, scenario.monitors)
+        assert rebuilt.edge_count() == scenario.public_graph.edge_count()
+        assert {r for r in rebuilt.records()} == {
+            r for r in scenario.public_graph.records()
+        }
+
+
+class TestInvisibleFraction:
+    def test_cloud_peering_mostly_invisible_to_transit_monitors(
+        self, mini_graph
+    ):
+        # a monitor below the Tier-1 sees none of the cloud's peerings:
+        # it sits in no peer's customer cone
+        fraction = invisible_peering_fraction(mini_graph, [E3], CLOUD)
+        assert fraction == 1.0
+
+    def test_no_peers_means_zero(self, mini_graph):
+        assert invisible_peering_fraction(mini_graph, [E3], E3) == 0.0
+
+    def test_monitor_inside_own_cone_sees_everything(self, mini_graph):
+        fraction = invisible_peering_fraction(mini_graph, [E2, E4, T2B], CLOUD)
+        assert fraction < 1.0
+
+
+class TestMonitorPlacement:
+    def test_marginal_gain_nonnegative(self, mini_graph):
+        for candidate in mini_graph.nodes():
+            assert marginal_monitor_gain(mini_graph, [E3], candidate) >= 0
+
+    def test_edge_monitor_beats_redundant_transit_monitor(self, mini_graph):
+        # E2 reveals the cloud-E2 peering; another monitor in AS1's cone
+        # adds nothing new
+        gain_edge = marginal_monitor_gain(mini_graph, [E3], E2)
+        gain_transit = marginal_monitor_gain(mini_graph, [E3], 203)
+        assert gain_edge > gain_transit
+
+    def test_ranking(self, mini_graph):
+        ranked = rank_monitor_candidates(
+            mini_graph, [E3], mini_graph.nodes(), top=3
+        )
+        assert len(ranked) == 3
+        gains = [gain for _, gain in ranked]
+        assert gains == sorted(gains, reverse=True)
+        assert ranked[0][1] > 0
