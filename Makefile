@@ -2,13 +2,21 @@
 
 PROFILE ?= small
 
-.PHONY: install test bench experiments csv examples all
+# Let the targets work from a fresh checkout without `make install`.
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: install test test-fast bench experiments csv examples all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	pytest tests/
+
+# Everything except the slow full-pipeline golden regressions (~20s saved);
+# run `make test` before landing engine or scenario changes.
+test-fast:
+	pytest tests/ -m "not slow"
 
 bench:
 	pytest benchmarks/ --benchmark-only

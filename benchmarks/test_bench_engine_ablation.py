@@ -1,14 +1,29 @@
-"""Ablation — the bitset cone engine vs the exact valley-free BFS.
+"""Ablation — the bitset cone engine vs the exact valley-free BFS, and
+the serial vs parallel propagation sweep.
 
 DESIGN.md calls out the all-AS sweep fast path as a design choice; this
 benchmark measures both implementations on the same sweep and checks they
-agree exactly.
+agree exactly.  The propagation-sweep pair additionally records a
+machine-readable comparison in ``benchmarks/bench_parallel_engine.json``
+(serial and parallel wall-clock, speedup, worker/CPU counts) so perf
+regressions in the parallel path are visible in review.  The
+parallel-beats-serial assertion only applies on multi-CPU hosts — on a
+single CPU a process pool can only add overhead.
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 import pytest
 
+from repro.bgpsim import propagate_many
 from repro.core import ConeEngine, hierarchy_free_reachability
 from repro.core.metrics import hierarchy_free_sweep
+
+BENCH_JSON = Path(__file__).resolve().parent / "bench_parallel_engine.json"
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
 
 
 @pytest.fixture(scope="module")
@@ -47,6 +62,73 @@ def test_bench_sweep_exact_bfs(benchmark, ctx2020, sample_origins):
         graph, tiers, origins=sample_origins, engine=engine
     )
     assert fast == result
+
+
+@pytest.fixture(scope="module")
+def propagation_origins(ctx2020):
+    nodes = sorted(ctx2020.graph.nodes())
+    return nodes[:: max(1, len(nodes) // 80)]
+
+
+_sweep_timings: dict[str, float] = {}
+
+
+def test_bench_propagate_sweep_serial(benchmark, ctx2020, propagation_origins):
+    graph = ctx2020.graph
+
+    def sweep():
+        return list(propagate_many(graph, propagation_origins, workers=1))
+
+    started = time.perf_counter()
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _sweep_timings["serial_s"] = time.perf_counter() - started
+    assert len(result) == len(propagation_origins)
+
+
+def test_bench_propagate_sweep_parallel(
+    benchmark, ctx2020, propagation_origins
+):
+    graph = ctx2020.graph
+
+    def sweep():
+        return list(
+            propagate_many(graph, propagation_origins, workers=BENCH_WORKERS)
+        )
+
+    started = time.perf_counter()
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    parallel_s = time.perf_counter() - started
+
+    # exactness: the parallel sweep returns identical states
+    serial = propagate_many(graph, propagation_origins, workers=1)
+    for par_state, ser_state in zip(result, serial):
+        assert par_state.routes.keys() == ser_state.routes.keys()
+        for asn, ser_route in ser_state.routes.items():
+            par_route = par_state.routes[asn]
+            assert (
+                par_route.route_class == ser_route.route_class
+                and par_route.length == ser_route.length
+                and par_route.parents == ser_route.parents
+            )
+
+    serial_s = _sweep_timings.get("serial_s")
+    cpus = os.cpu_count() or 1
+    record = {
+        "profile": os.environ.get("REPRO_PROFILE", "small"),
+        "origins": len(propagation_origins),
+        "ases": len(graph),
+        "workers": BENCH_WORKERS,
+        "cpus": cpus,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": (serial_s / parallel_s) if serial_s else None,
+    }
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    if serial_s is not None and cpus >= 2 and BENCH_WORKERS >= 2:
+        assert parallel_s < serial_s, (
+            f"parallel sweep ({parallel_s:.3f}s, workers={BENCH_WORKERS}) "
+            f"did not beat serial ({serial_s:.3f}s) on a {cpus}-CPU host"
+        )
 
 
 def test_bench_measurement_pipeline(benchmark):

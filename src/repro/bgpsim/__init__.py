@@ -1,6 +1,13 @@
 """Gao-Rexford BGP route-propagation simulator."""
 
+from .cache import CacheStats, RoutingStateCache
 from .engine import propagate
+from .parallel import (
+    graph_map,
+    propagate_many,
+    propagate_origins,
+    resolve_workers,
+)
 from .policies import (
     LeakMode,
     hierarchy_only_seed,
@@ -11,14 +18,20 @@ from .policies import (
 from .routes import NodeRoute, RouteClass, RoutingState, Seed
 
 __all__ = [
+    "CacheStats",
     "LeakMode",
     "NodeRoute",
     "RouteClass",
     "RoutingState",
+    "RoutingStateCache",
     "Seed",
+    "graph_map",
     "hierarchy_only_seed",
     "leak_seed",
     "origin_seed",
     "peer_lock_set",
     "propagate",
+    "propagate_many",
+    "propagate_origins",
+    "resolve_workers",
 ]

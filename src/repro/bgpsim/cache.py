@@ -1,33 +1,130 @@
 """Shared per-origin routing-state cache.
 
 Several pipelines (traceroute campaigns, route collectors, path containment
-checks) need the propagation state for many origins over the same graph;
-this cache computes each origin once.
+checks, hegemony) need the propagation state for many origins over the same
+graph; this cache computes each origin once.  A ``RoutingState`` for an
+Internet-scale graph is large (one ``NodeRoute`` per routed AS), so the
+cache is a bounded LRU: at most ``maxsize`` states are retained, the least
+recently used origin is evicted first, and hit/miss/eviction counters are
+exposed through :meth:`RoutingStateCache.stats` so sweeps can verify their
+access pattern actually fits the bound.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import Optional
 
 from ..topology.asgraph import ASGraph
 from .engine import propagate
 from .routes import RoutingState, Seed
 
 
-class RoutingStateCache:
-    """Memoized ``propagate(graph, Seed(origin))`` per origin."""
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time snapshot of a cache's counters."""
 
-    def __init__(self, graph: ASGraph) -> None:
+    size: int
+    maxsize: Optional[int]
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class RoutingStateCache:
+    """Memoized ``propagate(graph, Seed(origin))`` per origin, LRU-bounded.
+
+    ``maxsize=None`` (the default) keeps every state, preserving the
+    historical unbounded behaviour for small scenarios; any positive bound
+    caps the number of retained states, evicting the least recently used
+    origin.  Evicted origins are transparently recomputed on the next
+    request.
+    """
+
+    def __init__(self, graph: ASGraph, maxsize: Optional[int] = None) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError("maxsize must be None or >= 1")
         self.graph = graph
-        self._states: dict[int, RoutingState] = {}
+        self.maxsize = maxsize
+        self._states: OrderedDict[int, RoutingState] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     def state_for(self, origin: int) -> RoutingState:
         state = self._states.get(origin)
-        if state is None:
-            state = propagate(self.graph, Seed(asn=origin))
-            self._states[origin] = state
+        if state is not None:
+            self._hits += 1
+            self._states.move_to_end(origin)
+            return state
+        self._misses += 1
+        state = propagate(self.graph, Seed(asn=origin))
+        self._insert(origin, state)
         return state
+
+    def _insert(self, origin: int, state: RoutingState) -> None:
+        self._states[origin] = state
+        self._states.move_to_end(origin)
+        if self.maxsize is not None:
+            while len(self._states) > self.maxsize:
+                self._states.popitem(last=False)
+                self._evictions += 1
+
+    def prefetch(
+        self, origins: Iterable[int], workers: int | str | None = None
+    ) -> int:
+        """Warm the cache for ``origins``; returns how many were computed.
+
+        Missing origins are propagated — in parallel when ``workers`` asks
+        for it — and inserted in input order, so with a bounded cache the
+        *last* requested origins survive.  Origins beyond ``maxsize`` are
+        skipped (they would be immediately evicted).
+        """
+        from .parallel import propagate_origins
+
+        missing = []
+        seen = set()
+        for origin in origins:
+            if origin in seen:
+                continue
+            seen.add(origin)
+            if origin in self._states:
+                self._states.move_to_end(origin)
+                self._hits += 1
+            else:
+                missing.append(origin)
+        if self.maxsize is not None and len(missing) > self.maxsize:
+            missing = missing[-self.maxsize :]
+        for origin, state in propagate_origins(
+            self.graph, missing, workers=workers
+        ):
+            self._misses += 1
+            self._insert(origin, state)
+        return len(missing)
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            size=len(self._states),
+            maxsize=self.maxsize,
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+        )
+
+    def __contains__(self, origin: int) -> bool:
+        return origin in self._states
 
     def __len__(self) -> int:
         return len(self._states)
 
     def clear(self) -> None:
+        """Drop all cached states (counters are reset too)."""
         self._states.clear()
+        self._hits = self._misses = self._evictions = 0

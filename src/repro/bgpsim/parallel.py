@@ -1,0 +1,202 @@
+"""Parallel per-origin route propagation.
+
+Every headline analysis in the paper — hierarchy-free reachability (§6),
+reliance (§7), route-leak resilience (§8), and the traceroute campaigns
+(§4) — sweeps :func:`~repro.bgpsim.engine.propagate` over many origins on
+the *same* immutable :class:`~repro.topology.asgraph.ASGraph`.  The
+per-origin runs are independent, which makes the sweep embarrassingly
+parallel: this module fans the calls out across a
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Design rules (all load-bearing for determinism and throughput):
+
+* **The graph ships once per worker, not once per task.**  Workers receive
+  the graph through a pool *initializer* and stash it in a module global;
+  each task then pickles only its item (an origin ASN, a seed, a leaker).
+  Under the default ``fork`` start method the initializer argument is
+  inherited copy-on-write, so even the one-time transfer is nearly free.
+* **Results come back as an ordered iterator.**  ``graph_map`` yields
+  results in input order regardless of worker scheduling, so a parallel
+  sweep is a drop-in replacement for the serial loop and callers stay
+  bit-for-bit deterministic (the differential harness in
+  ``tests/test_parallel_engine.py`` asserts exactly this).
+* **``workers=None``/``0``/``1`` runs serially in-process** through the
+  very same task function — no pool, no pickling, no behavioural fork
+  between the two paths.
+* **Worker exceptions surface in the parent.**  A task that raises inside
+  a worker re-raises the original exception type at the point the caller
+  consumes that result, and the pool shuts down cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Collection, Iterable, Iterator
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Optional
+
+from ..topology.asgraph import ASGraph
+from .engine import propagate
+from .routes import RoutingState, Seed
+
+__all__ = [
+    "graph_map",
+    "propagate_many",
+    "propagate_origins",
+    "resolve_workers",
+]
+
+
+def resolve_workers(workers: int | str | None) -> int:
+    """Normalize a ``workers`` knob to a concrete process count.
+
+    ``None``, ``0`` and ``1`` mean serial; ``"auto"`` and negative values
+    mean one worker per available CPU.
+    """
+    if workers is None:
+        return 1
+    if workers == "auto":
+        return max(os.cpu_count() or 1, 1)
+    count = int(workers)
+    if count < 0:
+        return max(os.cpu_count() or 1, 1)
+    return max(count, 1)
+
+
+# ---------------------------------------------------------------------------
+# worker-side state, installed once per process by the pool initializer
+# ---------------------------------------------------------------------------
+
+_WORKER_GRAPH: Optional[ASGraph] = None
+_WORKER_FUNC: Optional[Callable[..., Any]] = None
+_WORKER_SHARED: dict[str, Any] = {}
+
+
+def _init_worker(
+    graph: ASGraph, func: Callable[..., Any], shared: dict[str, Any]
+) -> None:
+    global _WORKER_GRAPH, _WORKER_FUNC, _WORKER_SHARED
+    _WORKER_GRAPH = graph
+    _WORKER_FUNC = func
+    _WORKER_SHARED = shared
+
+
+def _run_task(item: Any) -> Any:
+    assert _WORKER_FUNC is not None and _WORKER_GRAPH is not None
+    return _WORKER_FUNC(_WORKER_GRAPH, item, **_WORKER_SHARED)
+
+
+def graph_map(
+    graph: ASGraph,
+    func: Callable[..., Any],
+    items: Iterable[Any],
+    *,
+    workers: int | str | None = None,
+    chunksize: Optional[int] = None,
+    **shared: Any,
+) -> Iterator[Any]:
+    """Apply ``func(graph, item, **shared)`` to every item, in input order.
+
+    ``func`` must be a picklable module-level callable.  With more than one
+    worker the graph and ``shared`` kwargs are installed once per worker
+    process via the pool initializer and only ``item`` crosses the pipe per
+    task; serially the exact same calls run inline.  Results are yielded in
+    the order of ``items``; an exception raised by any task propagates to
+    the caller when that task's slot is consumed.
+    """
+    count = resolve_workers(workers)
+    if count <= 1:
+        def _serial() -> Iterator[Any]:
+            for item in items:
+                yield func(graph, item, **shared)
+
+        return _serial()
+
+    item_list = list(items)
+    if not item_list:
+        return iter(())
+    count = min(count, len(item_list))
+    if chunksize is None:
+        chunksize = max(1, -(-len(item_list) // (count * 8)))
+
+    def _parallel() -> Iterator[Any]:
+        with ProcessPoolExecutor(
+            max_workers=count,
+            initializer=_init_worker,
+            initargs=(graph, func, shared),
+        ) as pool:
+            yield from pool.map(_run_task, item_list, chunksize=chunksize)
+
+    return _parallel()
+
+
+# ---------------------------------------------------------------------------
+# propagation sweeps
+# ---------------------------------------------------------------------------
+
+def _coerce_seeds(task: Any) -> tuple[Seed, ...]:
+    if isinstance(task, Seed):
+        return (task,)
+    if isinstance(task, int):
+        return (Seed(asn=task),)
+    return tuple(s if isinstance(s, Seed) else Seed(asn=s) for s in task)
+
+
+def _propagate_task(
+    graph: ASGraph,
+    task: Any,
+    excluded: Collection[int] = frozenset(),
+    peer_locked: Collection[int] = frozenset(),
+    locked_origin: Optional[int] = None,
+) -> RoutingState:
+    return propagate(
+        graph,
+        _coerce_seeds(task),
+        excluded=excluded,
+        peer_locked=peer_locked,
+        locked_origin=locked_origin,
+    )
+
+
+def propagate_many(
+    graph: ASGraph,
+    tasks: Iterable[int | Seed | Iterable[Seed]],
+    *,
+    workers: int | str | None = None,
+    excluded: Collection[int] = frozenset(),
+    peer_locked: Collection[int] = frozenset(),
+    locked_origin: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> Iterator[RoutingState]:
+    """Propagate each task over ``graph``, yielding states in input order.
+
+    A task is an origin ASN, a :class:`Seed`, or an iterable of seeds (the
+    multi-seed form used by leak simulations).  ``excluded``,
+    ``peer_locked`` and ``locked_origin`` apply to every task and ship to
+    the workers once.
+    """
+    return graph_map(
+        graph,
+        _propagate_task,
+        tasks,
+        workers=workers,
+        chunksize=chunksize,
+        excluded=frozenset(excluded),
+        peer_locked=frozenset(peer_locked),
+        locked_origin=locked_origin,
+    )
+
+
+def propagate_origins(
+    graph: ASGraph,
+    origins: Iterable[int],
+    *,
+    workers: int | str | None = None,
+    excluded: Collection[int] = frozenset(),
+) -> Iterator[tuple[int, RoutingState]]:
+    """``(origin, state)`` pairs for a plain single-origin sweep."""
+    origin_list = list(origins)
+    states = propagate_many(
+        graph, origin_list, workers=workers, excluded=excluded
+    )
+    return zip(origin_list, states)

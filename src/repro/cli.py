@@ -93,6 +93,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_workers(value: str) -> int | str:
+    """argparse type for ``--workers``: an int, or ``auto`` for all CPUs."""
+    if value == "auto":
+        return value
+    return int(value)
+
+
 def cmd_leak(args: argparse.Namespace) -> int:
     from .core import LEAK_CONFIGURATIONS, resilience_curve
     from .experiments.report import cdf_summary
@@ -112,7 +119,8 @@ def cmd_leak(args: argparse.Namespace) -> int:
     )
     for configuration in configurations:
         curve = resilience_curve(
-            graph, args.origin, tiers, configuration, leakers
+            graph, args.origin, tiers, configuration, leakers,
+            workers=args.workers,
         )
         print(f"  {configuration:28s} {cdf_summary(curve)}")
     return 0
@@ -158,7 +166,10 @@ def cmd_infer(args: argparse.Namespace) -> int:
 def cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.runner import main as runner_main
 
-    return runner_main([args.profile])
+    argv = [args.profile]
+    if args.workers is not None:
+        argv += ["--workers", str(args.workers)]
+    return runner_main(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -212,6 +223,12 @@ def build_parser() -> argparse.ArgumentParser:
             "announce_hierarchy_only",
         ),
     )
+    leak.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=None,
+        help="propagation worker processes (int, or 'auto' for all CPUs)",
+    )
     leak.set_defaults(func=cmd_leak)
 
     infer = sub.add_parser(
@@ -229,6 +246,12 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="run every table/figure reproduction"
     )
     experiments.add_argument("profile", nargs="?", default="small")
+    experiments.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=None,
+        help="propagation worker processes (int, or 'auto' for all CPUs)",
+    )
     experiments.set_defaults(func=cmd_experiments)
 
     return parser

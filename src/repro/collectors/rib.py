@@ -65,12 +65,15 @@ def collect_ribs(
     origins: Optional[Sequence[int]] = None,
     rng: Optional[random.Random] = None,
     cache: Optional[RoutingStateCache] = None,
+    workers: int | str | None = None,
 ) -> CollectorDump:
     """Simulate a collector RIB: each monitor's tied-best path per origin.
 
     Ties are broken by a deterministic walk over the best-path DAG (the
     supplied ``rng`` picks among tied parents), mirroring the fact that a
-    real monitor exports exactly one best path.
+    real monitor exports exactly one best path.  ``workers`` parallelizes
+    the per-origin propagations; the tie-breaking walk stays serial so the
+    RNG stream (and the dump) is identical for any worker count.
     """
     rng = rng or random.Random(0)
     if cache is None:
@@ -78,6 +81,9 @@ def collect_ribs(
     monitors = sorted(set(monitors))
     if origins is None:
         origins = sorted(graph.nodes())
+    cache.prefetch(
+        (origin for origin in origins if origin in prefixes), workers=workers
+    )
     dump = CollectorDump()
     for origin in origins:
         if origin not in prefixes:

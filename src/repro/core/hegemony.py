@@ -94,13 +94,21 @@ def global_hegemony(
     sample: int = 50,
     rng: Optional[random.Random] = None,
     trim: float = TRIM,
+    workers: int | str | None = None,
+    cache_size: Optional[int] = None,
 ) -> dict[int, float]:
-    """``H(target)`` for each target, averaged over sampled origins."""
+    """``H(target)`` for each target, averaged over sampled origins.
+
+    ``workers`` parallelizes the per-origin propagations (computed once up
+    front and cached); ``cache_size`` bounds the cache when the origin
+    sample is too large to hold every state.
+    """
     rng = rng or random.Random(0)
     nodes = sorted(graph.nodes())
     if origins is None:
         origins = rng.sample(nodes, k=min(sample, len(nodes)))
-    cache = RoutingStateCache(graph)
+    cache = RoutingStateCache(graph, maxsize=cache_size)
+    cache.prefetch(origins, workers=workers)
     scores: dict[int, float] = {}
     for target in targets:
         values = []

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..bgpsim.engine import propagate
+from ..bgpsim.parallel import graph_map
 from ..bgpsim.policies import LeakMode, hierarchy_only_seed, peer_lock_set
 from ..bgpsim.routes import Seed
 from ..topology.asgraph import ASGraph
@@ -150,6 +151,59 @@ def simulate_leak(
     )
 
 
+def _leak_task(
+    graph: ASGraph,
+    leaker: int,
+    origin: int | Seed = 0,
+    peer_locked: Collection[int] = frozenset(),
+    mode: LeakMode = LeakMode.REANNOUNCE,
+    semantics: PeerLockSemantics = PeerLockSemantics.ERRATUM,
+) -> Optional[LeakOutcome]:
+    return simulate_leak(
+        graph, origin, leaker, peer_locked=peer_locked, mode=mode,
+        semantics=semantics,
+    )
+
+
+def simulate_leaks(
+    graph: ASGraph,
+    origin: int | Seed,
+    leakers: Sequence[int],
+    peer_locked: Collection[int] = frozenset(),
+    mode: LeakMode = LeakMode.REANNOUNCE,
+    semantics: PeerLockSemantics = PeerLockSemantics.ERRATUM,
+    workers: int | str | None = None,
+) -> list[Optional[LeakOutcome]]:
+    """:func:`simulate_leak` for every leaker, optionally across processes.
+
+    Returns one entry per leaker, in order (``None`` where the leaker holds
+    no route).  The fixed arguments ship to each worker once; with
+    ``workers=None`` the simulations run serially in-process, producing the
+    same list.
+    """
+    return list(
+        graph_map(
+            graph,
+            _leak_task,
+            leakers,
+            workers=workers,
+            origin=origin,
+            peer_locked=frozenset(peer_locked),
+            mode=mode,
+            semantics=semantics,
+        )
+    )
+
+
+def _pair_leak_task(
+    graph: ASGraph,
+    pair: tuple[int, int],
+    mode: LeakMode = LeakMode.REANNOUNCE,
+) -> Optional[LeakOutcome]:
+    origin, leaker = pair
+    return simulate_leak(graph, origin, leaker, mode=mode)
+
+
 #: The five announcement/locking configurations plotted in Figs. 7-9.
 LEAK_CONFIGURATIONS = (
     "announce_all",
@@ -194,6 +248,7 @@ def resilience_curve(
     leakers: Sequence[int],
     mode: LeakMode = LeakMode.REANNOUNCE,
     semantics: PeerLockSemantics = PeerLockSemantics.ERRATUM,
+    workers: int | str | None = None,
 ) -> list[float]:
     """Detoured-AS fractions over ``leakers`` for one configuration.
 
@@ -201,16 +256,20 @@ def resilience_curve(
     (they cannot re-announce anything).
     """
     seed, locks = configuration_seed_and_locks(graph, origin, tiers, configuration)
-    fractions = []
-    for leaker in leakers:
-        if leaker == origin:
-            continue
-        outcome = simulate_leak(
-            graph, seed, leaker, peer_locked=locks, mode=mode, semantics=semantics
-        )
-        if outcome is not None:
-            fractions.append(outcome.fraction_detoured)
-    return sorted(fractions)
+    outcomes = simulate_leaks(
+        graph,
+        seed,
+        [leaker for leaker in leakers if leaker != origin],
+        peer_locked=locks,
+        mode=mode,
+        semantics=semantics,
+        workers=workers,
+    )
+    return sorted(
+        outcome.fraction_detoured
+        for outcome in outcomes
+        if outcome is not None
+    )
 
 
 def average_resilience_curve(
@@ -219,21 +278,31 @@ def average_resilience_curve(
     origins: int = 50,
     leakers_per_origin: int = 50,
     mode: LeakMode = LeakMode.REANNOUNCE,
+    workers: int | str | None = None,
 ) -> list[float]:
     """The paper's *average resilience* baseline: random legitimate origins
-    against random misconfigured ASes, announce-to-all, no locking."""
+    against random misconfigured ASes, announce-to-all, no locking.
+
+    The (origin, leaker) pairs are drawn up front — in exactly the order the
+    historical serial loop drew them, so the RNG stream is unchanged — and
+    then simulated, optionally in parallel.
+    """
     nodes = sorted(graph.nodes())
-    fractions = []
+    pairs: list[tuple[int, int]] = []
     for _ in range(origins):
         origin = rng.choice(nodes)
         for _ in range(leakers_per_origin):
             leaker = rng.choice(nodes)
-            if leaker == origin:
-                continue
-            outcome = simulate_leak(graph, origin, leaker, mode=mode)
-            if outcome is not None:
-                fractions.append(outcome.fraction_detoured)
-    return sorted(fractions)
+            if leaker != origin:
+                pairs.append((origin, leaker))
+    outcomes = graph_map(
+        graph, _pair_leak_task, pairs, workers=workers, mode=mode
+    )
+    return sorted(
+        outcome.fraction_detoured
+        for outcome in outcomes
+        if outcome is not None
+    )
 
 
 def lock_coverage_sweep(

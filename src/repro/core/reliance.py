@@ -20,6 +20,7 @@ from collections.abc import Collection, Iterable
 from fractions import Fraction
 
 from ..bgpsim.engine import propagate
+from ..bgpsim.parallel import graph_map
 from ..bgpsim.routes import RoutingState, Seed
 from ..topology.asgraph import ASGraph
 from ..topology.tiers import TierAssignment
@@ -92,6 +93,54 @@ def reliance(
     """``rely(origin, ·)`` over ``graph`` minus ``excluded``."""
     state = propagate(graph, Seed(asn=origin, key="origin"), excluded=excluded)
     return reliance_from_state(state, exact=exact)
+
+
+def _reliance_task(
+    graph: ASGraph,
+    item: tuple[int, frozenset[int]],
+    exact: bool = False,
+) -> dict[int, float]:
+    origin, excluded = item
+    return reliance(graph, origin, excluded, exact=exact)
+
+
+def reliance_sweep(
+    graph: ASGraph,
+    origin_excluded: Iterable[tuple[int, Collection[int]]],
+    exact: bool = False,
+    workers: int | str | None = None,
+) -> list[dict[int, float]]:
+    """:func:`reliance` for many (origin, excluded) pairs, in input order.
+
+    The propagation per origin is the dominant cost; with ``workers`` the
+    pairs fan out across a process pool (the graph ships once per worker).
+    ``workers=None`` runs the identical computations serially.
+    """
+    items = [
+        (origin, frozenset(excluded)) for origin, excluded in origin_excluded
+    ]
+    return list(
+        graph_map(graph, _reliance_task, items, workers=workers, exact=exact)
+    )
+
+
+def hierarchy_free_reliance_sweep(
+    graph: ASGraph,
+    origins: Iterable[int],
+    tiers: TierAssignment,
+    exact: bool = False,
+    workers: int | str | None = None,
+) -> list[dict[int, float]]:
+    """:func:`hierarchy_free_reliance` for many origins (Fig. 6's sweep)."""
+    return reliance_sweep(
+        graph,
+        (
+            (origin, (graph.providers(origin) | tiers.hierarchy) - {origin})
+            for origin in origins
+        ),
+        exact=exact,
+        workers=workers,
+    )
 
 
 def hierarchy_free_reliance(

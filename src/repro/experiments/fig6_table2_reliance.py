@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.reliance import (
-    hierarchy_free_reliance,
+    hierarchy_free_reliance_sweep,
     reliance_histogram,
     top_reliance,
 )
@@ -75,11 +75,18 @@ class Fig6Table2Result:
         return hist + "\n\n" + top
 
 
-def run(ctx: ExperimentContext, bin_width: int = 25) -> Fig6Table2Result:
+def run(
+    ctx: ExperimentContext,
+    bin_width: int = 25,
+    workers: int | str | None = None,
+) -> Fig6Table2Result:
     graph, tiers = ctx.graph, ctx.tiers
+    names = list(ctx.clouds.items())
+    sweeps = hierarchy_free_reliance_sweep(
+        graph, [asn for _, asn in names], tiers, workers=workers
+    )
     clouds = []
-    for name, asn in ctx.clouds.items():
-        values = hierarchy_free_reliance(graph, asn, tiers)
+    for (name, asn), values in zip(names, sweeps):
         clouds.append(
             CloudReliance(
                 name=name,

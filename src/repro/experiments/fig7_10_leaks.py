@@ -21,7 +21,7 @@ from ..core.leaks import (
     LEAK_CONFIGURATIONS,
     average_resilience_curve,
     configuration_seed_and_locks,
-    simulate_leak,
+    simulate_leaks,
 )
 from .context import ExperimentContext
 from .report import cdf_summary, format_table
@@ -79,17 +79,22 @@ def leak_curves_for_origin(
     leakers: list[int],
     configurations: tuple[str, ...] = LEAK_CONFIGURATIONS,
     with_users: bool = False,
+    workers: int | str | None = None,
 ) -> LeakCurves:
     graph, tiers = ctx.graph, ctx.tiers
     result = LeakCurves(name=name, asn=asn)
     for configuration in configurations:
         seed, locks = configuration_seed_and_locks(graph, asn, tiers, configuration)
+        outcomes = simulate_leaks(
+            graph,
+            seed,
+            [leaker for leaker in leakers if leaker != asn],
+            peer_locked=locks,
+            workers=workers,
+        )
         fractions: list[float] = []
         user_fractions: list[float] = []
-        for leaker in leakers:
-            if leaker == asn:
-                continue
-            outcome = simulate_leak(graph, seed, leaker, peer_locked=locks)
+        for outcome in outcomes:
             if outcome is None:
                 continue
             fractions.append(outcome.fraction_detoured)
@@ -115,6 +120,7 @@ def run(
     baseline_origins: int = 15,
     baseline_leakers: int = 15,
     include_facebook: bool = True,
+    workers: int | str | None = None,
 ) -> LeakResult:
     """Figs. 7 and 8 for every cloud (and Facebook)."""
     leakers = sample_leakers(ctx, leaks_per_config)
@@ -122,7 +128,7 @@ def run(
     if include_facebook and ctx.scenario.facebook_asn is not None:
         origins.append(("Facebook", ctx.scenario.facebook_asn))
     curves = [
-        leak_curves_for_origin(ctx, name, asn, leakers)
+        leak_curves_for_origin(ctx, name, asn, leakers, workers=workers)
         for name, asn in origins
     ]
     baseline = average_resilience_curve(
@@ -130,17 +136,21 @@ def run(
         random.Random(23),
         origins=baseline_origins,
         leakers_per_origin=baseline_leakers,
+        workers=workers,
     )
     return LeakResult(origins=curves, average_resilience=baseline)
 
 
 def run_fig9(
-    ctx: ExperimentContext, leaks_per_config: int = 120
+    ctx: ExperimentContext,
+    leaks_per_config: int = 120,
+    workers: int | str | None = None,
 ) -> LeakCurves:
     """Fig. 9: Google's curves weighted by detoured users."""
     leakers = sample_leakers(ctx, leaks_per_config, seed=13)
     return leak_curves_for_origin(
-        ctx, "Google", ctx.clouds["Google"], leakers, with_users=True
+        ctx, "Google", ctx.clouds["Google"], leakers, with_users=True,
+        workers=workers,
     )
 
 
@@ -164,13 +174,15 @@ def run_fig10(
     ctx_2020: ExperimentContext,
     ctx_2015: ExperimentContext,
     leaks_per_config: int = 120,
+    workers: int | str | None = None,
 ) -> Fig10Result:
     curves = {}
     for key, ctx in (("2015", ctx_2015), ("2020", ctx_2020)):
         leakers = sample_leakers(ctx, leaks_per_config, seed=29)
         origin = ctx.clouds["Google"]
         result = leak_curves_for_origin(
-            ctx, "Google", origin, leakers, configurations=("announce_all",)
+            ctx, "Google", origin, leakers, configurations=("announce_all",),
+            workers=workers,
         )
         curves[key] = result.curves["announce_all"]
     return Fig10Result(curve_2015=curves["2015"], curve_2020=curves["2020"])

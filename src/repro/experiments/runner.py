@@ -35,23 +35,29 @@ def run_all(
     ctx_2020: ExperimentContext,
     ctx_2015: ExperimentContext,
     leaks_per_config: int = 60,
+    workers: int | str | None = None,
 ) -> dict[str, object]:
-    """Run every experiment; returns {experiment id: result}."""
+    """Run every experiment; returns {experiment id: result}.
+
+    ``workers`` parallelizes the propagation-heavy sweeps (reliance, route
+    leaks) across processes; every experiment's output is identical for any
+    worker count (see ``tests/test_parallel_engine.py``).
+    """
     results: dict[str, object] = {}
     results["sec4_5"] = sec45_validation.run(ctx_2020)
     results["fig2"] = fig2_reachability.run(ctx_2020)
     results["table1"] = table1_top20.run(ctx_2020, ctx_2015)
     results["fig3"] = fig3_cone_vs_hfr.run(ctx_2020)
     results["fig4"] = fig4_unreachable.run(ctx_2020)
-    results["fig6_table2"] = fig6_table2_reliance.run(ctx_2020)
+    results["fig6_table2"] = fig6_table2_reliance.run(ctx_2020, workers=workers)
     results["fig7_8"] = fig7_10_leaks.run(
-        ctx_2020, leaks_per_config=leaks_per_config
+        ctx_2020, leaks_per_config=leaks_per_config, workers=workers
     )
     results["fig9"] = fig7_10_leaks.run_fig9(
-        ctx_2020, leaks_per_config=leaks_per_config
+        ctx_2020, leaks_per_config=leaks_per_config, workers=workers
     )
     results["fig10"] = fig7_10_leaks.run_fig10(
-        ctx_2020, ctx_2015, leaks_per_config=leaks_per_config
+        ctx_2020, ctx_2015, leaks_per_config=leaks_per_config, workers=workers
     )
     results["fig11"] = fig11_map.run(ctx_2020)
     results["fig12"] = fig12_coverage.run(ctx_2020)
@@ -95,6 +101,12 @@ def main(argv: list[str] | None = None) -> int:
         index = argv.index("--csv")
         csv_dir = argv[index + 1]
         argv = argv[:index] + argv[index + 2 :]
+    workers: int | str | None = None
+    if "--workers" in argv:
+        index = argv.index("--workers")
+        raw = argv[index + 1]
+        workers = raw if raw == "auto" else int(raw)
+        argv = argv[:index] + argv[index + 2 :]
     profile_2020 = argv[0] if argv else "small"
     profile_2015 = companion_2015(profile_2020)
     started = time.time()
@@ -102,7 +114,7 @@ def main(argv: list[str] | None = None) -> int:
     ctx_2020 = build_context(profile_2020)
     print(f"building {profile_2015} context...", flush=True)
     ctx_2015 = build_context(profile_2015)
-    results = run_all(ctx_2020, ctx_2015)
+    results = run_all(ctx_2020, ctx_2015, workers=workers)
     print(render_all(results))
     if csv_dir:
         from .export import export_results

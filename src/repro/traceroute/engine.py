@@ -15,8 +15,8 @@ import random
 from collections.abc import Iterable, Sequence
 from typing import Optional
 
-from ..bgpsim.engine import propagate
-from ..bgpsim.routes import RoutingState, Seed
+from ..bgpsim.cache import RoutingStateCache
+from ..bgpsim.routes import RoutingState
 from ..geo.distance import haversine_km
 from ..netgen.scenario import InternetScenario
 from .artifacts import ArtifactModel
@@ -36,25 +36,41 @@ def vantage_points(
 
 
 class TracerouteCampaign:
-    """Runs (and caches routing state for) a full measurement campaign."""
+    """Runs (and caches routing state for) a full measurement campaign.
 
-    def __init__(self, scenario: InternetScenario, seed: int = 1) -> None:
+    ``workers`` parallelizes the per-destination route propagations (the
+    campaign's dominant cost) across processes; the measurement walk itself
+    stays serial so the RNG stream — and therefore every emitted traceroute
+    — is identical for any worker count.  ``cache_size`` bounds the
+    routing-state cache (see :class:`~repro.bgpsim.cache.RoutingStateCache`);
+    the default keeps every destination's state, matching the historical
+    behaviour.
+    """
+
+    def __init__(
+        self,
+        scenario: InternetScenario,
+        seed: int = 1,
+        workers: int | str | None = None,
+        cache_size: Optional[int] = None,
+    ) -> None:
         self.scenario = scenario
         self.rng = random.Random(seed)
+        self.workers = workers
         self.artifacts = ArtifactModel(
             scenario=scenario,
             rates=scenario.config.artifacts,
             rng=self.rng,
         )
-        self._states: dict[int, RoutingState] = {}
+        self._states = RoutingStateCache(scenario.graph, maxsize=cache_size)
 
     # -- routing -------------------------------------------------------------
     def state_for(self, dst_asn: int) -> RoutingState:
-        state = self._states.get(dst_asn)
-        if state is None:
-            state = propagate(self.scenario.graph, Seed(asn=dst_asn))
-            self._states[dst_asn] = state
-        return state
+        return self._states.state_for(dst_asn)
+
+    def cache_stats(self):
+        """Hit/miss/eviction counters of the routing-state cache."""
+        return self._states.stats()
 
     def _usable_from(self, vantage: VantagePoint, neighbor: int) -> bool:
         """Is this neighbor's route usable from the VM's location?
@@ -184,6 +200,10 @@ class TracerouteCampaign:
             destinations = sorted(
                 asn for asn in scenario.graph if asn != cloud_asn
             )
+        self._states.prefetch(
+            (dst for dst in destinations if dst != cloud_asn),
+            workers=self.workers,
+        )
         traces: list[Traceroute] = []
         for dst in destinations:
             if dst == cloud_asn:

@@ -1,4 +1,6 @@
-"""Shared fixtures: a hand-analyzable mini-Internet and random topologies.
+"""Shared fixtures and helpers: a hand-analyzable mini-Internet, random
+topologies, and the state-equality / valley-free assertions used by the
+serial-vs-parallel differential harness.
 
 The ``mini`` fixture builds a 10-AS topology whose reachability, cones,
 reliance and leak behaviour are all computed by hand in the tests:
@@ -96,3 +98,67 @@ def random_internet(
             if rng.random() < peer_prob and graph.relationship_between(a, b) is None:
                 graph.add_p2p(a, b)
     return graph
+
+
+def netgen_graph(profile_name: str = "tiny", seed: int = 20200901) -> ASGraph:
+    """The ground-truth graph of a seeded synthetic-Internet scenario."""
+    from repro.netgen import build_scenario, profile
+
+    return build_scenario(profile(profile_name, seed=seed)).graph
+
+
+def assert_states_equal(a, b, context: str = "") -> None:
+    """Assert two ``RoutingState`` objects are bit-for-bit equivalent.
+
+    Compares the full tied-best equivalence class at every AS — route
+    class, AS-path length, parent set, and reachable seed keys — which is
+    everything downstream consumers (reliance, leaks, traceroutes,
+    collectors) ever read.
+    """
+    assert a.seed_asns == b.seed_asns, f"seed sets differ {context}"
+    assert a.routes.keys() == b.routes.keys(), (
+        f"routed AS sets differ {context}: "
+        f"only-left={sorted(a.routes.keys() - b.routes.keys())[:5]} "
+        f"only-right={sorted(b.routes.keys() - a.routes.keys())[:5]}"
+    )
+    for asn in a.routes:
+        ra, rb = a.routes[asn], b.routes[asn]
+        assert (
+            ra.route_class == rb.route_class
+            and ra.length == rb.length
+            and ra.parents == rb.parents
+            and ra.origins == rb.origins
+        ), (
+            f"route at AS{asn} differs {context}: "
+            f"({ra.route_class.name}, {ra.length}, {sorted(ra.parents)}, "
+            f"{sorted(ra.origins)}) != "
+            f"({rb.route_class.name}, {rb.length}, {sorted(rb.parents)}, "
+            f"{sorted(rb.origins)})"
+        )
+
+
+def assert_valley_free(graph: ASGraph, path: tuple[int, ...]) -> None:
+    """Assert ``path`` (receiver first, origin last) is valley-free.
+
+    Walking in propagation direction (origin -> receiver), the hop types
+    must match ``up* peer? down*``: zero or more hops from customer to
+    provider, at most one peer hop, then only provider-to-customer hops.
+    """
+    hops = list(reversed(path))  # origin first
+    stage = "up"
+    for x, y in zip(hops, hops[1:]):
+        if y in graph.providers(x):
+            hop = "up"
+        elif y in graph.peers(x):
+            hop = "peer"
+        elif y in graph.customers(x):
+            hop = "down"
+        else:
+            raise AssertionError(f"no edge AS{x}-AS{y} on path {path}")
+        if hop == "up":
+            assert stage == "up", f"valley (late up-hop) in {path}"
+        elif hop == "peer":
+            assert stage == "up", f"valley (late peer hop) in {path}"
+            stage = "peer-taken"
+        else:
+            stage = "down"

@@ -1,0 +1,194 @@
+"""Property-based invariants of the three-phase propagation engine.
+
+Seeded random ``netgen`` scenarios (plus the layered random topologies
+from ``conftest``) are checked against:
+
+* a *naive reference engine* — synchronous fixed-point iteration of the
+  Gao-Rexford export/selection rules, with none of the three-phase
+  engine's cleverness — which must agree exactly on route class, path
+  length and parent sets;
+* the preference ordering customer > peer > provider (an AS never holds a
+  peer/provider route when a neighbor is obliged to export it something
+  better);
+* valley-freeness of every emitted tied-best path;
+* ``reachable_set`` ≡ ``{asn : state.has_route(asn)}`` for the same
+  origin/excluded set (the reachability BFS and the simulator must agree).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from .conftest import (
+    assert_valley_free,
+    netgen_graph,
+    random_internet,
+)
+from repro.bgpsim import RouteClass, Seed, propagate
+from repro.core import reachable_set
+
+NETGEN_SEEDS = [20200901, 7, 8]
+RANDOM_SEEDS = [11, 12, 13]
+
+
+def reference_propagate(graph, origin):
+    """Fixed-point Gao-Rexford reference: {asn: (class, length, parents)}.
+
+    Each round recomputes every AS's best offer from its neighbors'
+    current routes under the export rules (customer-learned routes go to
+    everyone, peer/provider-learned routes go to customers only) and the
+    preference order (class, then length, all ties kept).  Iterates until
+    nothing changes.
+    """
+    best: dict[int, tuple[RouteClass, int, frozenset[int]]] = {
+        origin: (RouteClass.CUSTOMER, 0, frozenset())
+    }
+    for _ in range(len(graph.nodes()) + 2):
+        nxt = {origin: (RouteClass.CUSTOMER, 0, frozenset())}
+        for receiver in graph.nodes():
+            if receiver == origin:
+                continue
+            offers: list[tuple[RouteClass, int, int]] = []
+            for sender, (cls, length, _) in best.items():
+                if sender == receiver:
+                    continue
+                exports = (
+                    cls is RouteClass.CUSTOMER
+                    or receiver in graph.customers(sender)
+                )
+                if not exports:
+                    continue
+                if sender in graph.customers(receiver):
+                    received = RouteClass.CUSTOMER
+                elif sender in graph.peers(receiver):
+                    received = RouteClass.PEER
+                elif sender in graph.providers(receiver):
+                    received = RouteClass.PROVIDER
+                else:
+                    continue
+                offers.append((received, length + 1, sender))
+            if not offers:
+                continue
+            top = min(offer[:2] for offer in offers)
+            parents = frozenset(
+                sender for cls, length, sender in offers
+                if (cls, length) == top
+            )
+            nxt[receiver] = (top[0], top[1], parents)
+        if nxt == best:
+            return best
+        best = nxt
+    raise AssertionError("reference engine did not converge")
+
+
+def graphs_under_test():
+    for seed in NETGEN_SEEDS:
+        yield f"netgen-{seed}", netgen_graph("tiny", seed=seed)
+    for seed in RANDOM_SEEDS:
+        yield f"random-{seed}", random_internet(
+            random.Random(seed), n_tier1=3, n_transit=6, n_edge=25
+        )
+
+
+def sample(nodes, count, seed):
+    nodes = sorted(nodes)
+    if len(nodes) <= count:
+        return nodes
+    return sorted(random.Random(seed).sample(nodes, count))
+
+
+@pytest.mark.parametrize(
+    "label,graph", list(graphs_under_test()), ids=lambda v: v if isinstance(v, str) else ""
+)
+class TestEngineProperties:
+    def test_matches_reference_engine(self, label, graph):
+        for origin in sample(graph.nodes(), 8, seed=1):
+            state = propagate(graph, Seed(asn=origin))
+            reference = reference_propagate(graph, origin)
+            assert state.routes.keys() == reference.keys(), label
+            for asn, (cls, length, parents) in reference.items():
+                route = state.routes[asn]
+                assert (
+                    route.route_class, route.length, frozenset(route.parents)
+                ) == (cls, length, parents), f"{label}: AS{asn} from AS{origin}"
+
+    def test_preference_ordering(self, label, graph):
+        for origin in sample(graph.nodes(), 8, seed=2):
+            state = propagate(graph, Seed(asn=origin))
+            for asn, route in state.routes.items():
+                if asn == origin:
+                    continue
+                # a customer holding a customer-class route must be beaten
+                # or matched by a customer-class route here
+                customer_offers = [
+                    state.routes[c].length + 1
+                    for c in graph.customers(asn)
+                    if c in state.routes
+                    and state.routes[c].route_class is RouteClass.CUSTOMER
+                ]
+                if customer_offers:
+                    assert route.route_class is RouteClass.CUSTOMER, (
+                        f"{label}: AS{asn} holds {route.route_class.name}"
+                    )
+                    assert route.length <= min(customer_offers)
+                elif route.route_class is RouteClass.PROVIDER:
+                    # no peer may be obliged to export something better
+                    peer_offers = [
+                        p for p in graph.peers(asn)
+                        if p in state.routes
+                        and state.routes[p].route_class is RouteClass.CUSTOMER
+                    ]
+                    assert not peer_offers, (
+                        f"{label}: AS{asn} holds a provider route but peer "
+                        f"{peer_offers[:1]} exports a customer route"
+                    )
+
+    def test_parent_links_consistent(self, label, graph):
+        for origin in sample(graph.nodes(), 8, seed=3):
+            state = propagate(graph, Seed(asn=origin))
+            for asn, route in state.routes.items():
+                if asn == origin:
+                    assert not route.parents
+                    continue
+                assert route.parents, f"{label}: AS{asn} has no parents"
+                for parent in route.parents:
+                    parent_route = state.routes[parent]
+                    assert parent_route.length == route.length - 1
+                    if route.route_class is RouteClass.CUSTOMER:
+                        assert parent in graph.customers(asn)
+                    elif route.route_class is RouteClass.PEER:
+                        assert parent in graph.peers(asn)
+                    else:
+                        assert parent in graph.providers(asn)
+                    if route.route_class is not RouteClass.PROVIDER:
+                        # exported across a non-p2c edge: the parent's own
+                        # route must have been customer-learned
+                        assert (
+                            parent_route.route_class is RouteClass.CUSTOMER
+                        )
+
+    def test_no_valleys_in_best_paths(self, label, graph):
+        for origin in sample(graph.nodes(), 5, seed=4):
+            state = propagate(graph, Seed(asn=origin))
+            for receiver in sample(state.routes.keys(), 12, seed=origin):
+                for path in state.enumerate_best_paths(receiver, limit=40):
+                    assert_valley_free(graph, path)
+
+    def test_reachable_set_matches_has_route(self, label, graph):
+        rng = random.Random(5)
+        nodes = sorted(graph.nodes())
+        for origin in sample(nodes, 5, seed=6):
+            for trial in range(3):
+                excluded = frozenset(
+                    rng.sample(nodes, k=min(trial * 4, len(nodes) - 1))
+                ) - {origin}
+                state = propagate(graph, Seed(asn=origin), excluded=excluded)
+                simulated = {
+                    asn for asn in nodes
+                    if state.has_route(asn) and asn != origin
+                }
+                assert simulated == reachable_set(graph, origin, excluded), (
+                    f"{label}: origin={origin} excluded={sorted(excluded)}"
+                )
