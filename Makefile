@@ -5,7 +5,7 @@ PROFILE ?= small
 # Let the targets work from a fresh checkout without `make install`.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench experiments csv examples all
+.PHONY: install test test-fast bench bench-engine experiments csv examples all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -20,6 +20,11 @@ test-fast:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Propagation-engine ablation (reference / compiled-serial /
+# compiled-parallel); writes benchmarks/bench_compiled_engine.json.
+bench-engine:
+	pytest benchmarks/test_bench_engine_ablation.py --benchmark-only
 
 experiments:
 	python -m repro.experiments.runner $(PROFILE)

@@ -1,5 +1,6 @@
-"""Ablation — the bitset cone engine vs the exact valley-free BFS, and
-the serial vs parallel propagation sweep.
+"""Ablation — the bitset cone engine vs the exact valley-free BFS, the
+serial vs parallel propagation sweep, and the three-way propagation-engine
+ablation (reference / compiled-serial / compiled-parallel).
 
 DESIGN.md calls out the all-AS sweep fast path as a design choice; this
 benchmark measures both implementations on the same sweep and checks they
@@ -9,11 +10,21 @@ machine-readable comparison in ``benchmarks/bench_parallel_engine.json``
 regressions in the parallel path are visible in review.  The
 parallel-beats-serial assertion only applies on multi-CPU hosts — on a
 single CPU a process pool can only add overhead.
+
+The engine ablation times the same all-origin sweep under the reference
+dict-of-objects engine, the compiled CSR kernel, and the compiled kernel
+fanned out over ``REPRO_BENCH_WORKERS`` processes; it records wall time,
+tracemalloc peak for the retained states, and the pickled payload sizes
+(dict-of-sets ``ASGraph`` vs CSR ``CompiledGraph``) in
+``benchmarks/bench_compiled_engine.json``.  The compiled-beats-reference
+assertion holds on any host; the parallel one is gated like PR1's.
 """
 
 import json
 import os
+import pickle
 import time
+import tracemalloc
 from pathlib import Path
 
 import pytest
@@ -23,6 +34,7 @@ from repro.core import ConeEngine, hierarchy_free_reachability
 from repro.core.metrics import hierarchy_free_sweep
 
 BENCH_JSON = Path(__file__).resolve().parent / "bench_parallel_engine.json"
+COMPILED_JSON = Path(__file__).resolve().parent / "bench_compiled_engine.json"
 BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
 
 
@@ -128,6 +140,133 @@ def test_bench_propagate_sweep_parallel(
         assert parallel_s < serial_s, (
             f"parallel sweep ({parallel_s:.3f}s, workers={BENCH_WORKERS}) "
             f"did not beat serial ({serial_s:.3f}s) on a {cpus}-CPU host"
+        )
+
+
+# ---------------------------------------------------------------------------
+# three-way engine ablation: reference / compiled-serial / compiled-parallel
+# ---------------------------------------------------------------------------
+
+_engine_ablation: dict[str, dict] = {}
+
+
+def _timed_sweep(graph, origins, *, engine, workers=1):
+    started = time.perf_counter()
+    states = list(
+        propagate_many(graph, origins, workers=workers, engine=engine)
+    )
+    wall_s = time.perf_counter() - started
+    # peak memory of computing + retaining the whole sweep's states
+    # (measured outside the timed run — tracing slows the kernel itself)
+    tracemalloc.start()
+    retained = list(
+        propagate_many(graph, origins, workers=workers, engine=engine)
+    )
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    del retained
+    return states, {"wall_s": wall_s, "tracemalloc_peak_bytes": peak}
+
+
+def test_bench_engine_ablation_reference(
+    benchmark, ctx2020, propagation_origins
+):
+    graph = ctx2020.graph
+
+    def sweep():
+        states, record = _timed_sweep(
+            graph, propagation_origins, engine="reference"
+        )
+        _engine_ablation["reference"] = record
+        return states
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert len(result) == len(propagation_origins)
+
+
+def test_bench_engine_ablation_compiled_serial(
+    benchmark, ctx2020, propagation_origins
+):
+    graph = ctx2020.graph
+    graph.compile()  # one-time CSR build stays out of the timed sweep
+
+    def sweep():
+        states, record = _timed_sweep(
+            graph, propagation_origins, engine="compiled"
+        )
+        _engine_ablation["compiled_serial"] = record
+        return states
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # exactness: the compiled kernel returns identical states
+    reference = propagate_many(
+        graph, propagation_origins, workers=1, engine="reference"
+    )
+    for comp_state, ref_state in zip(result, reference):
+        assert comp_state.routes.keys() == ref_state.routes.keys()
+        for asn, ref_route in ref_state.routes.items():
+            comp_route = comp_state.routes[asn]
+            assert (
+                comp_route.route_class == ref_route.route_class
+                and comp_route.length == ref_route.length
+                and comp_route.parents == ref_route.parents
+                and comp_route.origins == ref_route.origins
+            )
+
+
+def test_bench_engine_ablation_compiled_parallel(
+    benchmark, ctx2020, propagation_origins
+):
+    graph = ctx2020.graph
+
+    def sweep():
+        states, record = _timed_sweep(
+            graph,
+            propagation_origins,
+            engine="compiled",
+            workers=BENCH_WORKERS,
+        )
+        record["workers"] = BENCH_WORKERS
+        _engine_ablation["compiled_parallel"] = record
+        return states
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert len(result) == len(propagation_origins)
+
+    graph_bytes = len(pickle.dumps(graph))
+    compiled_bytes = len(pickle.dumps(graph.compile()))
+    cpus = os.cpu_count() or 1
+    reference_s = _engine_ablation["reference"]["wall_s"]
+    compiled_s = _engine_ablation["compiled_serial"]["wall_s"]
+    parallel_s = _engine_ablation["compiled_parallel"]["wall_s"]
+    record = {
+        "profile": os.environ.get("REPRO_PROFILE", "small"),
+        "origins": len(propagation_origins),
+        "ases": len(graph),
+        "cpus": cpus,
+        "engines": _engine_ablation,
+        "speedup_compiled_vs_reference": reference_s / compiled_s,
+        "speedup_parallel_vs_reference": reference_s / parallel_s,
+        "pickled_asgraph_bytes": graph_bytes,
+        "pickled_compiled_graph_bytes": compiled_bytes,
+        "payload_reduction_factor": graph_bytes / compiled_bytes,
+    }
+    COMPILED_JSON.write_text(json.dumps(record, indent=2) + "\n")
+
+    assert compiled_bytes < graph_bytes, (
+        f"CompiledGraph pickled to {compiled_bytes} bytes, not smaller "
+        f"than the {graph_bytes}-byte ASGraph"
+    )
+    assert compiled_s < reference_s, (
+        f"compiled sweep ({compiled_s:.3f}s) did not beat the reference "
+        f"engine ({reference_s:.3f}s)"
+    )
+    if cpus >= 2 and BENCH_WORKERS >= 2:
+        assert parallel_s < compiled_s, (
+            f"parallel compiled sweep ({parallel_s:.3f}s, "
+            f"workers={BENCH_WORKERS}) did not beat serial compiled "
+            f"({compiled_s:.3f}s) on a {cpus}-CPU host"
         )
 
 

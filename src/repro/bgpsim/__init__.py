@@ -1,7 +1,8 @@
 """Gao-Rexford BGP route-propagation simulator."""
 
 from .cache import CacheStats, RoutingStateCache
-from .engine import propagate
+from .compiled import CompiledGraph, CompiledRoutingState, propagate_compiled
+from .engine import ENGINES, propagate, propagate_reference, resolve_engine
 from .parallel import (
     graph_map,
     propagate_many,
@@ -19,6 +20,9 @@ from .routes import NodeRoute, RouteClass, RoutingState, Seed
 
 __all__ = [
     "CacheStats",
+    "CompiledGraph",
+    "CompiledRoutingState",
+    "ENGINES",
     "LeakMode",
     "NodeRoute",
     "RouteClass",
@@ -31,7 +35,10 @@ __all__ = [
     "origin_seed",
     "peer_lock_set",
     "propagate",
+    "propagate_compiled",
     "propagate_many",
     "propagate_origins",
+    "propagate_reference",
+    "resolve_engine",
     "resolve_workers",
 ]

@@ -46,13 +46,27 @@ class RoutingStateCache:
     caps the number of retained states, evicting the least recently used
     origin.  Evicted origins are transparently recomputed on the next
     request.
+
+    ``engine`` selects the propagation engine (see
+    :func:`~repro.bgpsim.engine.propagate`); with the default compiled
+    engine the cache holds compact
+    :class:`~repro.bgpsim.compiled.CompiledRoutingState` objects — array
+    bundles that only materialize per-AS route objects when a consumer
+    touches ``state.routes`` — so a bounded cache holds far more origins
+    in the same memory.
     """
 
-    def __init__(self, graph: ASGraph, maxsize: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        graph: ASGraph,
+        maxsize: Optional[int] = None,
+        engine: Optional[str] = None,
+    ) -> None:
         if maxsize is not None and maxsize < 1:
             raise ValueError("maxsize must be None or >= 1")
         self.graph = graph
         self.maxsize = maxsize
+        self.engine = engine
         self._states: OrderedDict[int, RoutingState] = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -65,7 +79,7 @@ class RoutingStateCache:
             self._states.move_to_end(origin)
             return state
         self._misses += 1
-        state = propagate(self.graph, Seed(asn=origin))
+        state = propagate(self.graph, Seed(asn=origin), engine=self.engine)
         self._insert(origin, state)
         return state
 
@@ -103,7 +117,7 @@ class RoutingStateCache:
         if self.maxsize is not None and len(missing) > self.maxsize:
             missing = missing[-self.maxsize :]
         for origin, state in propagate_origins(
-            self.graph, missing, workers=workers
+            self.graph, missing, workers=workers, engine=self.engine
         ):
             self._misses += 1
             self._insert(origin, state)

@@ -1,0 +1,562 @@
+"""Compiled integer-indexed propagation kernel.
+
+The reference engine (:mod:`repro.bgpsim.engine`) walks Python
+dicts-of-sets and allocates one :class:`~repro.bgpsim.routes.NodeRoute`
+per AS; at measured-Internet scale (~70k ASes × thousands of origins per
+sweep) the object churn dominates.  This module freezes an
+:class:`~repro.topology.asgraph.ASGraph` into dense CSR adjacency arrays
+and reimplements the three Gao-Rexford phases over flat arrays:
+
+* :class:`CompiledGraph` — an immutable snapshot holding, per relation
+  (providers / customers / peers), an ``array('q')`` offset table and an
+  ``array('i')`` neighbor-index table, plus the ASN↔index mapping.  It
+  also implements the read-only query API of ``ASGraph`` so graph
+  consumers (and the reference engine itself) can run on it unchanged.
+* :func:`propagate_compiled` — the kernel: route class / length /
+  parent-head arrays plus a linked parent-edge pool instead of per-node
+  route objects.  It is proven result-equivalent to the reference engine
+  by the differential harness in ``tests/test_compiled_engine.py``.
+* :class:`CompiledRoutingState` — the compact result.  It subclasses
+  :class:`~repro.bgpsim.routes.RoutingState` and materializes the
+  ``routes`` dict of ``NodeRoute`` objects lazily on first access, so
+  every existing consumer keeps working; until then the arrays answer
+  the cheap queries (``has_route``, ``path_length``, ``origins_at``,
+  ``reachable_ases``) directly, and pickling ships only the arrays —
+  which is what makes parallel sweeps and the routing-state cache cheap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from bisect import bisect_left
+from collections.abc import Collection, Iterable, Iterator
+from typing import Optional
+
+from .routes import NodeRoute, RouteClass, RoutingState, Seed
+
+__all__ = ["CompiledGraph", "CompiledRoutingState", "propagate_compiled"]
+
+#: sentinel in the route-class array: no route
+_NO_ROUTE = 3
+
+_CLASSES = (RouteClass.CUSTOMER, RouteClass.PEER, RouteClass.PROVIDER)
+
+
+def _unsigned_typecode(maxval: int) -> str:
+    """Smallest unsigned array typecode holding values in [0, maxval]."""
+    if maxval < 1 << 16:
+        return "H"
+    if maxval < 1 << 31:
+        return "i"
+    return "q"
+
+
+def _signed_typecode(maxval: int) -> str:
+    """Smallest signed array typecode holding values in [-1, maxval]."""
+    if maxval < 1 << 15:
+        return "h"
+    if maxval < 1 << 31:
+        return "i"
+    return "q"
+
+
+def _shrink(values, typecode: str) -> array:
+    """Copy ``values`` into the given (usually narrower) array typecode."""
+    return array(typecode, values)
+
+
+def _csr(
+    asns: list[int], index: dict[int, int], rows, nbr_code: str
+) -> tuple[array, array]:
+    """Build (offsets, neighbor-index) CSR arrays; rows sorted by index."""
+    offsets = array("q", [0])
+    neighbors = array(nbr_code)
+    for asn in asns:
+        neighbors.extend(sorted(index[n] for n in rows(asn)))
+        offsets.append(len(neighbors))
+    return _shrink(offsets, _unsigned_typecode(len(neighbors))), neighbors
+
+
+class CompiledGraph:
+    """Immutable CSR snapshot of an ``ASGraph``.
+
+    Node *i* corresponds to ``asns[i]`` (ASNs in ascending order); the
+    neighbors of node *i* under a relation are
+    ``nbr[off[i]:off[i + 1]]`` (neighbor *indices*, ascending).  Built
+    via :meth:`ASGraph.compile` (cached, invalidated on mutation) or
+    :meth:`from_graph`.
+    """
+
+    def __init__(
+        self,
+        asns: array,
+        provider_off: array,
+        provider_nbr: array,
+        customer_off: array,
+        customer_nbr: array,
+        peer_off: array,
+        peer_nbr: array,
+    ) -> None:
+        self.asns = asns
+        self.n = len(asns)
+        self.index: dict[int, int] = {asn: i for i, asn in enumerate(asns)}
+        self.provider_off = provider_off
+        self.provider_nbr = provider_nbr
+        self.customer_off = customer_off
+        self.customer_nbr = customer_nbr
+        self.peer_off = peer_off
+        self.peer_nbr = peer_nbr
+
+    @classmethod
+    def from_graph(cls, graph) -> "CompiledGraph":
+        asns = sorted(graph.nodes())
+        index = {asn: i for i, asn in enumerate(asns)}
+        # arrays use the smallest typecode that fits, which keeps the
+        # pickled payload (what ships to every pool worker) minimal
+        nbr_code = _unsigned_typecode(max(len(asns) - 1, 0))
+        provider_off, provider_nbr = _csr(asns, index, graph.providers, nbr_code)
+        customer_off, customer_nbr = _csr(asns, index, graph.customers, nbr_code)
+        peer_off, peer_nbr = _csr(asns, index, graph.peers, nbr_code)
+        return cls(
+            array(_unsigned_typecode(asns[-1]) if asns else "H", asns),
+            provider_off,
+            provider_nbr,
+            customer_off,
+            customer_nbr,
+            peer_off,
+            peer_nbr,
+        )
+
+    def compile(self) -> "CompiledGraph":
+        """Already compiled — lets ``graph.compile()`` work uniformly."""
+        return self
+
+    # -- pickling: the index dict is derived, rebuild it on load ----------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["index"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.index = {asn: i for i, asn in enumerate(self.asns)}
+
+    # -- read-only ASGraph query API --------------------------------------
+    def __contains__(self, asn: int) -> bool:
+        return asn in self.index
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.asns)
+
+    def nodes(self) -> list[int]:
+        return list(self.asns)
+
+    def _row(self, off: array, nbr: array, asn: int) -> frozenset[int]:
+        i = self.index[asn]
+        asns = self.asns
+        return frozenset(asns[j] for j in nbr[off[i] : off[i + 1]])
+
+    def providers(self, asn: int) -> frozenset[int]:
+        return self._row(self.provider_off, self.provider_nbr, asn)
+
+    def customers(self, asn: int) -> frozenset[int]:
+        return self._row(self.customer_off, self.customer_nbr, asn)
+
+    def peers(self, asn: int) -> frozenset[int]:
+        return self._row(self.peer_off, self.peer_nbr, asn)
+
+    def neighbors(self, asn: int) -> frozenset[int]:
+        return self.providers(asn) | self.customers(asn) | self.peers(asn)
+
+    def degree(self, asn: int) -> int:
+        return len(self.neighbors(asn))
+
+    def transit_degree(self, asn: int) -> int:
+        return len(self.providers(asn) | self.customers(asn))
+
+    def is_stub(self, asn: int) -> bool:
+        i = self.index[asn]
+        return self.customer_off[i] == self.customer_off[i + 1]
+
+    def edge_count(self) -> int:
+        return len(self.customer_nbr) + len(self.peer_nbr) // 2
+
+    def relationship_between(self, a: int, b: int):
+        from ..topology.relationships import Relationship
+
+        if a not in self.index or b not in self.index:
+            return None
+        if b in self.peers(a):
+            return Relationship.PEER_PEER
+        if b in self.customers(a) or b in self.providers(a):
+            return Relationship.PROVIDER_CUSTOMER
+        return None
+
+
+class CompiledRoutingState(RoutingState):
+    """Array-backed routing state; materializes ``NodeRoute`` objects lazily.
+
+    The parent sets live in a linked edge pool: ``parent_head[i]`` is the
+    index of node *i*'s first pool entry (−1 = none), each entry holds a
+    parent node index (``pool_parent``) and the next entry (``pool_next``).
+    ``origin_mask[i]`` is a bitmask over ``seeds`` (``None`` for the
+    single-seed fast path, where every routed AS trivially reaches the
+    only seed).
+    """
+
+    def __init__(
+        self,
+        asns: array,
+        seeds: tuple[Seed, ...],
+        route_class: bytearray,
+        length: array,
+        parent_head: array,
+        pool_parent: array,
+        pool_next: array,
+        routed: array,
+        origin_mask: Optional[list[int]],
+    ) -> None:
+        self.seeds = seeds
+        self.seed_asns = frozenset(s.asn for s in seeds)
+        # only the (shared) ASN table travels with the state — not the
+        # adjacency arrays — so pickled states stay compact
+        self._asns = asns
+        self._route_class = route_class
+        self._length = length
+        self._parent_head = parent_head
+        self._pool_parent = pool_parent
+        self._pool_next = pool_next
+        self._routed = routed
+        self._origin_mask = origin_mask
+        self._materialized: Optional[dict[int, NodeRoute]] = None
+
+    def _idx(self, asn: int) -> Optional[int]:
+        i = bisect_left(self._asns, asn)
+        if i < len(self._asns) and self._asns[i] == asn:
+            return i
+        return None
+
+    # -- lazy materialization ---------------------------------------------
+    @property
+    def routes(self) -> dict[int, NodeRoute]:
+        if self._materialized is None:
+            self._materialized = self._materialize()
+        return self._materialized
+
+    def _origins_for(self, i: int, keys: tuple[str, ...]) -> set[str]:
+        if self._origin_mask is None:
+            return {keys[0]}
+        mask = self._origin_mask[i]
+        return {keys[b] for b in range(len(keys)) if mask >> b & 1}
+
+    def _materialize(self) -> dict[int, NodeRoute]:
+        asns = self._asns
+        rc, ln = self._route_class, self._length
+        head, pool_parent, pool_next = (
+            self._parent_head,
+            self._pool_parent,
+            self._pool_next,
+        )
+        keys = tuple(s.key for s in self.seeds)
+        routes: dict[int, NodeRoute] = {}
+        for i in sorted(self._routed):
+            parents = set()
+            h = head[i]
+            while h >= 0:
+                parents.add(asns[pool_parent[h]])
+                h = pool_next[h]
+            routes[asns[i]] = NodeRoute(
+                _CLASSES[rc[i]], ln[i], parents, self._origins_for(i, keys)
+            )
+        return routes
+
+    # -- array-backed fast paths (no materialization) ----------------------
+    def has_route(self, asn: int) -> bool:
+        if self._materialized is not None:
+            return asn in self._materialized
+        i = self._idx(asn)
+        return i is not None and self._route_class[i] != _NO_ROUTE
+
+    def path_length(self, asn: int) -> Optional[int]:
+        if self._materialized is not None:
+            node = self._materialized.get(asn)
+            return node.length if node else None
+        i = self._idx(asn)
+        if i is None or self._route_class[i] == _NO_ROUTE:
+            return None
+        return self._length[i]
+
+    def origins_at(self, asn: int) -> frozenset[str]:
+        if self._materialized is not None:
+            node = self._materialized.get(asn)
+            return frozenset(node.origins) if node else frozenset()
+        i = self._idx(asn)
+        if i is None or self._route_class[i] == _NO_ROUTE:
+            return frozenset()
+        return frozenset(self._origins_for(i, tuple(s.key for s in self.seeds)))
+
+    def reachable_ases(self) -> frozenset[int]:
+        if self._materialized is not None:
+            return frozenset(self._materialized) - self.seed_asns
+        asns = self._asns
+        return frozenset(asns[i] for i in self._routed) - self.seed_asns
+
+    # -- pickling: ship the compact arrays, never the materialized dict ----
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_materialized"] = None
+        return state
+
+
+def _check_seeds(
+    cgraph: CompiledGraph,
+    seeds: tuple[Seed, ...],
+    excluded: Collection[int],
+) -> None:
+    if not seeds:
+        raise ValueError("at least one seed required")
+    seen = set()
+    for seed in seeds:
+        if seed.asn not in cgraph.index:
+            raise KeyError(f"seed AS{seed.asn} not in graph")
+        if seed.asn in excluded:
+            raise ValueError(f"seed AS{seed.asn} is excluded")
+        if seed.asn in seen:
+            raise ValueError(f"duplicate seed AS{seed.asn}")
+        seen.add(seed.asn)
+
+
+def propagate_compiled(
+    graph,
+    seeds: Seed | Iterable[Seed],
+    excluded: Collection[int] = frozenset(),
+    peer_locked: Collection[int] = frozenset(),
+    locked_origin: Optional[int] = None,
+) -> CompiledRoutingState:
+    """Array-based Gao-Rexford propagation; result ≡ the reference engine.
+
+    ``graph`` may be an ``ASGraph`` (compiled through its cache) or a
+    :class:`CompiledGraph`.  Semantics — valley-free export, customer >
+    peer > provider preference, all ties kept, ``excluded`` /
+    ``peer_locked`` / per-seed ``export_to`` filtering — match
+    :func:`repro.bgpsim.engine.propagate_reference` exactly.
+    """
+    cg: CompiledGraph = graph.compile()
+    if isinstance(seeds, Seed):
+        seeds = (seeds,)
+    seeds = tuple(seeds)
+    _check_seeds(cg, seeds, excluded)
+    index = cg.index
+    n = cg.n
+    if locked_origin is None:
+        locked_origin = seeds[0].asn
+    locked_idx = index.get(locked_origin, -2)
+
+    # per-node flags for the blocked() predicate
+    ex = bytearray(n)
+    for asn in excluded:
+        i = index.get(asn)
+        if i is not None:
+            ex[i] = 1
+    seed_asns = {s.asn for s in seeds}
+    lk = bytearray(n)
+    for asn in peer_locked:
+        if asn in seed_asns:
+            continue
+        i = index.get(asn)
+        if i is not None:
+            lk[i] = 1
+
+    # per-seed export restrictions, as neighbor-index sets
+    seed_export: dict[int, frozenset[int]] = {}
+    for seed in seeds:
+        if seed.export_to is not None:
+            seed_export[index[seed.asn]] = frozenset(
+                index[a] for a in seed.export_to if a in index
+            )
+
+    # routing state arrays
+    rc = bytearray([_NO_ROUTE]) * n
+    ln = array("q", bytes(8 * n))
+    head = array("i", b"\xff" * (4 * n))  # -1: no parents
+    pool_parent = array("i")
+    pool_next = array("i")
+    pp_append = pool_parent.append
+    pn_append = pool_next.append
+    routed: list[int] = []
+
+    poff, pnbr = cg.provider_off, cg.provider_nbr
+    coff, cnbr = cg.customer_off, cg.customer_nbr
+    qoff, qnbr = cg.peer_off, cg.peer_nbr
+
+    # ------------------------------------------------------------------
+    # phase 1: customer routes, level-synchronous BFS up provider edges
+    # ------------------------------------------------------------------
+    pending: dict[int, list[tuple[int, int]]] = {}
+    for seed in seeds:
+        s = index[seed.asn]
+        rc[s] = 0
+        ln[s] = seed.initial_length
+        routed.append(s)
+        exp = seed_export.get(s)
+        bucket = pending.setdefault(seed.initial_length + 1, [])
+        for p in pnbr[poff[s] : poff[s + 1]]:
+            if ex[p] or (lk[p] and s != locked_idx):
+                continue
+            if exp is not None and p not in exp:
+                continue
+            bucket.append((p, s))
+
+    level = min(pending) if pending else 0
+    while pending:
+        if level not in pending:
+            # levels are consumed in increasing order; gaps only occur at
+            # seed initial-length boundaries, so this re-scan is O(#seeds)
+            level = min(pending)
+        events = pending.pop(level)
+        newly: list[int] = []
+        for r, s in events:
+            c = rc[r]
+            if c != _NO_ROUTE:
+                # only non-seed routes (which always have parents) tie-extend
+                if c == 0 and ln[r] == level and head[r] >= 0:
+                    pp_append(s)
+                    pn_append(head[r])
+                    head[r] = len(pool_parent) - 1
+                continue
+            rc[r] = 0
+            ln[r] = level
+            pp_append(s)
+            pn_append(-1)
+            head[r] = len(pool_parent) - 1
+            newly.append(r)
+            routed.append(r)
+        if newly:
+            nxt = level + 1
+            bucket = pending.get(nxt)
+            if bucket is None:
+                bucket = pending[nxt] = []
+            for r in newly:
+                for p in pnbr[poff[r] : poff[r + 1]]:
+                    if ex[p] or (lk[p] and r != locked_idx):
+                        continue
+                    bucket.append((p, r))
+        level += 1
+
+    customer_routed = list(routed)
+
+    # ------------------------------------------------------------------
+    # phase 2: peer routes, one hop from every customer-routed AS
+    # ------------------------------------------------------------------
+    cand_len = array("q", bytes(8 * n))  # 0: no candidate (lengths are >= 1)
+    cand_head = array("i", b"\xff" * (4 * n))
+    touched: list[int] = []
+    for s in customer_routed:
+        hop = ln[s] + 1
+        exp = seed_export.get(s)
+        for q in qnbr[qoff[s] : qoff[s + 1]]:
+            if rc[q] != _NO_ROUTE:
+                continue
+            if ex[q] or (lk[q] and s != locked_idx):
+                continue
+            if exp is not None and q not in exp:
+                continue
+            best = cand_len[q]
+            if best == 0:
+                touched.append(q)
+            if best == 0 or hop < best:
+                cand_len[q] = hop
+                pp_append(s)
+                pn_append(-1)
+                cand_head[q] = len(pool_parent) - 1
+            elif hop == best:
+                pp_append(s)
+                pn_append(cand_head[q])
+                cand_head[q] = len(pool_parent) - 1
+    for q in touched:
+        rc[q] = 1
+        ln[q] = cand_len[q]
+        head[q] = cand_head[q]
+        routed.append(q)
+
+    # ------------------------------------------------------------------
+    # phase 3: provider routes, Dijkstra down customer edges
+    # ------------------------------------------------------------------
+    heap: list[tuple[int, int, int]] = []
+    push = heapq.heappush
+    pop = heapq.heappop
+    for s in routed:
+        hop = ln[s] + 1
+        exp = seed_export.get(s)
+        for c in cnbr[coff[s] : coff[s + 1]]:
+            if rc[c] != _NO_ROUTE:
+                continue
+            if ex[c] or (lk[c] and s != locked_idx):
+                continue
+            if exp is not None and c not in exp:
+                continue
+            push(heap, (hop, c, s))
+    while heap:
+        hop, r, s = pop(heap)
+        c = rc[r]
+        if c != _NO_ROUTE:
+            if c == 2 and ln[r] == hop:
+                pp_append(s)
+                pn_append(head[r])
+                head[r] = len(pool_parent) - 1
+            continue
+        rc[r] = 2
+        ln[r] = hop
+        pp_append(s)
+        pn_append(-1)
+        head[r] = len(pool_parent) - 1
+        routed.append(r)
+        nxt = hop + 1
+        for c in cnbr[coff[r] : coff[r + 1]]:
+            if rc[c] != _NO_ROUTE:
+                continue
+            if ex[c] or (lk[c] and r != locked_idx):
+                continue
+            push(heap, (nxt, c, r))
+
+    # ------------------------------------------------------------------
+    # origins: which seeds each AS's tied-best routes lead to
+    # ------------------------------------------------------------------
+    origin_mask: Optional[list[int]] = None
+    if len(seeds) > 1:
+        origin_mask = [0] * n
+        for b, seed in enumerate(seeds):
+            origin_mask[index[seed.asn]] = 1 << b
+        # parents are exactly one hop shorter, so increasing-length order
+        # finalizes every parent before its children read it
+        for r in sorted(routed, key=ln.__getitem__):
+            h = head[r]
+            if h < 0:
+                continue  # a seed: keeps its own bit
+            mask = 0
+            while h >= 0:
+                mask |= origin_mask[pool_parent[h]]
+                h = pool_next[h]
+            origin_mask[r] = mask
+
+    # shrink the result arrays to the smallest typecodes that fit so the
+    # state pickles (and caches) compactly
+    pool_size = len(pool_parent)
+    node_code = _unsigned_typecode(max(n - 1, 0))
+    pool_code = _signed_typecode(pool_size)
+    max_len = max((ln[r] for r in routed), default=0)
+    return CompiledRoutingState(
+        cg.asns,
+        seeds,
+        rc,
+        _shrink(ln, _unsigned_typecode(max_len)),
+        _shrink(head, pool_code),
+        _shrink(pool_parent, node_code),
+        _shrink(pool_next, pool_code),
+        array(node_code, routed),
+        origin_mask,
+    )

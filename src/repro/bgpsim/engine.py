@@ -27,12 +27,28 @@ the origin, which blocks leaked routes from ever traversing them.
 from __future__ import annotations
 
 import heapq
+import os
 from collections import defaultdict
 from collections.abc import Collection, Iterable
 from typing import Optional
 
 from ..topology.asgraph import ASGraph
 from .routes import NodeRoute, RouteClass, RoutingState, Seed
+
+#: engines selectable through ``propagate(engine=...)`` / ``REPRO_ENGINE``
+ENGINES = ("compiled", "reference")
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Normalize an ``engine`` knob: explicit value, else the
+    ``REPRO_ENGINE`` environment variable, else ``"compiled"``."""
+    if engine is None:
+        engine = os.environ.get("REPRO_ENGINE", "compiled")
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
 
 
 def propagate(
@@ -41,6 +57,7 @@ def propagate(
     excluded: Collection[int] = frozenset(),
     peer_locked: Collection[int] = frozenset(),
     locked_origin: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> RoutingState:
     """Propagate a prefix announced by ``seeds`` and return the routing state.
 
@@ -48,7 +65,42 @@ def propagate(
     the paper's subgraph reachabilities).  ``peer_locked`` ASes accept the
     prefix only directly from ``locked_origin`` (defaulting to the first
     seed's AS), per the NTT peer-locking mechanism.
+
+    ``engine`` selects the implementation: ``"compiled"`` (the default)
+    runs the integer-indexed array kernel of
+    :mod:`repro.bgpsim.compiled` over the graph's cached
+    :class:`~repro.bgpsim.compiled.CompiledGraph`; ``"reference"`` runs
+    the historical dict-of-objects engine.  Both return equivalent
+    states (proven by ``tests/test_compiled_engine.py``); the
+    ``REPRO_ENGINE`` environment variable overrides the default.
     """
+    if resolve_engine(engine) == "compiled":
+        from .compiled import propagate_compiled
+
+        return propagate_compiled(
+            graph,
+            seeds,
+            excluded=excluded,
+            peer_locked=peer_locked,
+            locked_origin=locked_origin,
+        )
+    return propagate_reference(
+        graph,
+        seeds,
+        excluded=excluded,
+        peer_locked=peer_locked,
+        locked_origin=locked_origin,
+    )
+
+
+def propagate_reference(
+    graph: ASGraph,
+    seeds: Seed | Iterable[Seed],
+    excluded: Collection[int] = frozenset(),
+    peer_locked: Collection[int] = frozenset(),
+    locked_origin: Optional[int] = None,
+) -> RoutingState:
+    """The dict-of-objects propagation engine (differential reference)."""
     if isinstance(seeds, Seed):
         seeds = (seeds,)
     seeds = tuple(seeds)
@@ -91,8 +143,13 @@ def propagate(
                 continue
             pending[seed.initial_length + 1].append((provider, seed.asn))
 
+    level = min(pending) if pending else 0
     while pending:
-        level = min(pending)
+        if level not in pending:
+            # levels are consumed in increasing order; gaps only occur at
+            # seed initial-length boundaries, so the re-scan runs at most
+            # once per distinct seed level (not once per iteration)
+            level = min(pending)
         events = pending.pop(level)
         newly_settled: list[int] = []
         for receiver, sender in events:
@@ -110,6 +167,7 @@ def propagate(
                 if blocked(receiver, provider):
                     continue
                 pending[level + 1].append((provider, receiver))
+        level += 1
 
     customer_routed = list(routes)
 

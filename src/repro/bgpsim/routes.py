@@ -97,21 +97,35 @@ class RoutingState:
     # best-path DAG utilities
     # ------------------------------------------------------------------
     def count_best_paths(self, asn: int) -> int:
-        """Number of distinct tied-best AS paths from ``asn`` to any seed."""
-        memo: dict[int, int] = {}
+        """Number of distinct tied-best AS paths from ``asn`` to any seed.
 
-        def count(node: int) -> int:
-            if node in self.seed_asns:
-                return 1
-            cached = memo.get(node)
-            if cached is not None:
-                return cached
-            memo[node] = total = sum(count(p) for p in self.routes[node].parents)
-            return total
-
-        if asn not in self.routes:
+        Iterative memoized traversal (same shape as the engine's origin
+        fill) — a recursive count would blow Python's recursion limit on
+        deep provider chains.
+        """
+        routes = self.routes
+        if asn not in routes:
             return 0
-        return count(asn)
+        seed_asns = self.seed_asns
+        memo: dict[int, int] = {}
+        stack = [asn]
+        while stack:
+            node = stack[-1]
+            if node in memo:
+                stack.pop()
+                continue
+            if node in seed_asns:
+                memo[node] = 1
+                stack.pop()
+                continue
+            parents = routes[node].parents
+            missing = [p for p in parents if p not in memo]
+            if missing:
+                stack.extend(missing)
+                continue
+            memo[node] = sum(memo[p] for p in parents)
+            stack.pop()
+        return memo[asn]
 
     def enumerate_best_paths(
         self, asn: int, limit: int = 1000

@@ -120,7 +120,7 @@ def cmd_leak(args: argparse.Namespace) -> int:
     for configuration in configurations:
         curve = resilience_curve(
             graph, args.origin, tiers, configuration, leakers,
-            workers=args.workers,
+            workers=args.workers, engine=args.engine,
         )
         print(f"  {configuration:28s} {cdf_summary(curve)}")
     return 0
@@ -169,6 +169,8 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     argv = [args.profile]
     if args.workers is not None:
         argv += ["--workers", str(args.workers)]
+    if args.engine is not None:
+        argv += ["--engine", args.engine]
     return runner_main(argv)
 
 
@@ -229,6 +231,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="propagation worker processes (int, or 'auto' for all CPUs)",
     )
+    leak.add_argument(
+        "--engine",
+        choices=("compiled", "reference"),
+        default=None,
+        help="propagation engine (default: compiled, or $REPRO_ENGINE)",
+    )
     leak.set_defaults(func=cmd_leak)
 
     infer = sub.add_parser(
@@ -251,6 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=_parse_workers,
         default=None,
         help="propagation worker processes (int, or 'auto' for all CPUs)",
+    )
+    experiments.add_argument(
+        "--engine",
+        choices=("compiled", "reference"),
+        default=None,
+        help="propagation engine (default: compiled, or $REPRO_ENGINE)",
     )
     experiments.set_defaults(func=cmd_experiments)
 

@@ -66,6 +66,7 @@ def collect_ribs(
     rng: Optional[random.Random] = None,
     cache: Optional[RoutingStateCache] = None,
     workers: int | str | None = None,
+    engine: Optional[str] = None,
 ) -> CollectorDump:
     """Simulate a collector RIB: each monitor's tied-best path per origin.
 
@@ -77,7 +78,7 @@ def collect_ribs(
     """
     rng = rng or random.Random(0)
     if cache is None:
-        cache = RoutingStateCache(graph)
+        cache = RoutingStateCache(graph, engine=engine)
     monitors = sorted(set(monitors))
     if origins is None:
         origins = sorted(graph.nodes())

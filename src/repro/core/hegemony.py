@@ -73,10 +73,11 @@ def local_hegemony(
     target: int,
     cache: Optional[RoutingStateCache] = None,
     trim: float = TRIM,
+    engine: Optional[str] = None,
 ) -> float:
     """``H(origin, target)`` on the tied-best-path DAG."""
     if cache is None:
-        cache = RoutingStateCache(graph)
+        cache = RoutingStateCache(graph, engine=engine)
     state = cache.state_for(origin)
     fractions = path_cross_fractions(state, target)
     samples = [
@@ -96,6 +97,7 @@ def global_hegemony(
     trim: float = TRIM,
     workers: int | str | None = None,
     cache_size: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> dict[int, float]:
     """``H(target)`` for each target, averaged over sampled origins.
 
@@ -107,7 +109,7 @@ def global_hegemony(
     nodes = sorted(graph.nodes())
     if origins is None:
         origins = rng.sample(nodes, k=min(sample, len(nodes)))
-    cache = RoutingStateCache(graph, maxsize=cache_size)
+    cache = RoutingStateCache(graph, maxsize=cache_size, engine=engine)
     cache.prefetch(origins, workers=workers)
     scores: dict[int, float] = {}
     for target in targets:

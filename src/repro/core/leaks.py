@@ -73,6 +73,7 @@ def simulate_leak(
     peer_locked: Collection[int] = frozenset(),
     mode: LeakMode = LeakMode.REANNOUNCE,
     semantics: PeerLockSemantics = PeerLockSemantics.ERRATUM,
+    engine: Optional[str] = None,
 ) -> Optional[LeakOutcome]:
     """Simulate ``leaker`` leaking ``origin``'s prefix.
 
@@ -80,7 +81,8 @@ def simulate_leak(
     (the "announce to Tier-1, Tier-2, and providers" configuration).
     Returns ``None`` when the leaker holds no route to the origin under the
     given configuration (there is nothing to re-announce); a hijack-mode
-    leaker never needs a route.
+    leaker never needs a route.  ``engine`` selects the propagation
+    engine (see :func:`repro.bgpsim.engine.propagate`).
     """
     legit = origin if isinstance(origin, Seed) else Seed(asn=origin, key="origin")
     if leaker == legit.asn or leaker not in graph:
@@ -96,12 +98,13 @@ def simulate_leak(
             export_to = frozenset(graph.neighbors(leaker) - peer_locked)
             seed = Seed(asn=leaker, key="leak", initial_length=0,
                         export_to=export_to)
-            state = propagate(graph, seed)
+            state = propagate(graph, seed, engine=engine)
         else:
             seed = Seed(asn=leaker, key="leak", initial_length=0)
             state = propagate(
                 graph, seed,
                 peer_locked=peer_locked, locked_origin=legit.asn,
+                engine=engine,
             )
         detoured = state.reachable_ases() - {legit.asn}
         return LeakOutcome(
@@ -112,7 +115,7 @@ def simulate_leak(
         )
 
     baseline = propagate(graph, legit, peer_locked=peer_locked,
-                         locked_origin=legit.asn)
+                         locked_origin=legit.asn, engine=engine)
     if mode is LeakMode.HIJACK:
         initial = 0
     else:
@@ -128,7 +131,7 @@ def simulate_leak(
         export_to = frozenset(graph.neighbors(leaker) - peer_locked)
         leak = Seed(asn=leaker, key="leak", initial_length=initial,
                     export_to=export_to)
-        state = propagate(graph, (legit, leak))
+        state = propagate(graph, (legit, leak), engine=engine)
     else:
         leak = Seed(asn=leaker, key="leak", initial_length=initial)
         state = propagate(
@@ -136,6 +139,7 @@ def simulate_leak(
             (legit, leak),
             peer_locked=peer_locked,
             locked_origin=legit.asn,
+            engine=engine,
         )
 
     detoured = frozenset(
@@ -158,10 +162,11 @@ def _leak_task(
     peer_locked: Collection[int] = frozenset(),
     mode: LeakMode = LeakMode.REANNOUNCE,
     semantics: PeerLockSemantics = PeerLockSemantics.ERRATUM,
+    engine: Optional[str] = None,
 ) -> Optional[LeakOutcome]:
     return simulate_leak(
         graph, origin, leaker, peer_locked=peer_locked, mode=mode,
-        semantics=semantics,
+        semantics=semantics, engine=engine,
     )
 
 
@@ -173,6 +178,7 @@ def simulate_leaks(
     mode: LeakMode = LeakMode.REANNOUNCE,
     semantics: PeerLockSemantics = PeerLockSemantics.ERRATUM,
     workers: int | str | None = None,
+    engine: Optional[str] = None,
 ) -> list[Optional[LeakOutcome]]:
     """:func:`simulate_leak` for every leaker, optionally across processes.
 
@@ -191,6 +197,7 @@ def simulate_leaks(
             peer_locked=frozenset(peer_locked),
             mode=mode,
             semantics=semantics,
+            engine=engine,
         )
     )
 
@@ -199,9 +206,10 @@ def _pair_leak_task(
     graph: ASGraph,
     pair: tuple[int, int],
     mode: LeakMode = LeakMode.REANNOUNCE,
+    engine: Optional[str] = None,
 ) -> Optional[LeakOutcome]:
     origin, leaker = pair
-    return simulate_leak(graph, origin, leaker, mode=mode)
+    return simulate_leak(graph, origin, leaker, mode=mode, engine=engine)
 
 
 #: The five announcement/locking configurations plotted in Figs. 7-9.
@@ -249,6 +257,7 @@ def resilience_curve(
     mode: LeakMode = LeakMode.REANNOUNCE,
     semantics: PeerLockSemantics = PeerLockSemantics.ERRATUM,
     workers: int | str | None = None,
+    engine: Optional[str] = None,
 ) -> list[float]:
     """Detoured-AS fractions over ``leakers`` for one configuration.
 
@@ -264,6 +273,7 @@ def resilience_curve(
         mode=mode,
         semantics=semantics,
         workers=workers,
+        engine=engine,
     )
     return sorted(
         outcome.fraction_detoured
@@ -279,6 +289,7 @@ def average_resilience_curve(
     leakers_per_origin: int = 50,
     mode: LeakMode = LeakMode.REANNOUNCE,
     workers: int | str | None = None,
+    engine: Optional[str] = None,
 ) -> list[float]:
     """The paper's *average resilience* baseline: random legitimate origins
     against random misconfigured ASes, announce-to-all, no locking.
@@ -296,7 +307,8 @@ def average_resilience_curve(
             if leaker != origin:
                 pairs.append((origin, leaker))
     outcomes = graph_map(
-        graph, _pair_leak_task, pairs, workers=workers, mode=mode
+        graph, _pair_leak_task, pairs, workers=workers, mode=mode,
+        engine=engine,
     )
     return sorted(
         outcome.fraction_detoured
@@ -312,6 +324,7 @@ def lock_coverage_sweep(
     coverages: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
     rng: Optional[random.Random] = None,
     mode: LeakMode = LeakMode.REANNOUNCE,
+    engine: Optional[str] = None,
 ) -> dict[float, float]:
     """Mean detoured fraction vs. peer-lock deployment coverage.
 
@@ -332,7 +345,8 @@ def lock_coverage_sweep(
             if leaker == origin:
                 continue
             outcome = simulate_leak(
-                graph, origin, leaker, peer_locked=locked, mode=mode
+                graph, origin, leaker, peer_locked=locked, mode=mode,
+                engine=engine,
             )
             if outcome is not None:
                 fractions.append(outcome.fraction_detoured)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections.abc import Collection, Iterable
 from fractions import Fraction
+from typing import Optional
 
 from ..bgpsim.engine import propagate
 from ..bgpsim.parallel import graph_map
@@ -89,9 +90,12 @@ def reliance(
     origin: int,
     excluded: Collection[int] = frozenset(),
     exact: bool = False,
+    engine: Optional[str] = None,
 ) -> dict[int, float]:
     """``rely(origin, ·)`` over ``graph`` minus ``excluded``."""
-    state = propagate(graph, Seed(asn=origin, key="origin"), excluded=excluded)
+    state = propagate(
+        graph, Seed(asn=origin, key="origin"), excluded=excluded, engine=engine
+    )
     return reliance_from_state(state, exact=exact)
 
 
@@ -99,9 +103,10 @@ def _reliance_task(
     graph: ASGraph,
     item: tuple[int, frozenset[int]],
     exact: bool = False,
+    engine: Optional[str] = None,
 ) -> dict[int, float]:
     origin, excluded = item
-    return reliance(graph, origin, excluded, exact=exact)
+    return reliance(graph, origin, excluded, exact=exact, engine=engine)
 
 
 def reliance_sweep(
@@ -109,6 +114,7 @@ def reliance_sweep(
     origin_excluded: Iterable[tuple[int, Collection[int]]],
     exact: bool = False,
     workers: int | str | None = None,
+    engine: Optional[str] = None,
 ) -> list[dict[int, float]]:
     """:func:`reliance` for many (origin, excluded) pairs, in input order.
 
@@ -120,7 +126,10 @@ def reliance_sweep(
         (origin, frozenset(excluded)) for origin, excluded in origin_excluded
     ]
     return list(
-        graph_map(graph, _reliance_task, items, workers=workers, exact=exact)
+        graph_map(
+            graph, _reliance_task, items, workers=workers, exact=exact,
+            engine=engine,
+        )
     )
 
 
@@ -130,6 +139,7 @@ def hierarchy_free_reliance_sweep(
     tiers: TierAssignment,
     exact: bool = False,
     workers: int | str | None = None,
+    engine: Optional[str] = None,
 ) -> list[dict[int, float]]:
     """:func:`hierarchy_free_reliance` for many origins (Fig. 6's sweep)."""
     return reliance_sweep(
@@ -140,6 +150,7 @@ def hierarchy_free_reliance_sweep(
         ),
         exact=exact,
         workers=workers,
+        engine=engine,
     )
 
 
@@ -148,10 +159,11 @@ def hierarchy_free_reliance(
     origin: int,
     tiers: TierAssignment,
     exact: bool = False,
+    engine: Optional[str] = None,
 ) -> dict[int, float]:
     """Reliance under the hierarchy-free constraints (§7.2)."""
     excluded = (graph.providers(origin) | tiers.hierarchy) - {origin}
-    return reliance(graph, origin, excluded, exact=exact)
+    return reliance(graph, origin, excluded, exact=exact, engine=engine)
 
 
 def tier1_free_reliance(
@@ -159,10 +171,11 @@ def tier1_free_reliance(
     origin: int,
     tiers: TierAssignment,
     exact: bool = False,
+    engine: Optional[str] = None,
 ) -> dict[int, float]:
     """Reliance under Tier-1-free constraints (Appendix B's case study)."""
     excluded = (graph.providers(origin) | tiers.tier1) - {origin}
-    return reliance(graph, origin, excluded, exact=exact)
+    return reliance(graph, origin, excluded, exact=exact, engine=engine)
 
 
 def top_reliance(values: dict[int, float], n: int = 3) -> list[tuple[int, float]]:

@@ -8,6 +8,7 @@ whole report — this is what EXPERIMENTS.md is generated from.
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 
@@ -106,6 +107,13 @@ def main(argv: list[str] | None = None) -> int:
         index = argv.index("--workers")
         raw = argv[index + 1]
         workers = raw if raw == "auto" else int(raw)
+        argv = argv[:index] + argv[index + 2 :]
+    if "--engine" in argv:
+        # Exported rather than threaded through run_all: every propagate()
+        # call (parent and pool workers alike) reads REPRO_ENGINE at call
+        # time, so one env var switches the whole experiment run.
+        index = argv.index("--engine")
+        os.environ["REPRO_ENGINE"] = argv[index + 1]
         argv = argv[:index] + argv[index + 2 :]
     profile_2020 = argv[0] if argv else "small"
     profile_2015 = companion_2015(profile_2020)

@@ -34,6 +34,12 @@ class ASGraph:
         self._providers: dict[int, set[int]] = {}
         self._customers: dict[int, set[int]] = {}
         self._peers: dict[int, set[int]] = {}
+        # topology version and the compiled snapshot built at that version;
+        # every mutation bumps the version so compile() never serves a
+        # stale CompiledGraph
+        self._version: int = 0
+        self._compiled = None
+        self._compiled_version: int = -1
 
     # ------------------------------------------------------------------
     # construction
@@ -46,6 +52,7 @@ class ASGraph:
             self._providers[asn] = set()
             self._customers[asn] = set()
             self._peers[asn] = set()
+            self._version += 1
 
     def add_p2c(self, provider: int, customer: int) -> None:
         """Add a provider→customer (transit) edge."""
@@ -62,6 +69,7 @@ class ASGraph:
         self.add_as(customer)
         self._customers[provider].add(customer)
         self._providers[customer].add(provider)
+        self._version += 1
 
     def add_p2p(self, a: int, b: int) -> None:
         """Add a settlement-free peering edge."""
@@ -76,6 +84,7 @@ class ASGraph:
         self.add_as(b)
         self._peers[a].add(b)
         self._peers[b].add(a)
+        self._version += 1
 
     def add_record(self, record: RelationshipRecord) -> None:
         """Add an edge from a :class:`RelationshipRecord`."""
@@ -98,6 +107,7 @@ class ASGraph:
         else:
             self._customers[b].discard(a)
             self._providers[a].discard(b)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -172,6 +182,35 @@ class ASGraph:
             for b in sorted(self._peers[a]):
                 if a < b:
                     yield RelationshipRecord(a, b, Relationship.PEER_PEER)
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def compile(self):
+        """Freeze the graph into a :class:`~repro.bgpsim.compiled.CompiledGraph`.
+
+        The compiled snapshot (dense integer-indexed CSR adjacency arrays)
+        is cached and reused while the topology is unchanged; any mutation
+        (:meth:`add_as`, :meth:`add_p2c`, :meth:`add_p2p`,
+        :meth:`remove_edge`, and everything built on them, e.g. the
+        traceroute augmentation path) invalidates the cache so the next
+        call recompiles.  Previously returned snapshots stay valid as
+        immutable views of the topology at the time they were built.
+        """
+        if self._compiled is None or self._compiled_version != self._version:
+            from ..bgpsim.compiled import CompiledGraph
+
+            self._compiled = CompiledGraph.from_graph(self)
+            self._compiled_version = self._version
+        return self._compiled
+
+    def __getstate__(self) -> dict:
+        # never ship the compiled snapshot alongside the adjacency dicts —
+        # workers that want it compile (or receive) it separately
+        state = self.__dict__.copy()
+        state["_compiled"] = None
+        state["_compiled_version"] = -1
+        return state
 
     # ------------------------------------------------------------------
     # derived graphs

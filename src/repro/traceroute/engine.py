@@ -53,6 +53,7 @@ class TracerouteCampaign:
         seed: int = 1,
         workers: int | str | None = None,
         cache_size: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.scenario = scenario
         self.rng = random.Random(seed)
@@ -62,7 +63,9 @@ class TracerouteCampaign:
             rates=scenario.config.artifacts,
             rng=self.rng,
         )
-        self._states = RoutingStateCache(scenario.graph, maxsize=cache_size)
+        self._states = RoutingStateCache(
+            scenario.graph, maxsize=cache_size, engine=engine
+        )
 
     # -- routing -------------------------------------------------------------
     def state_for(self, dst_asn: int) -> RoutingState:

@@ -107,6 +107,14 @@ def netgen_graph(profile_name: str = "tiny", seed: int = 20200901) -> ASGraph:
     return build_scenario(profile(profile_name, seed=seed)).graph
 
 
+def sample_origins(graph, count: int, seed: int = 0) -> list[int]:
+    """A deterministic sample of ``count`` ASNs from ``graph``."""
+    nodes = sorted(graph.nodes())
+    if len(nodes) <= count:
+        return nodes
+    return sorted(random.Random(seed).sample(nodes, count))
+
+
 def assert_states_equal(a, b, context: str = "") -> None:
     """Assert two ``RoutingState`` objects are bit-for-bit equivalent.
 

@@ -1,0 +1,162 @@
+"""CompiledGraph: CSR snapshot correctness, caching and invalidation.
+
+``ASGraph.compile()`` freezes the adjacency dicts into dense
+integer-indexed CSR arrays; the snapshot is cached and must be
+invalidated by *every* mutation path (``add_as`` / ``add_p2c`` /
+``add_p2p`` / ``remove_edge`` and the traceroute augmentation flow) so a
+stale compiled graph is never served.  The compact form must also answer
+the whole read-only ``ASGraph`` query API identically and pickle smaller
+than the dict-of-sets graph (that is why parallel sweeps ship it).
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+from .conftest import build_mini, netgen_graph, random_internet
+from repro.bgpsim import CompiledGraph
+from repro.topology import ASGraph
+from repro.topology.augment import augment_with_neighbors
+
+
+def assert_same_queries(graph: ASGraph, compiled: CompiledGraph) -> None:
+    assert len(compiled) == len(graph)
+    assert compiled.nodes() == sorted(graph.nodes())
+    assert list(compiled) == sorted(graph.nodes())
+    assert compiled.edge_count() == graph.edge_count()
+    probe = sorted(graph.nodes()) + [987654321]
+    for asn in probe:
+        assert (asn in compiled) == (asn in graph)
+    for asn in graph.nodes():
+        assert compiled.providers(asn) == graph.providers(asn)
+        assert compiled.customers(asn) == graph.customers(asn)
+        assert compiled.peers(asn) == graph.peers(asn)
+        assert compiled.neighbors(asn) == graph.neighbors(asn)
+        assert compiled.degree(asn) == graph.degree(asn)
+        assert compiled.transit_degree(asn) == graph.transit_degree(asn)
+        assert compiled.is_stub(asn) == graph.is_stub(asn)
+    rng = random.Random(0)
+    nodes = sorted(graph.nodes())
+    for _ in range(50):
+        a, b = rng.sample(nodes, 2)
+        assert compiled.relationship_between(a, b) == (
+            graph.relationship_between(a, b)
+        )
+
+
+class TestQueryEquivalence:
+    def test_mini(self):
+        graph, _ = build_mini()
+        assert_same_queries(graph, graph.compile())
+
+    def test_random_internet(self):
+        for seed in (1, 2, 3):
+            graph = random_internet(random.Random(seed))
+            assert_same_queries(graph, graph.compile())
+
+    def test_netgen(self):
+        graph = netgen_graph("tiny", seed=7)
+        assert_same_queries(graph, graph.compile())
+
+    def test_empty_graph(self):
+        graph = ASGraph()
+        compiled = graph.compile()
+        assert len(compiled) == 0
+        assert compiled.nodes() == []
+        assert 1 not in compiled
+
+    def test_compile_of_compiled_is_identity(self):
+        graph, _ = build_mini()
+        compiled = graph.compile()
+        assert compiled.compile() is compiled
+
+
+class TestSnapshotCaching:
+    def test_repeated_compile_returns_cached_object(self):
+        graph, _ = build_mini()
+        assert graph.compile() is graph.compile()
+
+    def test_add_p2c_invalidates(self):
+        graph, _ = build_mini()
+        stale = graph.compile()
+        graph.add_p2c(1, 999)
+        fresh = graph.compile()
+        assert fresh is not stale
+        assert 999 in fresh
+        assert 999 not in stale
+        assert fresh.providers(999) == {1}
+        assert_same_queries(graph, fresh)
+
+    def test_add_p2p_invalidates(self):
+        graph, _ = build_mini()
+        stale = graph.compile()
+        graph.add_p2p(203, 204)
+        fresh = graph.compile()
+        assert fresh is not stale
+        assert 204 in fresh.peers(203)
+        assert 204 not in stale.peers(203)
+        assert_same_queries(graph, fresh)
+
+    def test_add_as_invalidates(self):
+        graph, _ = build_mini()
+        stale = graph.compile()
+        graph.add_as(5555)
+        fresh = graph.compile()
+        assert fresh is not stale
+        assert 5555 in fresh and 5555 not in stale
+        # re-adding an existing AS is a no-op and must NOT recompile
+        again = graph.compile()
+        graph.add_as(5555)
+        assert graph.compile() is again
+
+    def test_remove_edge_invalidates(self):
+        graph, _ = build_mini()
+        stale = graph.compile()
+        graph.remove_edge(1, 11)
+        fresh = graph.compile()
+        assert fresh is not stale
+        assert 11 not in fresh.customers(1)
+        assert 11 in stale.customers(1)
+        assert_same_queries(graph, fresh)
+
+    def test_augmentation_invalidates(self):
+        """The traceroute augmentation flow must not serve a stale CSR."""
+        graph, _ = build_mini()
+        stale = graph.compile()
+        report = augment_with_neighbors(graph, {100: [203, 64500]})
+        assert report.added_p2p[100] == {203, 64500}
+        fresh = graph.compile()
+        assert fresh is not stale
+        assert fresh.peers(100) >= {203, 64500}
+        assert 64500 not in stale
+        assert_same_queries(graph, fresh)
+
+    def test_stale_snapshot_remains_queryable(self):
+        """Holders of an old snapshot keep a consistent frozen view."""
+        graph, _ = build_mini()
+        stale = graph.compile()
+        before = {asn: stale.neighbors(asn) for asn in graph.nodes()}
+        graph.add_p2p(1, 301)
+        for asn, neighbors in before.items():
+            assert stale.neighbors(asn) == neighbors
+
+
+class TestPickling:
+    def test_roundtrip(self):
+        graph = netgen_graph("tiny", seed=7)
+        clone = pickle.loads(pickle.dumps(graph.compile()))
+        assert_same_queries(graph, clone)
+
+    def test_compiled_pickles_smaller_than_asgraph(self):
+        graph = netgen_graph("small", seed=20200901)
+        compiled_bytes = len(pickle.dumps(graph.compile()))
+        graph_bytes = len(pickle.dumps(graph))
+        assert compiled_bytes < graph_bytes
+
+    def test_pickled_asgraph_does_not_carry_snapshot(self):
+        graph, _ = build_mini()
+        graph.compile()
+        clone = pickle.loads(pickle.dumps(graph))
+        assert clone._compiled is None
+        assert_same_queries(clone, clone.compile())
