@@ -5,7 +5,7 @@ PROFILE ?= small
 # Let the targets work from a fresh checkout without `make install`.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench bench-engine experiments csv examples all
+.PHONY: install test test-fast bench bench-engine bench-leaks experiments csv examples all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -25,6 +25,11 @@ bench:
 # compiled-parallel); writes benchmarks/bench_compiled_engine.json.
 bench-engine:
 	pytest benchmarks/test_bench_engine_ablation.py --benchmark-only
+
+# Incremental vs full leak sweep (Fig. 7/8 shape); asserts identical
+# curves and the >=3x speedup, writes benchmarks/bench_leak_incremental.json.
+bench-leaks:
+	pytest benchmarks/test_bench_leak_incremental.py --benchmark-only
 
 experiments:
 	python -m repro.experiments.runner $(PROFILE)

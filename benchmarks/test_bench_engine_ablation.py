@@ -20,7 +20,6 @@ tracemalloc peak for the retained states, and the pickled payload sizes
 assertion holds on any host; the parallel one is gated like PR1's.
 """
 
-import json
 import os
 import pickle
 import time
@@ -29,6 +28,7 @@ from pathlib import Path
 
 import pytest
 
+from benchmarks.conftest import write_bench_json
 from repro.bgpsim import propagate_many
 from repro.core import ConeEngine, hierarchy_free_reachability
 from repro.core.metrics import hierarchy_free_sweep
@@ -126,16 +126,13 @@ def test_bench_propagate_sweep_parallel(
     serial_s = _sweep_timings.get("serial_s")
     cpus = os.cpu_count() or 1
     record = {
-        "profile": os.environ.get("REPRO_PROFILE", "small"),
         "origins": len(propagation_origins),
         "ases": len(graph),
-        "workers": BENCH_WORKERS,
-        "cpus": cpus,
         "serial_s": serial_s,
         "parallel_s": parallel_s,
         "speedup": (serial_s / parallel_s) if serial_s else None,
     }
-    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    write_bench_json(BENCH_JSON, record, workers=BENCH_WORKERS)
     if serial_s is not None and cpus >= 2 and BENCH_WORKERS >= 2:
         assert parallel_s < serial_s, (
             f"parallel sweep ({parallel_s:.3f}s, workers={BENCH_WORKERS}) "
@@ -241,10 +238,8 @@ def test_bench_engine_ablation_compiled_parallel(
     compiled_s = _engine_ablation["compiled_serial"]["wall_s"]
     parallel_s = _engine_ablation["compiled_parallel"]["wall_s"]
     record = {
-        "profile": os.environ.get("REPRO_PROFILE", "small"),
         "origins": len(propagation_origins),
         "ases": len(graph),
-        "cpus": cpus,
         "engines": _engine_ablation,
         "speedup_compiled_vs_reference": reference_s / compiled_s,
         "speedup_parallel_vs_reference": reference_s / parallel_s,
@@ -252,7 +247,7 @@ def test_bench_engine_ablation_compiled_parallel(
         "pickled_compiled_graph_bytes": compiled_bytes,
         "payload_reduction_factor": graph_bytes / compiled_bytes,
     }
-    COMPILED_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    write_bench_json(COMPILED_JSON, record, workers=BENCH_WORKERS)
 
     assert compiled_bytes < graph_bytes, (
         f"CompiledGraph pickled to {compiled_bytes} bytes, not smaller "

@@ -3,6 +3,7 @@
 from .cache import CacheStats, RoutingStateCache
 from .compiled import CompiledGraph, CompiledRoutingState, propagate_compiled
 from .engine import ENGINES, propagate, propagate_reference, resolve_engine
+from .incremental import DeltaRoutingState, propagate_delta
 from .parallel import (
     graph_map,
     propagate_many,
@@ -22,6 +23,7 @@ __all__ = [
     "CacheStats",
     "CompiledGraph",
     "CompiledRoutingState",
+    "DeltaRoutingState",
     "ENGINES",
     "LeakMode",
     "NodeRoute",
@@ -36,6 +38,7 @@ __all__ = [
     "peer_lock_set",
     "propagate",
     "propagate_compiled",
+    "propagate_delta",
     "propagate_many",
     "propagate_origins",
     "propagate_reference",

@@ -299,6 +299,21 @@ class CompiledRoutingState(RoutingState):
             return frozenset()
         return frozenset(self._origins_for(i, tuple(s.key for s in self.seeds)))
 
+    def ases_with_origin(self, key: str) -> frozenset[int]:
+        keys = tuple(s.key for s in self.seeds)
+        if key not in keys:
+            return frozenset()
+        asns = self._asns
+        if self._origin_mask is None:
+            # single-seed fast path: every routed AS reaches the only seed
+            return frozenset(asns[i] for i in self._routed)
+        want = 0
+        for b, k in enumerate(keys):
+            if k == key:
+                want |= 1 << b
+        mask = self._origin_mask
+        return frozenset(asns[i] for i in self._routed if mask[i] & want)
+
     def reachable_ases(self) -> frozenset[int]:
         if self._materialized is not None:
             return frozenset(self._materialized) - self.seed_asns

@@ -35,8 +35,11 @@ from typing import Optional
 from ..topology.asgraph import ASGraph
 from .routes import NodeRoute, RouteClass, RoutingState, Seed
 
-#: engines selectable through ``propagate(engine=...)`` / ``REPRO_ENGINE``
-ENGINES = ("compiled", "reference")
+#: engines selectable through ``propagate(engine=...)`` / ``REPRO_ENGINE``.
+#: ``"incremental"`` changes how *leak sweeps* derive their combined
+#: states (``repro.bgpsim.incremental``); for a plain propagation it is
+#: the compiled kernel.
+ENGINES = ("compiled", "reference", "incremental")
 
 
 def resolve_engine(engine: Optional[str] = None) -> str:
@@ -73,8 +76,11 @@ def propagate(
     the historical dict-of-objects engine.  Both return equivalent
     states (proven by ``tests/test_compiled_engine.py``); the
     ``REPRO_ENGINE`` environment variable overrides the default.
+    ``"incremental"`` only matters to the leak-sweep consumers in
+    :mod:`repro.core.leaks` (which derive combined leak states from a
+    shared baseline); for a single propagation it is the compiled kernel.
     """
-    if resolve_engine(engine) == "compiled":
+    if resolve_engine(engine) in ("compiled", "incremental"):
         from .compiled import propagate_compiled
 
         return propagate_compiled(

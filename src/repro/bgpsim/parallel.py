@@ -133,7 +133,10 @@ def graph_map(
     payload: Any = graph
     if isinstance(graph, ASGraph):
         try:
-            if resolve_engine(shared.get("engine")) == "compiled":
+            if resolve_engine(shared.get("engine")) in (
+                "compiled",
+                "incremental",
+            ):
                 payload = graph.compile()
         except ValueError:
             pass  # unknown engine string: let the task raise it

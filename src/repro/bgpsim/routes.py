@@ -93,6 +93,16 @@ class RoutingState:
         node = self.routes.get(asn)
         return node.length if node else None
 
+    def ases_with_origin(self, key: str) -> frozenset[int]:
+        """ASes whose tied-best routes lead to the seed named ``key``.
+
+        Includes the seed itself; array-backed subclasses override this
+        so leak consumers never materialize the full routes dict.
+        """
+        return frozenset(
+            asn for asn, node in self.routes.items() if key in node.origins
+        )
+
     # ------------------------------------------------------------------
     # best-path DAG utilities
     # ------------------------------------------------------------------

@@ -233,9 +233,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     leak.add_argument(
         "--engine",
-        choices=("compiled", "reference"),
+        choices=("compiled", "reference", "incremental"),
         default=None,
-        help="propagation engine (default: compiled, or $REPRO_ENGINE)",
+        help="propagation engine (default: compiled, or $REPRO_ENGINE); "
+        "'incremental' derives each leak from a shared per-configuration "
+        "baseline",
     )
     leak.set_defaults(func=cmd_leak)
 
@@ -262,9 +264,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument(
         "--engine",
-        choices=("compiled", "reference"),
+        choices=("compiled", "reference", "incremental"),
         default=None,
-        help="propagation engine (default: compiled, or $REPRO_ENGINE)",
+        help="propagation engine (default: compiled, or $REPRO_ENGINE); "
+        "'incremental' speeds up the leak sweeps via shared baselines",
     )
     experiments.set_defaults(func=cmd_experiments)
 

@@ -15,13 +15,16 @@ from __future__ import annotations
 import enum
 import random
 from collections.abc import Collection, Mapping, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
-from ..bgpsim.engine import propagate
+from ..bgpsim.cache import RoutingStateCache
+from ..bgpsim.compiled import CompiledRoutingState
+from ..bgpsim.engine import propagate, resolve_engine
+from ..bgpsim.incremental import propagate_delta
 from ..bgpsim.parallel import graph_map
 from ..bgpsim.policies import LeakMode, hierarchy_only_seed, peer_lock_set
-from ..bgpsim.routes import Seed
+from ..bgpsim.routes import RoutingState, Seed
 from ..topology.asgraph import ASGraph
 from ..topology.tiers import TierAssignment
 
@@ -43,6 +46,10 @@ class LeakOutcome:
     leaker: int
     detoured: frozenset[int]
     total_ases: int
+    #: fraction of ASes the incremental delta pass examined (``None`` for
+    #: a full recompute); instrumentation only, excluded from equality so
+    #: differential tests can compare outcomes across engines directly
+    visited_fraction: Optional[float] = field(default=None, compare=False)
 
     @property
     def eligible(self) -> int:
@@ -142,11 +149,8 @@ def simulate_leak(
             engine=engine,
         )
 
-    detoured = frozenset(
-        asn
-        for asn, route in state.routes.items()
-        if "leak" in route.origins and asn not in state.seed_asns
-    )
+    # the array-backed states answer this without materializing routes
+    detoured = state.ases_with_origin("leak") - state.seed_asns
     return LeakOutcome(
         origin=legit.asn,
         leaker=leaker,
@@ -170,6 +174,76 @@ def _leak_task(
     )
 
 
+def _delta_outcome(
+    graph: ASGraph,
+    baseline: RoutingState,
+    legit: Seed,
+    leaker: int,
+    peer_locked: frozenset[int],
+    mode: LeakMode,
+) -> Optional[LeakOutcome]:
+    """Combined-state outcome derived from a shared baseline, or ``None``
+    when the leaker has nothing to re-announce.  Raises ``ValueError``
+    for configurations the delta pass cannot serve (callers fall back)."""
+    if mode is LeakMode.HIJACK:
+        initial = 0
+    else:
+        legit_length = baseline.path_length(leaker)
+        if legit_length is None:
+            return None
+        initial = legit_length
+    leak = Seed(asn=leaker, key="leak", initial_length=initial)
+    state = propagate_delta(
+        graph,
+        baseline,
+        leak,
+        peer_locked=peer_locked,
+        locked_origin=legit.asn,
+    )
+    detoured = state.ases_with_origin("leak") - state.seed_asns
+    return LeakOutcome(
+        origin=legit.asn,
+        leaker=leaker,
+        detoured=detoured,
+        total_ases=len(graph),
+        visited_fraction=state.visited_count / max(len(graph), 1),
+    )
+
+
+def _incremental_leak_task(
+    graph: ASGraph,
+    leaker: int,
+    baseline: Optional[RoutingState] = None,
+    origin: int | Seed = 0,
+    peer_locked: Collection[int] = frozenset(),
+    mode: LeakMode = LeakMode.REANNOUNCE,
+    semantics: PeerLockSemantics = PeerLockSemantics.ERRATUM,
+    engine: Optional[str] = None,
+) -> Optional[LeakOutcome]:
+    """One leaker against a shared precomputed baseline.
+
+    Leakers the delta pass cannot serve — peer-locked leakers (whose
+    baseline uses a different lock set) chiefly — fall back to the full
+    two-propagation :func:`simulate_leak`, so the sweep's results never
+    depend on which path each leaker took.
+    """
+    legit = origin if isinstance(origin, Seed) else Seed(asn=origin, key="origin")
+    if leaker == legit.asn or leaker not in graph:
+        raise ValueError(f"invalid leaker AS{leaker}")
+    peer_locked = frozenset(peer_locked)
+    if baseline is not None and leaker not in peer_locked:
+        try:
+            return _delta_outcome(
+                graph, baseline, legit, leaker, peer_locked, mode
+            )
+        except ValueError:
+            pass
+    return simulate_leak(
+        graph, legit, leaker, peer_locked=peer_locked, mode=mode,
+        semantics=semantics, engine=engine,
+    )
+
+
 def simulate_leaks(
     graph: ASGraph,
     origin: int | Seed,
@@ -179,6 +253,7 @@ def simulate_leaks(
     semantics: PeerLockSemantics = PeerLockSemantics.ERRATUM,
     workers: int | str | None = None,
     engine: Optional[str] = None,
+    cache: Optional[RoutingStateCache] = None,
 ) -> list[Optional[LeakOutcome]]:
     """:func:`simulate_leak` for every leaker, optionally across processes.
 
@@ -186,15 +261,56 @@ def simulate_leaks(
     no route).  The fixed arguments ship to each worker once; with
     ``workers=None`` the simulations run serially in-process, producing the
     same list.
+
+    With ``engine="incremental"`` the whole sweep shares one baseline
+    propagation for its ``(origin, locks, mode, semantics)`` group — taken
+    from ``cache`` when given, computed once otherwise — and each leaker
+    runs only the frontier-limited delta pass of
+    :func:`repro.bgpsim.incremental.propagate_delta`; the baseline's
+    compact arrays ship to each pool worker once, next to the CSR graph.
+    Subprefix leaks, the pre-erratum ``ORIGINAL`` semantics and
+    peer-locked leakers fall back to the full recompute transparently.
     """
+    legit = origin if isinstance(origin, Seed) else Seed(asn=origin, key="origin")
+    peer_locked = frozenset(peer_locked)
+    baseline: Optional[RoutingState] = None
+    if (
+        resolve_engine(engine) == "incremental"
+        and mode is not LeakMode.SUBPREFIX
+        and semantics is PeerLockSemantics.ERRATUM
+    ):
+        locks = peer_locked - {legit.asn}
+        if cache is not None:
+            baseline = cache.baseline_for(legit, locks, legit.asn)
+        if baseline is None or not isinstance(baseline, CompiledRoutingState):
+            # the delta pass needs the baseline's compact arrays; a cache
+            # running the reference engine cannot supply them
+            baseline = propagate(
+                graph, legit, peer_locked=locks,
+                locked_origin=legit.asn, engine=engine,
+            )
+        return list(
+            graph_map(
+                graph,
+                _incremental_leak_task,
+                leakers,
+                workers=workers,
+                baseline=baseline,
+                origin=legit,
+                peer_locked=peer_locked,
+                mode=mode,
+                semantics=semantics,
+                engine=engine,
+            )
+        )
     return list(
         graph_map(
             graph,
             _leak_task,
             leakers,
             workers=workers,
-            origin=origin,
-            peer_locked=frozenset(peer_locked),
+            origin=legit,
+            peer_locked=peer_locked,
             mode=mode,
             semantics=semantics,
             engine=engine,
@@ -209,6 +325,27 @@ def _pair_leak_task(
     engine: Optional[str] = None,
 ) -> Optional[LeakOutcome]:
     origin, leaker = pair
+    return simulate_leak(graph, origin, leaker, mode=mode, engine=engine)
+
+
+def _pair_delta_task(
+    graph: ASGraph,
+    pair: tuple[int, int],
+    baselines: Optional[Mapping[int, RoutingState]] = None,
+    mode: LeakMode = LeakMode.REANNOUNCE,
+    engine: Optional[str] = None,
+) -> Optional[LeakOutcome]:
+    """One (origin, leaker) pair against a shared per-origin baseline map."""
+    origin, leaker = pair
+    baseline = (baselines or {}).get(origin)
+    if isinstance(baseline, CompiledRoutingState):
+        legit = Seed(asn=origin, key="origin")
+        try:
+            return _delta_outcome(
+                graph, baseline, legit, leaker, frozenset(), mode
+            )
+        except ValueError:
+            pass
     return simulate_leak(graph, origin, leaker, mode=mode, engine=engine)
 
 
@@ -258,11 +395,15 @@ def resilience_curve(
     semantics: PeerLockSemantics = PeerLockSemantics.ERRATUM,
     workers: int | str | None = None,
     engine: Optional[str] = None,
+    cache: Optional[RoutingStateCache] = None,
 ) -> list[float]:
     """Detoured-AS fractions over ``leakers`` for one configuration.
 
     Leakers with no route to the origin under the configuration are skipped
-    (they cannot re-announce anything).
+    (they cannot re-announce anything).  Each call is one baseline group:
+    with ``engine="incremental"`` the configuration's ``(seed, locks)``
+    baseline is propagated once (memoized in ``cache`` when given) and
+    every leaker reuses it through the delta pass.
     """
     seed, locks = configuration_seed_and_locks(graph, origin, tiers, configuration)
     outcomes = simulate_leaks(
@@ -274,6 +415,7 @@ def resilience_curve(
         semantics=semantics,
         workers=workers,
         engine=engine,
+        cache=cache,
     )
     return sorted(
         outcome.fraction_detoured
@@ -290,6 +432,7 @@ def average_resilience_curve(
     mode: LeakMode = LeakMode.REANNOUNCE,
     workers: int | str | None = None,
     engine: Optional[str] = None,
+    cache: Optional[RoutingStateCache] = None,
 ) -> list[float]:
     """The paper's *average resilience* baseline: random legitimate origins
     against random misconfigured ASes, announce-to-all, no locking.
@@ -297,6 +440,13 @@ def average_resilience_curve(
     The (origin, leaker) pairs are drawn up front — in exactly the order the
     historical serial loop drew them, so the RNG stream is unchanged — and
     then simulated, optionally in parallel.
+
+    With ``engine="incremental"`` each distinct origin's baseline is
+    propagated exactly once (in parallel, through a
+    :class:`~repro.bgpsim.cache.RoutingStateCache` prefetch) and the
+    per-origin baseline map ships to the pool workers alongside the CSR
+    graph, so the historical ``origins × leakers`` full propagations
+    collapse to ``origins`` baselines plus one delta pass per pair.
     """
     nodes = sorted(graph.nodes())
     pairs: list[tuple[int, int]] = []
@@ -306,10 +456,28 @@ def average_resilience_curve(
             leaker = rng.choice(nodes)
             if leaker != origin:
                 pairs.append((origin, leaker))
-    outcomes = graph_map(
-        graph, _pair_leak_task, pairs, workers=workers, mode=mode,
-        engine=engine,
-    )
+    if (
+        resolve_engine(engine) == "incremental"
+        and mode is not LeakMode.SUBPREFIX
+    ):
+        unique_origins = list(dict.fromkeys(origin for origin, _ in pairs))
+        if cache is None or (
+            cache.maxsize is not None and cache.maxsize < len(unique_origins)
+        ):
+            cache = RoutingStateCache(graph, engine=engine)
+        cache.prefetch(unique_origins, workers=workers)
+        baselines = {
+            origin: cache.state_for(origin) for origin in unique_origins
+        }
+        outcomes = graph_map(
+            graph, _pair_delta_task, pairs, workers=workers,
+            baselines=baselines, mode=mode, engine=engine,
+        )
+    else:
+        outcomes = graph_map(
+            graph, _pair_leak_task, pairs, workers=workers, mode=mode,
+            engine=engine,
+        )
     return sorted(
         outcome.fraction_detoured
         for outcome in outcomes
@@ -325,6 +493,8 @@ def lock_coverage_sweep(
     rng: Optional[random.Random] = None,
     mode: LeakMode = LeakMode.REANNOUNCE,
     engine: Optional[str] = None,
+    workers: int | str | None = None,
+    cache: Optional[RoutingStateCache] = None,
 ) -> dict[float, float]:
     """Mean detoured fraction vs. peer-lock deployment coverage.
 
@@ -332,24 +502,27 @@ def lock_coverage_sweep(
     each coverage level, a random ``coverage`` fraction of the origin's
     neighbors deploys peer locking (biggest neighbors first would be the
     T1/T2 scenarios; random deployment is the pessimistic counterpart),
-    and the same leakers are replayed.
+    and the same leakers are replayed.  Each coverage level is one
+    :func:`simulate_leaks` sweep, so the ``workers``, ``engine`` and
+    ``cache`` knobs (shared baseline per lock set under
+    ``engine="incremental"``) all apply.
     """
     rng = rng or random.Random(0)
     neighbors = sorted(graph.neighbors(origin))
+    eligible = [leaker for leaker in leakers if leaker != origin]
     results: dict[float, float] = {}
     for coverage in coverages:
         count = round(coverage * len(neighbors))
         locked = frozenset(rng.sample(neighbors, k=count)) if count else frozenset()
-        fractions = []
-        for leaker in leakers:
-            if leaker == origin:
-                continue
-            outcome = simulate_leak(
-                graph, origin, leaker, peer_locked=locked, mode=mode,
-                engine=engine,
-            )
-            if outcome is not None:
-                fractions.append(outcome.fraction_detoured)
+        outcomes = simulate_leaks(
+            graph, origin, eligible, peer_locked=locked, mode=mode,
+            workers=workers, engine=engine, cache=cache,
+        )
+        fractions = [
+            outcome.fraction_detoured
+            for outcome in outcomes
+            if outcome is not None
+        ]
         results[coverage] = (
             sum(fractions) / len(fractions) if fractions else 0.0
         )

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Optional
 
+from ..bgpsim.cache import RoutingStateCache
 from ..core.leaks import (
     LEAK_CONFIGURATIONS,
     average_resilience_curve,
@@ -80,6 +82,8 @@ def leak_curves_for_origin(
     configurations: tuple[str, ...] = LEAK_CONFIGURATIONS,
     with_users: bool = False,
     workers: int | str | None = None,
+    engine: Optional[str] = None,
+    cache: Optional[RoutingStateCache] = None,
 ) -> LeakCurves:
     graph, tiers = ctx.graph, ctx.tiers
     result = LeakCurves(name=name, asn=asn)
@@ -91,6 +95,8 @@ def leak_curves_for_origin(
             [leaker for leaker in leakers if leaker != asn],
             peer_locked=locks,
             workers=workers,
+            engine=engine,
+            cache=cache,
         )
         fractions: list[float] = []
         user_fractions: list[float] = []
@@ -121,14 +127,24 @@ def run(
     baseline_leakers: int = 15,
     include_facebook: bool = True,
     workers: int | str | None = None,
+    engine: Optional[str] = None,
 ) -> LeakResult:
-    """Figs. 7 and 8 for every cloud (and Facebook)."""
+    """Figs. 7 and 8 for every cloud (and Facebook).
+
+    With ``engine="incremental"`` every ``(origin, configuration)`` group
+    computes its baseline once through a shared
+    :class:`~repro.bgpsim.cache.RoutingStateCache`.
+    """
     leakers = sample_leakers(ctx, leaks_per_config)
     origins = list(ctx.clouds.items())
     if include_facebook and ctx.scenario.facebook_asn is not None:
         origins.append(("Facebook", ctx.scenario.facebook_asn))
+    cache = RoutingStateCache(ctx.graph, engine=engine)
     curves = [
-        leak_curves_for_origin(ctx, name, asn, leakers, workers=workers)
+        leak_curves_for_origin(
+            ctx, name, asn, leakers, workers=workers, engine=engine,
+            cache=cache,
+        )
         for name, asn in origins
     ]
     baseline = average_resilience_curve(
@@ -137,6 +153,8 @@ def run(
         origins=baseline_origins,
         leakers_per_origin=baseline_leakers,
         workers=workers,
+        engine=engine,
+        cache=cache,
     )
     return LeakResult(origins=curves, average_resilience=baseline)
 
@@ -145,12 +163,13 @@ def run_fig9(
     ctx: ExperimentContext,
     leaks_per_config: int = 120,
     workers: int | str | None = None,
+    engine: Optional[str] = None,
 ) -> LeakCurves:
     """Fig. 9: Google's curves weighted by detoured users."""
     leakers = sample_leakers(ctx, leaks_per_config, seed=13)
     return leak_curves_for_origin(
         ctx, "Google", ctx.clouds["Google"], leakers, with_users=True,
-        workers=workers,
+        workers=workers, engine=engine,
     )
 
 
@@ -175,6 +194,7 @@ def run_fig10(
     ctx_2015: ExperimentContext,
     leaks_per_config: int = 120,
     workers: int | str | None = None,
+    engine: Optional[str] = None,
 ) -> Fig10Result:
     curves = {}
     for key, ctx in (("2015", ctx_2015), ("2020", ctx_2020)):
@@ -182,7 +202,7 @@ def run_fig10(
         origin = ctx.clouds["Google"]
         result = leak_curves_for_origin(
             ctx, "Google", origin, leakers, configurations=("announce_all",),
-            workers=workers,
+            workers=workers, engine=engine,
         )
         curves[key] = result.curves["announce_all"]
     return Fig10Result(curve_2015=curves["2015"], curve_2020=curves["2020"])
