@@ -17,7 +17,7 @@ def test_bench_fig6_table2_reliance(benchmark, ctx2020):
         assert cloud.max_reliance > 2.0
         assert len(cloud.top3) == 3
         # histogram covers every relied-on network
-        assert sum(cloud.histogram.values()) == len(cloud.values)
+        assert sum(cloud.histogram.values()) == cloud.networks_relied_on
 
     print()
     print(result.render())

@@ -1,0 +1,213 @@
+"""Benchmark — array-native metric kernels vs the dict metric path on
+the Fig. 6/Table 2 reliance sweep.
+
+Three legs run the same small-profile sweep (per cloud: propagate under
+the hierarchy-free exclusions, compute reliance, aggregate the Fig. 6 /
+Table 2 summary):
+
+* ``reference_dict`` — reference engine, dict metric implementations;
+* ``compiled_dict`` — compiled propagation, then the dict metric path
+  (which materializes ``state.routes``): the pre-kernel pipeline on the
+  default engine;
+* ``compiled_kernel`` — compiled propagation, array kernels end to end
+  (``routes`` is never materialized).
+
+Each leg is timed end-to-end (propagation included) and again on the
+metric layer alone (states pre-propagated, kernel/materialization caches
+cleared per round).  The metric layer is where the kernels act, and the
+record asserts it is ≥3× faster than the dict path on the same states;
+end-to-end the sweep improves by roughly the metric layer's share of
+wall-clock (propagation — already the compiled CSR kernel of PR 2 —
+dominates the remainder; both numbers land in the JSON).  Correctness
+is asserted first: all legs must produce identical summaries, and the
+array leg must leave ``CompiledRoutingState._materialized`` as ``None``
+on every state.  Peak metric-layer allocations are recorded through
+``tracemalloc``.
+
+Run it through ``make bench-metrics-kernel``; the record lands in
+``benchmarks/bench_metric_kernels.json``.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from pathlib import Path
+
+from benchmarks.conftest import write_bench_json
+from repro.bgpsim import Seed, propagate
+from repro.core.reliance import (
+    _reliance_from_routes,
+    summarize_reliance,
+    summarize_reliance_from_state,
+)
+
+BENCH_JSON = Path(__file__).resolve().parent / "bench_metric_kernels.json"
+#: best-of rounds per timed leg (tames scheduler noise on small hosts)
+ROUNDS = 5
+
+
+def _cloud_sweep_pairs(ctx):
+    """The Fig. 6/Table 2 sweep inputs: (origin, hierarchy-free excluded)."""
+    graph, tiers = ctx.graph, ctx.tiers
+    return [
+        (asn, (graph.providers(asn) | tiers.hierarchy) - {asn})
+        for _, asn in ctx.clouds.items()
+    ]
+
+
+def _dict_summary(state):
+    return summarize_reliance(_reliance_from_routes(state))
+
+
+def _end_to_end(graph, pairs, engine, use_kernel):
+    summaries = []
+    for origin, excluded in pairs:
+        state = propagate(
+            graph, Seed(asn=origin, key="origin"),
+            excluded=excluded, engine=engine,
+        )
+        if use_kernel:
+            summaries.append(summarize_reliance_from_state(state))
+        else:
+            summaries.append(_dict_summary(state))
+    return summaries
+
+
+def _propagated_states(graph, pairs, engine):
+    return [
+        propagate(
+            graph, Seed(asn=origin, key="origin"),
+            excluded=excluded, engine=engine,
+        )
+        for origin, excluded in pairs
+    ]
+
+
+def _clear_metric_caches(states):
+    for state in states:
+        if hasattr(state, "_materialized"):
+            state._materialized = None
+            state._metric_dag = None
+            state._metric_counts = None
+
+
+def _metric_layer(states, use_kernel):
+    if use_kernel:
+        return [summarize_reliance_from_state(state) for state in states]
+    return [_dict_summary(state) for state in states]
+
+
+def _best_of(func, rounds=ROUNDS):
+    """(best wall seconds, last result) over ``rounds`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _metric_peak_kb(states, use_kernel):
+    """tracemalloc peak (KiB) of one cold metric pass over ``states``."""
+    _clear_metric_caches(states)
+    tracemalloc.start()
+    _metric_layer(states, use_kernel)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak / 1024
+
+
+def test_bench_metric_kernels_fig6_sweep(benchmark, ctx2020):
+    graph = ctx2020.graph
+    graph.compile()
+    pairs = _cloud_sweep_pairs(ctx2020)
+
+    # -- end-to-end legs (propagation + metrics + summaries) ------------
+    ref_dict_s, ref_summaries = _best_of(
+        lambda: _end_to_end(graph, pairs, "reference", use_kernel=False)
+    )
+    cmp_dict_s, dict_summaries = _best_of(
+        lambda: _end_to_end(graph, pairs, "compiled", use_kernel=False)
+    )
+
+    def kernel_sweep():
+        return _end_to_end(graph, pairs, "compiled", use_kernel=True)
+
+    kernel_e2e_s, kernel_summaries = _best_of(kernel_sweep)
+    benchmark.pedantic(kernel_sweep, rounds=1, iterations=1)
+
+    # correctness first: every leg must agree bit-for-bit
+    assert ref_summaries == dict_summaries == kernel_summaries, (
+        "kernel sweep summaries diverged from the dict path"
+    )
+
+    # -- metric layer alone, on the same pre-propagated states ----------
+    states = _propagated_states(graph, pairs, "compiled")
+
+    def dict_metrics():
+        _clear_metric_caches(states)
+        return _metric_layer(states, use_kernel=False)
+
+    def kernel_metrics():
+        _clear_metric_caches(states)
+        return _metric_layer(states, use_kernel=True)
+
+    dict_metric_s, metric_dict_summaries = _best_of(dict_metrics)
+    kernel_metric_s, metric_kernel_summaries = _best_of(kernel_metrics)
+    assert metric_dict_summaries == metric_kernel_summaries == dict_summaries
+
+    # the array path must never have materialized the routes dict
+    _clear_metric_caches(states)
+    _metric_layer(states, use_kernel=True)
+    materialized = sum(
+        1 for state in states if state._materialized is not None
+    )
+    assert materialized == 0
+    for state in states:
+        assert state._materialized is None
+
+    dict_peak_kb = _metric_peak_kb(states, use_kernel=False)
+    kernel_peak_kb = _metric_peak_kb(states, use_kernel=True)
+
+    metric_speedup = dict_metric_s / kernel_metric_s
+    end_to_end_speedup = cmp_dict_s / kernel_e2e_s
+    record = {
+        "sweep": "fig6_table2 hierarchy-free reliance (per-cloud)",
+        "clouds": len(pairs),
+        "ases": len(graph),
+        "rounds": ROUNDS,
+        "end_to_end_s": {
+            "reference_dict": ref_dict_s,
+            "compiled_dict": cmp_dict_s,
+            "compiled_kernel": kernel_e2e_s,
+        },
+        "metric_layer_s": {
+            "compiled_dict": dict_metric_s,
+            "compiled_kernel": kernel_metric_s,
+        },
+        "metric_layer_peak_kb": {
+            "compiled_dict": dict_peak_kb,
+            "compiled_kernel": kernel_peak_kb,
+        },
+        "metric_layer_speedup": metric_speedup,
+        "end_to_end_speedup_vs_compiled_dict": end_to_end_speedup,
+        "end_to_end_speedup_vs_reference_dict": ref_dict_s / kernel_e2e_s,
+        "materialized_states": materialized,
+        "summaries_identical": True,
+    }
+    write_bench_json(BENCH_JSON, record, engine="compiled", workers=None)
+
+    assert metric_speedup >= 3.0, (
+        f"array kernels ({kernel_metric_s * 1e3:.2f} ms) are only "
+        f"{metric_speedup:.2f}x faster than the dict metric path "
+        f"({dict_metric_s * 1e3:.2f} ms) on the Fig. 6 sweep states"
+    )
+    # end-to-end, the sweep must still improve materially even though
+    # propagation (not touched by this change) dominates the remainder
+    assert end_to_end_speedup >= 1.3, (
+        f"end-to-end sweep speedup collapsed to {end_to_end_speedup:.2f}x"
+    )
+    # the kernels should also allocate less than the dict pipeline peaks
+    assert kernel_peak_kb < dict_peak_kb

@@ -4,6 +4,17 @@ from .cache import CacheStats, RoutingStateCache
 from .compiled import CompiledGraph, CompiledRoutingState, propagate_compiled
 from .engine import ENGINES, propagate, propagate_reference, resolve_engine
 from .incremental import DeltaRoutingState, propagate_delta
+from .metrics_kernel import (
+    MetricDAG,
+    cross_fractions_kernel,
+    dag_of,
+    is_array_state,
+    length_histogram_kernel,
+    path_counts_kernel,
+    reliance_kernel,
+    reliance_mass_kernel,
+    routed_count_kernel,
+)
 from .parallel import (
     graph_map,
     propagate_many,
@@ -26,17 +37,26 @@ __all__ = [
     "DeltaRoutingState",
     "ENGINES",
     "LeakMode",
+    "MetricDAG",
     "NodeRoute",
     "RouteClass",
     "RoutingState",
     "RoutingStateCache",
     "Seed",
+    "cross_fractions_kernel",
+    "dag_of",
     "graph_map",
     "hierarchy_only_seed",
+    "is_array_state",
     "leak_seed",
+    "length_histogram_kernel",
     "origin_seed",
+    "path_counts_kernel",
     "peer_lock_set",
     "propagate",
+    "reliance_kernel",
+    "reliance_mass_kernel",
+    "routed_count_kernel",
     "propagate_compiled",
     "propagate_delta",
     "propagate_many",

@@ -233,6 +233,10 @@ class CompiledRoutingState(RoutingState):
         self._routed = routed
         self._origin_mask = origin_mask
         self._materialized: Optional[dict[int, NodeRoute]] = None
+        # metric-kernel caches (see repro.bgpsim.metrics_kernel): the
+        # flattened best-path DAG and the tied-best-path counts
+        self._metric_dag = None
+        self._metric_counts: Optional[list[int]] = None
 
     def _idx(self, asn: int) -> Optional[int]:
         i = bisect_left(self._asns, asn)
@@ -320,10 +324,13 @@ class CompiledRoutingState(RoutingState):
         asns = self._asns
         return frozenset(asns[i] for i in self._routed) - self.seed_asns
 
-    # -- pickling: ship the compact arrays, never the materialized dict ----
+    # -- pickling: ship the compact arrays, never the materialized dict
+    # (nor the derived metric-kernel caches) ------------------------------
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state["_materialized"] = None
+        state["_metric_dag"] = None
+        state["_metric_counts"] = None
         return state
 
 

@@ -88,6 +88,9 @@ class DeltaRoutingState(RoutingState):
         #: tainted); the benchmark reports this as the visited fraction
         self.visited_count = visited
         self._materialized: Optional[dict[int, NodeRoute]] = None
+        # metric-kernel caches (see repro.bgpsim.metrics_kernel)
+        self._metric_dag = None
+        self._metric_counts: Optional[list[int]] = None
 
     # -- instrumentation ---------------------------------------------------
     def delta_stats(self) -> dict[str, int]:
@@ -219,10 +222,13 @@ class DeltaRoutingState(RoutingState):
             - self.seed_asns
         )
 
-    # -- pickling: ship the compact pieces, never the materialized dict ----
+    # -- pickling: ship the compact pieces, never the materialized dict
+    # (nor the derived metric-kernel caches) ------------------------------
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state["_materialized"] = None
+        state["_metric_dag"] = None
+        state["_metric_counts"] = None
         return state
 
 

@@ -14,16 +14,26 @@ and hierarchy-free reachability on the same topology.
 * **global hegemony** ``H(a)`` — the mean of local hegemony over a sample
   of origins; the paper's point is that such transit-centric scores and
   hierarchy-free reachability capture different things.
+
+The tied-best-path counts of a state are shared across every hegemony
+target: :func:`path_cross_fractions` accepts precomputed ``counts`` (and
+the array kernels cache them on the state), so a many-target sweep is
+linear — not quadratic — in the number of targets.
 """
 
 from __future__ import annotations
 
+import math
 import random
-from collections.abc import Collection, Sequence
+from array import array
+from collections.abc import Collection, Mapping, Sequence
 from typing import Optional
 
 from ..bgpsim.cache import RoutingStateCache
-from ..bgpsim.routes import RoutingState
+from ..bgpsim.engine import propagate
+from ..bgpsim.metrics_kernel import cross_fractions_kernel, is_array_state
+from ..bgpsim.parallel import graph_map
+from ..bgpsim.routes import RoutingState, Seed
 from ..topology.asgraph import ASGraph
 from .reliance import path_counts
 
@@ -32,16 +42,27 @@ TRIM = 0.1
 
 
 def path_cross_fractions(
-    state: RoutingState, target: int
+    state: RoutingState,
+    target: int,
+    counts: Optional[Mapping[int, int]] = None,
 ) -> dict[int, float]:
     """For every receiver ``t``: fraction of t's tied-best paths crossing
-    ``target`` (1.0 for t == target)."""
+    ``target`` (1.0 for t == target).
+
+    Array-backed states dispatch to the forward kernel pass (which caches
+    the tied-best-path counts on the state); on the dict path pass
+    ``counts=path_counts(state)`` when evaluating many targets against
+    one state, so the counts are computed once rather than per target.
+    """
+    if is_array_state(state):
+        return cross_fractions_kernel(state, target)
     routes = state.routes
     if target not in routes:
         return {}
-    counts = path_counts(state)
+    if counts is None:
+        counts = path_counts(state)
     fractions: dict[int, float] = {}
-    for asn in sorted(routes, key=lambda a: routes[a].length):
+    for asn in sorted(routes, key=lambda a: (routes[a].length, a)):
         if asn == target:
             fractions[asn] = 1.0
             continue
@@ -49,9 +70,14 @@ def path_cross_fractions(
         if not parents:
             fractions[asn] = 0.0  # the origin itself
             continue
+        if len(parents) == 1:
+            # single parent: the child inherits its parent's fraction
+            # (the array kernel takes the same shortcut)
+            fractions[asn] = fractions[next(iter(parents))]
+            continue
         denom = sum(counts[p] for p in parents)
         fractions[asn] = sum(
-            fractions[p] * counts[p] for p in parents
+            fractions[p] * counts[p] for p in sorted(parents)
         ) / denom
     return fractions
 
@@ -67,6 +93,22 @@ def trimmed_mean(values: Sequence[float], trim: float = TRIM) -> float:
     return sum(kept) / len(kept)
 
 
+def _hegemony_of_state(
+    state: RoutingState,
+    origin: int,
+    target: int,
+    trim: float = TRIM,
+    counts: Optional[Mapping[int, int]] = None,
+) -> float:
+    fractions = path_cross_fractions(state, target, counts=counts)
+    samples = [
+        value
+        for asn, value in fractions.items()
+        if asn not in (origin, target)
+    ]
+    return trimmed_mean(samples, trim)
+
+
 def local_hegemony(
     graph: ASGraph,
     origin: int,
@@ -74,18 +116,40 @@ def local_hegemony(
     cache: Optional[RoutingStateCache] = None,
     trim: float = TRIM,
     engine: Optional[str] = None,
+    counts: Optional[Mapping[int, int]] = None,
 ) -> float:
-    """``H(origin, target)`` on the tied-best-path DAG."""
+    """``H(origin, target)`` on the tied-best-path DAG.
+
+    ``counts`` (optional) are ``path_counts`` of the origin's state,
+    reused across targets on the dict path; array-backed states cache
+    them internally.
+    """
     if cache is None:
         cache = RoutingStateCache(graph, engine=engine)
     state = cache.state_for(origin)
-    fractions = path_cross_fractions(state, target)
-    samples = [
-        value
-        for asn, value in fractions.items()
-        if asn not in (origin, target)
-    ]
-    return trimmed_mean(samples, trim)
+    return _hegemony_of_state(state, origin, target, trim, counts=counts)
+
+
+def _hegemony_task(
+    graph: ASGraph,
+    origin: int,
+    targets: tuple[int, ...] = (),
+    trim: float = TRIM,
+    engine: Optional[str] = None,
+) -> array:
+    """One origin's local hegemony toward every target, as a compact
+    float array (NaN where target == origin)."""
+    state = propagate(graph, Seed(asn=origin), engine=engine)
+    counts = None if is_array_state(state) else path_counts(state)
+    values = array("d")
+    for target in targets:
+        if target == origin:
+            values.append(math.nan)
+        else:
+            values.append(
+                _hegemony_of_state(state, origin, target, trim, counts=counts)
+            )
+    return values
 
 
 def global_hegemony(
@@ -101,24 +165,37 @@ def global_hegemony(
 ) -> dict[int, float]:
     """``H(target)`` for each target, averaged over sampled origins.
 
-    ``workers`` parallelizes the per-origin propagations (computed once up
-    front and cached); ``cache_size`` bounds the cache when the origin
-    sample is too large to hold every state.
+    Each origin is propagated once and evaluated against every target in
+    one pass (the tied-best-path counts are shared across targets);
+    ``workers`` fans the origins out across a process pool, and each
+    worker returns one compact float array per origin rather than a
+    per-AS dict.  ``cache_size`` is kept for API compatibility — the
+    sweep streams one state at a time and retains none.
     """
+    del cache_size  # the streaming sweep holds no state cache
     rng = rng or random.Random(0)
     nodes = sorted(graph.nodes())
     if origins is None:
         origins = rng.sample(nodes, k=min(sample, len(nodes)))
-    cache = RoutingStateCache(graph, maxsize=cache_size, engine=engine)
-    cache.prefetch(origins, workers=workers)
-    scores: dict[int, float] = {}
-    for target in targets:
-        values = []
-        for origin in origins:
-            if origin == target:
+    targets = tuple(targets)
+    rows = graph_map(
+        graph,
+        _hegemony_task,
+        list(origins),
+        workers=workers,
+        targets=targets,
+        trim=trim,
+        engine=engine,
+    )
+    sums = [0.0] * len(targets)
+    counts_per_target = [0] * len(targets)
+    for row in rows:
+        for j, value in enumerate(row):
+            if math.isnan(value):
                 continue
-            values.append(
-                local_hegemony(graph, origin, target, cache, trim)
-            )
-        scores[target] = sum(values) / len(values) if values else 0.0
-    return scores
+            sums[j] += value
+            counts_per_target[j] += 1
+    return {
+        target: (sums[j] / counts_per_target[j] if counts_per_target[j] else 0.0)
+        for j, target in enumerate(targets)
+    }

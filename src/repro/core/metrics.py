@@ -19,6 +19,8 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass
 
+from ..bgpsim.metrics_kernel import is_array_state, routed_count_kernel
+from ..bgpsim.routes import RoutingState
 from ..topology.asgraph import ASGraph
 from ..topology.tiers import TierAssignment
 from .reachability import ConeEngine, reachability, reachable_set
@@ -54,6 +56,19 @@ class ReachabilityReport:
             "tier1_free": self.tier1_free / denom,
             "hierarchy_free": self.hierarchy_free / denom,
         }
+
+
+def reachability_from_state(state: RoutingState) -> int:
+    """``reach(o, ·)`` of an already-propagated state: the number of
+    routed non-seed ASes.
+
+    Array-backed states answer from the routed-index array
+    (:func:`repro.bgpsim.metrics_kernel.routed_count_kernel`) without
+    materializing ``routes`` or building the ``reachable_ases`` set.
+    """
+    if is_array_state(state):
+        return routed_count_kernel(state)
+    return len(state.routes.keys() - state.seed_asns)
 
 
 def full_reachability(graph: ASGraph, origin: int) -> int:

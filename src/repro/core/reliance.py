@@ -16,11 +16,19 @@ exactly ``rely(o, a)``.
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Collection, Iterable
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Optional
 
 from ..bgpsim.engine import propagate
+from ..bgpsim.metrics_kernel import (
+    is_array_state,
+    path_counts_kernel,
+    reliance_kernel,
+    reliance_mass_kernel,
+)
 from ..bgpsim.parallel import graph_map
 from ..bgpsim.routes import RoutingState, Seed
 from ..topology.asgraph import ASGraph
@@ -28,10 +36,23 @@ from ..topology.tiers import TierAssignment
 
 
 def path_counts(state: RoutingState) -> dict[int, int]:
-    """Number of tied-best paths from each routed AS to the seeds."""
+    """Number of tied-best paths from each routed AS to the seeds.
+
+    Array-backed states dispatch to the forward kernel pass in
+    :mod:`repro.bgpsim.metrics_kernel` (no ``routes`` materialization);
+    plain states use the dict reference below.
+    """
+    if is_array_state(state):
+        return path_counts_kernel(state)
+    return _path_counts_routes(state)
+
+
+def _path_counts_routes(state: RoutingState) -> dict[int, int]:
+    """Dict reference implementation of :func:`path_counts`."""
     counts: dict[int, int] = {}
-    for asn in sorted(state.routes, key=lambda a: state.routes[a].length):
-        route = state.routes[asn]
+    routes = state.routes
+    for asn in sorted(routes, key=lambda a: (routes[a].length, a)):
+        route = routes[asn]
         if asn in state.seed_asns:
             counts[asn] = 1
         else:
@@ -49,9 +70,25 @@ def reliance_from_state(
     ``receivers`` restricts which networks inject mass (default: every
     routed non-seed AS).  With ``exact=True`` the splits are computed with
     :class:`fractions.Fraction` (slower; useful for tests).
+
+    Array-backed states dispatch to the backward kernel pass in
+    :mod:`repro.bgpsim.metrics_kernel`; both paths accumulate in the same
+    canonical order (nodes by length then ASN, parents ascending), so the
+    float results are bit-identical to each other and across runs.
     """
+    if is_array_state(state):
+        return reliance_kernel(state, receivers=receivers, exact=exact)
+    return _reliance_from_routes(state, receivers=receivers, exact=exact)
+
+
+def _reliance_from_routes(
+    state: RoutingState,
+    receivers: Iterable[int] | None = None,
+    exact: bool = False,
+) -> dict[int, float]:
+    """Dict reference implementation of :func:`reliance_from_state`."""
     routes = state.routes
-    counts = path_counts(state)
+    counts = _path_counts_routes(state)
     zero = Fraction(0) if exact else 0.0
     mass: dict[int, Fraction | float] = {asn: zero for asn in routes}
     if receivers is None:
@@ -61,8 +98,10 @@ def reliance_from_state(
     for t in injectors:
         mass[t] += Fraction(1) if exact else 1.0
     # Parents always have strictly smaller path length, so processing by
-    # decreasing length finalizes each node before it distributes its mass.
-    for asn in sorted(routes, key=lambda a: -routes[a].length):
+    # decreasing length finalizes each node before it distributes its
+    # mass; the ASN tie-break and the sorted parents pin the float
+    # accumulation order regardless of dict/set insertion order.
+    for asn in sorted(routes, key=lambda a: (routes[a].length, a), reverse=True):
         node_mass = mass[asn]
         if not node_mass:
             continue
@@ -70,7 +109,7 @@ def reliance_from_state(
         if not parents:
             continue
         denom = sum(counts[p] for p in parents)
-        for parent in parents:
+        for parent in sorted(parents):
             share = (
                 Fraction(counts[parent], denom)
                 if exact
@@ -180,7 +219,8 @@ def tier1_free_reliance(
 
 def top_reliance(values: dict[int, float], n: int = 3) -> list[tuple[int, float]]:
     """The ``n`` highest-reliance ASes (Table 2 rows)."""
-    return sorted(values.items(), key=lambda item: (-item[1], item[0]))[:n]
+    # heapq.nsmallest(n, it, key) == sorted(it, key=key)[:n], in O(len * log n)
+    return heapq.nsmallest(n, values.items(), key=lambda item: (-item[1], item[0]))
 
 
 def reliance_histogram(
@@ -194,3 +234,164 @@ def reliance_histogram(
         bucket = int(value // bin_width) * bin_width
         histogram[bucket] = histogram.get(bucket, 0) + 1
     return dict(sorted(histogram.items()))
+
+
+@dataclass(frozen=True)
+class RelianceSummary:
+    """Everything Fig. 6 / Table 2 keep from one origin's reliance values.
+
+    A full reliance dict holds one float per relied-on AS; the figures
+    only aggregate it (counts, a histogram, the top rows).  Sweep workers
+    return this compact record instead, so a parallel sweep ships a few
+    dozen numbers per origin rather than a per-AS dict.
+    """
+
+    networks: int  #: number of ASes with nonzero reliance
+    near_one: int  #: of those, how many have reliance <= 1 (flat ideal)
+    max_value: float
+    histogram: dict[int, int]
+    top: tuple[tuple[int, float], ...]
+
+    def fraction_at_one(self) -> float:
+        """Share of relied-on networks with reliance ~1 (flat ideal)."""
+        return self.near_one / self.networks if self.networks else 0.0
+
+
+def summarize_reliance(
+    values: dict[int, float], bin_width: int = 25, top_n: int = 3
+) -> RelianceSummary:
+    """Compress a reliance dict into a :class:`RelianceSummary`."""
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    near_one = 0
+    max_value = 0.0
+    histogram: dict[int, int] = {}
+    for value in values.values():
+        if value <= 1.0 + 1e-9:
+            near_one += 1
+        if value > max_value:
+            max_value = value
+        bucket = int(value // bin_width) * bin_width
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+    return RelianceSummary(
+        networks=len(values),
+        near_one=near_one,
+        max_value=max_value,
+        histogram=dict(sorted(histogram.items())),
+        top=tuple(top_reliance(values, top_n)),
+    )
+
+
+def summarize_reliance_from_state(
+    state: RoutingState, bin_width: int = 25, top_n: int = 3
+) -> RelianceSummary:
+    """:func:`summarize_reliance` of ``reliance_from_state(state)``.
+
+    On array-backed states the summary is aggregated in one fused pass
+    over the kernel's mass list — the intermediate ASN-keyed reliance
+    dict is never built.  The result is identical to summarizing the
+    dict (same float values; the aggregates are order-insensitive and
+    the top rows use the same ``(-value, asn)`` ordering).
+    """
+    if not is_array_state(state):
+        return summarize_reliance(
+            reliance_from_state(state), bin_width=bin_width, top_n=top_n
+        )
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    dag, mass = reliance_mass_kernel(state)
+    asns, seed_idx = dag.asns, dag.seed_idx
+    networks = 0
+    near_one = 0
+    max_value = 0.0
+    histogram: dict[int, int] = {}
+    pairs: list[tuple[int, float]] = []
+    for i in dag.order:
+        value = mass[i]
+        if not value or i in seed_idx:
+            continue
+        networks += 1
+        if value <= 1.0 + 1e-9:
+            near_one += 1
+        if value > max_value:
+            max_value = value
+        bucket = int(value // bin_width) * bin_width
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+        pairs.append((asns[i], value))
+    top = tuple(
+        heapq.nsmallest(top_n, pairs, key=lambda item: (-item[1], item[0]))
+    )
+    return RelianceSummary(
+        networks=networks,
+        near_one=near_one,
+        max_value=max_value,
+        histogram=dict(sorted(histogram.items())),
+        top=top,
+    )
+
+
+def _reliance_summary_task(
+    graph: ASGraph,
+    item: tuple[int, frozenset[int]],
+    bin_width: int = 25,
+    top_n: int = 3,
+    engine: Optional[str] = None,
+) -> RelianceSummary:
+    origin, excluded = item
+    state = propagate(
+        graph, Seed(asn=origin, key="origin"), excluded=excluded, engine=engine
+    )
+    return summarize_reliance_from_state(state, bin_width=bin_width, top_n=top_n)
+
+
+def reliance_summary_sweep(
+    graph: ASGraph,
+    origin_excluded: Iterable[tuple[int, Collection[int]]],
+    bin_width: int = 25,
+    top_n: int = 3,
+    workers: int | str | None = None,
+    engine: Optional[str] = None,
+) -> list[RelianceSummary]:
+    """:class:`RelianceSummary` per (origin, excluded) pair, in input order.
+
+    Like :func:`reliance_sweep` but each worker aggregates before
+    returning, which keeps the per-item payload O(histogram) instead of
+    O(ASes) — the shape Fig. 6 / Table 2 actually consume.
+    """
+    items = [
+        (origin, frozenset(excluded)) for origin, excluded in origin_excluded
+    ]
+    return list(
+        graph_map(
+            graph,
+            _reliance_summary_task,
+            items,
+            workers=workers,
+            bin_width=bin_width,
+            top_n=top_n,
+            engine=engine,
+        )
+    )
+
+
+def hierarchy_free_reliance_summaries(
+    graph: ASGraph,
+    origins: Iterable[int],
+    tiers: TierAssignment,
+    bin_width: int = 25,
+    top_n: int = 3,
+    workers: int | str | None = None,
+    engine: Optional[str] = None,
+) -> list[RelianceSummary]:
+    """:func:`reliance_summary_sweep` under hierarchy-free constraints."""
+    return reliance_summary_sweep(
+        graph,
+        (
+            (origin, (graph.providers(origin) | tiers.hierarchy) - {origin})
+            for origin in origins
+        ),
+        bin_width=bin_width,
+        top_n=top_n,
+        workers=workers,
+        engine=engine,
+    )

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.pathlen import PathLengthMix, fig13_bars
+from ..core.pathlen import PathLengthMix, fig13_bars_sweep
 from .context import ExperimentContext
 from .report import format_table, percent
 
@@ -46,13 +46,27 @@ class Fig13Result:
 
 
 def run(
-    ctx_2020: ExperimentContext, ctx_2015: ExperimentContext
+    ctx_2020: ExperimentContext,
+    ctx_2015: ExperimentContext,
+    workers: int | str | None = None,
+    engine: str | None = None,
 ) -> Fig13Result:
     bars: dict[int, dict[str, dict[str, PathLengthMix]]] = {}
     for year, ctx in ((2015, ctx_2015), (2020, ctx_2020)):
-        bars[year] = {}
-        for name, asn in ctx.clouds.items():
-            if year == 2015 and not ctx.scenario.vm_cities.get(asn):
-                continue  # no 2015 Microsoft traceroute data
-            bars[year][name] = fig13_bars(ctx.graph, asn, ctx.scenario.users)
+        clouds = [
+            (name, asn)
+            for name, asn in ctx.clouds.items()
+            # no 2015 Microsoft traceroute data
+            if year != 2015 or ctx.scenario.vm_cities.get(asn)
+        ]
+        groups = fig13_bars_sweep(
+            ctx.graph,
+            [asn for _, asn in clouds],
+            ctx.scenario.users,
+            workers=workers,
+            engine=engine,
+        )
+        bars[year] = {
+            name: group for (name, _), group in zip(clouds, groups)
+        }
     return Fig13Result(bars=bars)

@@ -10,33 +10,43 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.reliance import (
-    hierarchy_free_reliance_sweep,
-    reliance_histogram,
-    top_reliance,
-)
+from ..core.reliance import RelianceSummary, hierarchy_free_reliance_summaries
 from .context import ExperimentContext
 from .report import format_table
 
 
 @dataclass
 class CloudReliance:
+    """One cloud's aggregated reliance record (a named summary).
+
+    Sweep workers return the compact :class:`RelianceSummary` — the
+    per-AS reliance dict never leaves the worker, since the figure and
+    table only aggregate it.
+    """
+
     name: str
     asn: int
-    values: dict[int, float]
-    histogram: dict[int, int]
-    top3: list[tuple[int, float]]
+    summary: RelianceSummary
+
+    @property
+    def networks_relied_on(self) -> int:
+        return self.summary.networks
+
+    @property
+    def histogram(self) -> dict[int, int]:
+        return self.summary.histogram
+
+    @property
+    def top3(self) -> list[tuple[int, float]]:
+        return list(self.summary.top)
 
     @property
     def max_reliance(self) -> float:
-        return max(self.values.values(), default=0.0)
+        return self.summary.max_value
 
     def fraction_at_one(self) -> float:
         """Share of relied-on networks with reliance ~1 (flat ideal)."""
-        if not self.values:
-            return 0.0
-        near_one = sum(1 for v in self.values.values() if v <= 1.0 + 1e-9)
-        return near_one / len(self.values)
+        return self.summary.fraction_at_one()
 
 
 @dataclass
@@ -49,7 +59,7 @@ class Fig6Table2Result:
             hist_rows.append(
                 (
                     cloud.name,
-                    len(cloud.values),
+                    cloud.networks_relied_on,
                     f"{cloud.fraction_at_one():.0%}",
                     f"{cloud.max_reliance:.1f}",
                 )
@@ -79,21 +89,20 @@ def run(
     ctx: ExperimentContext,
     bin_width: int = 25,
     workers: int | str | None = None,
+    engine: str | None = None,
 ) -> Fig6Table2Result:
     graph, tiers = ctx.graph, ctx.tiers
     names = list(ctx.clouds.items())
-    sweeps = hierarchy_free_reliance_sweep(
-        graph, [asn for _, asn in names], tiers, workers=workers
+    summaries = hierarchy_free_reliance_summaries(
+        graph,
+        [asn for _, asn in names],
+        tiers,
+        bin_width=bin_width,
+        workers=workers,
+        engine=engine,
     )
-    clouds = []
-    for (name, asn), values in zip(names, sweeps):
-        clouds.append(
-            CloudReliance(
-                name=name,
-                asn=asn,
-                values=values,
-                histogram=reliance_histogram(values, bin_width=bin_width),
-                top3=top_reliance(values, 3),
-            )
-        )
+    clouds = [
+        CloudReliance(name=name, asn=asn, summary=summary)
+        for (name, asn), summary in zip(names, summaries)
+    ]
     return Fig6Table2Result(clouds=clouds)

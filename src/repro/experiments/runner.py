@@ -66,8 +66,8 @@ def run_all(
     results["appendixA"] = appendixA_paths.run(ctx_2020)
     results["appendixB"] = appendixB_tier1.run(ctx_2020)
     results["appendixD"] = appendixD_geolocation.run(ctx_2020)
-    results["fig13"] = fig13_pathlen.run(ctx_2020, ctx_2015)
-    results["metrics"] = metrics_comparison.run(ctx_2020)
+    results["fig13"] = fig13_pathlen.run(ctx_2020, ctx_2015, workers=workers)
+    results["metrics"] = metrics_comparison.run(ctx_2020, workers=workers)
     return results
 
 
