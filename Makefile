@@ -5,7 +5,7 @@ PROFILE ?= small
 # Let the targets work from a fresh checkout without `make install`.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench bench-engine bench-leaks bench-metrics-kernel experiments csv examples all
+.PHONY: install test test-fast bench bench-engine bench-leaks bench-metrics-kernel bench-multiorigin experiments csv examples all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -37,6 +37,13 @@ bench-leaks:
 # benchmarks/bench_metric_kernels.json.
 bench-metrics-kernel:
 	pytest benchmarks/test_bench_metric_kernels.py --benchmark-only
+
+# Bit-parallel multi-origin propagation vs per-origin compiled sweeps
+# (collect_ribs + global_hegemony); asserts bitwise-identical outputs and
+# the >=3x propagation-layer speedup; writes
+# benchmarks/bench_multiorigin.json.
+bench-multiorigin:
+	pytest benchmarks/test_bench_multiorigin.py --benchmark-only
 
 experiments:
 	python -m repro.experiments.runner $(PROFILE)

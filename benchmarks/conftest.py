@@ -8,7 +8,8 @@ benchmarks at full scenario scale.
 Benchmarks that persist machine-readable records should write them through
 :func:`write_bench_json`, which stamps the environment every record needs
 to be interpretable in review: the resolved propagation ``engine``, the
-``workers`` count the benchmark ran with, and the host's ``cpu_count``.
+``workers`` count the benchmark ran with, the resolved multi-origin
+``batch`` width, and the host's ``cpu_count``.
 """
 
 from __future__ import annotations
@@ -20,7 +21,7 @@ from typing import Any, Optional
 
 import pytest
 
-from repro.bgpsim import resolve_engine
+from repro.bgpsim import resolve_batch, resolve_engine
 from repro.experiments.context import cached_context
 from repro.netgen import companion_2015
 
@@ -28,13 +29,16 @@ PROFILE = os.environ.get("REPRO_PROFILE", "small")
 
 
 def bench_metadata(
-    engine: Optional[str] = None, workers: Optional[int] = None
+    engine: Optional[str] = None,
+    workers: Optional[int] = None,
+    batch: Optional[int] = None,
 ) -> dict[str, Any]:
     """The environment stamp every benchmark JSON record carries."""
     return {
         "profile": PROFILE,
         "engine": resolve_engine(engine),
         "workers": workers,
+        "batch": resolve_batch(batch),
         "cpu_count": os.cpu_count() or 1,
     }
 
@@ -44,6 +48,7 @@ def write_bench_json(
     record: dict[str, Any],
     engine: Optional[str] = None,
     workers: Optional[int] = None,
+    batch: Optional[int] = None,
 ) -> dict[str, Any]:
     """Stamp ``record`` with :func:`bench_metadata` and write it to ``path``.
 
@@ -51,7 +56,10 @@ def write_bench_json(
     benchmark comparing several engines can still record its own view.
     Returns the record as written.
     """
-    merged = {**bench_metadata(engine=engine, workers=workers), **record}
+    merged = {
+        **bench_metadata(engine=engine, workers=workers, batch=batch),
+        **record,
+    }
     path.write_text(json.dumps(merged, indent=2) + "\n")
     return merged
 

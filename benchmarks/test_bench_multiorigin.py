@@ -1,0 +1,158 @@
+"""Benchmark — bit-parallel multi-origin propagation vs per-origin
+compiled sweeps.
+
+Two small-profile all-AS sweeps exercise the batch kernel end to end:
+
+* ``collect_ribs`` — the collector RIB snapshot (one propagation per
+  announced prefix, then the serial tie-breaking walk);
+* ``global_hegemony`` — the AS-hegemony scores (one propagation per
+  sampled origin, then the crossing-fraction kernels).
+
+Each sweep runs batched (``batch=BATCH``) and unbatched (``batch=1``,
+the per-origin compiled path); correctness is asserted first — the RIB
+dumps and hegemony scores must be *bitwise identical* — and the record
+lands in ``benchmarks/bench_multiorigin.json``.
+
+The batch kernel acts on the propagation layer: one level-by-level sweep
+over the CSR arrays serves a whole batch of origins, so the per-origin
+interpreter overhead (frontier dicts, per-node scalar updates) is paid
+once per batch instead of once per origin.  The ≥3× bar is therefore
+asserted on the propagation layer (``propagate_batch`` vs per-origin
+``propagate_compiled`` over the same origins); the end-to-end sweeps
+improve by propagation's share of their wall-clock (the serial walk /
+kernel layers are untouched) and both numbers land in the JSON.
+
+Run it through ``make bench-multiorigin``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from pathlib import Path
+
+from benchmarks.conftest import write_bench_json
+from repro.bgpsim import Seed, propagate_batch, propagate_compiled
+from repro.collectors import collect_ribs
+from repro.core.hegemony import global_hegemony
+
+BENCH_JSON = Path(__file__).resolve().parent / "bench_multiorigin.json"
+#: batch width under test (also stamped into the record)
+BATCH = 256
+#: best-of rounds per timed leg (tames scheduler noise on small hosts)
+ROUNDS = 3
+#: hegemony origin sample per target
+HEGEMONY_SAMPLE = 60
+
+
+def _best_of(func, rounds=ROUNDS):
+    """(best wall seconds, last result) over ``rounds`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_bench_multiorigin_sweeps(benchmark, ctx2020):
+    scenario = ctx2020.scenario
+    graph = scenario.graph
+    graph.compile()
+    origins = sorted(scenario.prefixes)
+    targets = sorted(ctx2020.clouds.values())
+
+    # -- propagation layer: the batch kernel vs per-origin compiled -----
+    def per_origin_layer():
+        return [propagate_compiled(graph, (Seed(asn=o),)) for o in origins]
+
+    def batched_layer():
+        states = []
+        for start in range(0, len(origins), BATCH):
+            chunk = origins[start:start + BATCH]
+            states.extend(
+                view for _, view in propagate_batch(graph, chunk).views()
+            )
+        return states
+
+    per_origin_s, _ = _best_of(per_origin_layer)
+    batched_s, _ = _best_of(batched_layer)
+    propagation_speedup = per_origin_s / batched_s
+
+    # -- end-to-end sweeps, batched vs unbatched ------------------------
+    def ribs(width):
+        return collect_ribs(
+            graph,
+            scenario.monitors,
+            scenario.prefixes,
+            rng=random.Random(20200901),
+            batch=width,
+        )
+
+    def hegemony(width):
+        return global_hegemony(
+            graph,
+            targets=targets,
+            sample=HEGEMONY_SAMPLE,
+            rng=random.Random(20200901),
+            batch=width,
+        )
+
+    ribs_unbatched_s, ribs_unbatched = _best_of(lambda: ribs(1))
+    ribs_batched_s, ribs_batched = _best_of(lambda: ribs(BATCH))
+    heg_unbatched_s, heg_unbatched = _best_of(lambda: hegemony(1))
+
+    def batched_hegemony():
+        return hegemony(BATCH)
+
+    heg_batched_s, heg_batched = _best_of(batched_hegemony)
+    benchmark.pedantic(batched_hegemony, rounds=1, iterations=1)
+
+    # correctness first: batched artifacts must be bitwise identical
+    assert ribs_unbatched == ribs_batched, (
+        "batched collect_ribs dump diverged from the per-origin path"
+    )
+    assert heg_unbatched == heg_batched, (
+        "batched global_hegemony scores diverged from the per-origin path"
+    )
+
+    record = {
+        "sweeps": "collect_ribs (all-prefix) + global_hegemony (clouds)",
+        "ases": len(graph),
+        "origins": len(origins),
+        "hegemony_targets": len(targets),
+        "hegemony_sample": HEGEMONY_SAMPLE,
+        "rounds": ROUNDS,
+        "propagation_layer_s": {
+            "per_origin_compiled": per_origin_s,
+            "batched": batched_s,
+        },
+        "collect_ribs_s": {
+            "per_origin_compiled": ribs_unbatched_s,
+            "batched": ribs_batched_s,
+        },
+        "global_hegemony_s": {
+            "per_origin_compiled": heg_unbatched_s,
+            "batched": heg_batched_s,
+        },
+        "propagation_speedup": propagation_speedup,
+        "collect_ribs_speedup": ribs_unbatched_s / ribs_batched_s,
+        "global_hegemony_speedup": heg_unbatched_s / heg_batched_s,
+        "outputs_identical": True,
+    }
+    write_bench_json(
+        BENCH_JSON, record, engine="compiled", workers=None, batch=BATCH
+    )
+
+    assert propagation_speedup >= 3.0, (
+        f"batched sweep ({batched_s * 1e3:.1f} ms) is only "
+        f"{propagation_speedup:.2f}x faster than per-origin compiled "
+        f"({per_origin_s * 1e3:.1f} ms) over {len(origins)} origins"
+    )
+    # end-to-end, both sweeps must still improve by propagation's share
+    # of their wall-clock: ~half for collect_ribs (the serial walk is
+    # untouched), less for hegemony (its crossing-fraction kernels
+    # dominate once propagation is batched away)
+    assert ribs_unbatched_s / ribs_batched_s >= 1.5
+    assert heg_unbatched_s / heg_batched_s >= 1.1

@@ -4,6 +4,13 @@ from .cache import CacheStats, RoutingStateCache
 from .compiled import CompiledGraph, CompiledRoutingState, propagate_compiled
 from .engine import ENGINES, propagate, propagate_reference, resolve_engine
 from .incremental import DeltaRoutingState, propagate_delta
+from .multiorigin import (
+    DEFAULT_BATCH,
+    BatchOriginView,
+    BatchRoutingState,
+    propagate_batch,
+    resolve_batch,
+)
 from .metrics_kernel import (
     MetricDAG,
     cross_fractions_kernel,
@@ -31,9 +38,12 @@ from .policies import (
 from .routes import NodeRoute, RouteClass, RoutingState, Seed
 
 __all__ = [
+    "BatchOriginView",
+    "BatchRoutingState",
     "CacheStats",
     "CompiledGraph",
     "CompiledRoutingState",
+    "DEFAULT_BATCH",
     "DeltaRoutingState",
     "ENGINES",
     "LeakMode",
@@ -54,6 +64,8 @@ __all__ = [
     "path_counts_kernel",
     "peer_lock_set",
     "propagate",
+    "propagate_batch",
+    "resolve_batch",
     "reliance_kernel",
     "reliance_mass_kernel",
     "routed_count_kernel",

@@ -13,24 +13,31 @@ access pattern actually fits the bound.
 from __future__ import annotations
 
 from collections import OrderedDict
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from typing import Optional
 
 from ..topology.asgraph import ASGraph
-from .engine import propagate
+from .engine import propagate, resolve_engine
 from .routes import RoutingState, Seed
 
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Point-in-time snapshot of a cache's counters."""
+    """Point-in-time snapshot of a cache's counters.
+
+    ``prefetch_skipped`` counts origins a bounded cache declined to
+    prefetch (the request exceeded ``maxsize``; they recompute lazily on
+    first use), ``prefetch_chunks`` the batched sweeps prefetches issued.
+    """
 
     size: int
     maxsize: Optional[int]
     hits: int
     misses: int
     evictions: int
+    prefetch_skipped: int = 0
+    prefetch_chunks: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -61,16 +68,39 @@ class RoutingStateCache:
         graph: ASGraph,
         maxsize: Optional[int] = None,
         engine: Optional[str] = None,
+        batch: Optional[int] = None,
     ) -> None:
         if maxsize is not None and maxsize < 1:
             raise ValueError("maxsize must be None or >= 1")
         self.graph = graph
         self.maxsize = maxsize
         self.engine = engine
+        #: batch width for prefetch sweeps (None: REPRO_BATCH / default)
+        self.batch = batch
         self._states: OrderedDict[int, RoutingState] = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._prefetch_skipped = 0
+        self._prefetch_chunks = 0
+
+    def _batch_width(self, batch: Optional[int]) -> int:
+        """Effective batch width for a sweep: the per-call override, else
+        the cache's knob, else the environment default — capped at the
+        cache bound (a wider batch would only compute states that evict
+        each other before first use) and forced to 1 on the reference
+        engine (which has no batch kernel)."""
+        from .multiorigin import resolve_batch
+
+        width = resolve_batch(self.batch if batch is None else batch)
+        try:
+            if resolve_engine(self.engine) == "reference":
+                return 1
+        except ValueError:
+            return 1  # unknown engine string: the sweep itself will raise
+        if self.maxsize is not None:
+            width = min(width, self.maxsize)
+        return max(width, 1)
 
     def state_for(self, origin: int) -> RoutingState:
         state = self._states.get(origin)
@@ -130,14 +160,21 @@ class RoutingStateCache:
                 self._evictions += 1
 
     def prefetch(
-        self, origins: Iterable[int], workers: int | str | None = None
+        self,
+        origins: Iterable[int],
+        workers: int | str | None = None,
+        batch: Optional[int] = None,
     ) -> int:
         """Warm the cache for ``origins``; returns how many were computed.
 
-        Missing origins are propagated — in parallel when ``workers`` asks
-        for it — and inserted in input order, so with a bounded cache the
-        *last* requested origins survive.  Origins beyond ``maxsize`` are
-        skipped (they would be immediately evicted).
+        Missing origins are propagated — batched through the bit-parallel
+        multi-origin kernel, in parallel when ``workers`` asks for it —
+        and inserted in input order.  With a bounded cache the request is
+        chunked to the cache bound: the *first* ``maxsize`` missing
+        origins are computed (consumers drain prefetched sweeps in input
+        order, so these are the ones read before any eviction) and the
+        rest are skipped rather than computed-then-evicted unread; the
+        skip/chunk decisions are visible in :meth:`stats`.
         """
         from .parallel import propagate_origins
 
@@ -153,13 +190,83 @@ class RoutingStateCache:
             else:
                 missing.append(origin)
         if self.maxsize is not None and len(missing) > self.maxsize:
-            missing = missing[-self.maxsize :]
+            self._prefetch_skipped += len(missing) - self.maxsize
+            missing = missing[: self.maxsize]
+        if not missing:
+            return 0
+        width = self._batch_width(batch)
+        self._prefetch_chunks += -(-len(missing) // width)
         for origin, state in propagate_origins(
-            self.graph, missing, workers=workers, engine=self.engine
+            self.graph,
+            missing,
+            workers=workers,
+            engine=self.engine,
+            batch=width,
         ):
             self._misses += 1
             self._insert(origin, state)
         return len(missing)
+
+    def states_for_many(
+        self,
+        origins: Iterable[int],
+        workers: int | str | None = None,
+        batch: Optional[int] = None,
+    ) -> Iterator[tuple[int, RoutingState]]:
+        """``(origin, state)`` pairs in input order, batching the misses.
+
+        Unlike :meth:`prefetch` + :meth:`state_for`, this streams: runs
+        of missing origins are computed as bit-parallel batches and
+        yielded (and cached) as they complete, so an over-``maxsize``
+        sweep still pays one batched sweep per chunk — never a fallback
+        to per-origin recomputes — while the cache holds at most
+        ``maxsize`` states at any moment.
+        """
+        origin_list = list(origins)
+        width = self._batch_width(batch)
+        from .parallel import propagate_origins
+
+        i, n = 0, len(origin_list)
+        while i < n:
+            origin = origin_list[i]
+            state = self._states.get(origin)
+            if state is not None:
+                self._hits += 1
+                self._states.move_to_end(origin)
+                yield origin, state
+                i += 1
+                continue
+            # gather the next window's distinct missing origins, one batch
+            chunk: list[int] = []
+            chunk_set: set[int] = set()
+            j = i
+            while j < n and len(chunk) < width:
+                candidate = origin_list[j]
+                if candidate not in self._states and candidate not in chunk_set:
+                    chunk.append(candidate)
+                    chunk_set.add(candidate)
+                j += 1
+            computed: dict[int, RoutingState] = {}
+            self._prefetch_chunks += 1
+            for o, s in propagate_origins(
+                self.graph,
+                chunk,
+                workers=workers,
+                engine=self.engine,
+                batch=width,
+            ):
+                self._misses += 1
+                self._insert(o, s)
+                computed[o] = s
+            while i < j:
+                origin = origin_list[i]
+                state = computed.get(origin)
+                if state is None:
+                    # cached at scan time; state_for re-propagates in the
+                    # rare case the chunk's own inserts evicted it since
+                    state = self.state_for(origin)
+                yield origin, state
+                i += 1
 
     def stats(self) -> CacheStats:
         return CacheStats(
@@ -168,6 +275,8 @@ class RoutingStateCache:
             hits=self._hits,
             misses=self._misses,
             evictions=self._evictions,
+            prefetch_skipped=self._prefetch_skipped,
+            prefetch_chunks=self._prefetch_chunks,
         )
 
     def __contains__(self, origin: int) -> bool:
@@ -180,3 +289,4 @@ class RoutingStateCache:
         """Drop all cached states (counters are reset too)."""
         self._states.clear()
         self._hits = self._misses = self._evictions = 0
+        self._prefetch_skipped = self._prefetch_chunks = 0

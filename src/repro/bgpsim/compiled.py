@@ -279,6 +279,44 @@ class CompiledRoutingState(RoutingState):
         return routes
 
     # -- array-backed fast paths (no materialization) ----------------------
+    def route(self, asn: int) -> Optional[NodeRoute]:
+        """Per-AS :class:`NodeRoute` without materializing ``routes``.
+
+        Walking one parent pool builds one route object; hop-by-hop
+        consumers (the traceroute walk) stay on the compact arrays
+        instead of forcing the full dict into existence.
+        """
+        if self._materialized is not None:
+            return self._materialized.get(asn)
+        i = self._idx(asn)
+        if i is None or self._route_class[i] == _NO_ROUTE:
+            return None
+        parents = set()
+        h = self._parent_head[i]
+        pool_parent, pool_next, asns = (
+            self._pool_parent,
+            self._pool_next,
+            self._asns,
+        )
+        while h >= 0:
+            parents.add(asns[pool_parent[h]])
+            h = pool_next[h]
+        return NodeRoute(
+            _CLASSES[self._route_class[i]],
+            self._length[i],
+            parents,
+            self._origins_for(i, tuple(s.key for s in self.seeds)),
+        )
+
+    def route_class(self, asn: int) -> Optional[RouteClass]:
+        if self._materialized is not None:
+            node = self._materialized.get(asn)
+            return node.route_class if node else None
+        i = self._idx(asn)
+        if i is None or self._route_class[i] == _NO_ROUTE:
+            return None
+        return _CLASSES[self._route_class[i]]
+
     def has_route(self, asn: int) -> bool:
         if self._materialized is not None:
             return asn in self._materialized

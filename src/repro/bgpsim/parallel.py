@@ -214,6 +214,19 @@ def propagate_many(
     )
 
 
+def _propagate_batch_task(
+    graph: ASGraph,
+    origins: tuple[int, ...],
+    excluded: Collection[int] = frozenset(),
+    engine: Optional[str] = None,
+):
+    """One bit-parallel sweep per batch of origins (worker-side)."""
+    from .multiorigin import propagate_batch
+
+    del engine  # the batch kernel *is* the compiled engine
+    return propagate_batch(graph, origins, excluded=excluded)
+
+
 def propagate_origins(
     graph: ASGraph,
     origins: Iterable[int],
@@ -221,9 +234,50 @@ def propagate_origins(
     workers: int | str | None = None,
     excluded: Collection[int] = frozenset(),
     engine: Optional[str] = None,
+    batch: Optional[int] = None,
 ) -> Iterator[tuple[int, RoutingState]]:
-    """``(origin, state)`` pairs for a plain single-origin sweep."""
+    """``(origin, state)`` pairs for a plain single-origin sweep.
+
+    ``batch`` selects the bit-parallel multi-origin kernel
+    (:mod:`repro.bgpsim.multiorigin`): origins are chunked to that width
+    and each chunk costs one graph sweep instead of one per origin.  The
+    default (``None``) resolves through ``REPRO_BATCH`` /
+    :data:`~repro.bgpsim.multiorigin.DEFAULT_BATCH`; ``batch=1`` (or
+    ``engine="reference"``) keeps the historical per-origin path.  The
+    yielded states are per-origin views equivalent to the per-origin
+    engines' results, so callers are oblivious.  Process-parallelism
+    composes: with ``workers`` the chunks fan out across the pool, each
+    worker running whole batches.
+    """
+    from .multiorigin import resolve_batch
+
     origin_list = list(origins)
+    try:
+        resolved = resolve_engine(engine)
+    except ValueError:
+        resolved = "reference"  # unknown engine: let propagate() raise
+    width = resolve_batch(batch)
+    if width > 1 and resolved in ("compiled", "incremental") and origin_list:
+        chunks = [
+            tuple(origin_list[i : i + width])
+            for i in range(0, len(origin_list), width)
+        ]
+        batches = graph_map(
+            graph,
+            _propagate_batch_task,
+            chunks,
+            workers=workers,
+            excluded=frozenset(excluded),
+            engine=engine,
+        )
+
+        def _views() -> Iterator[tuple[int, RoutingState]]:
+            for result in batches:
+                if result._graph is None:  # returned from a pool worker
+                    result.bind_graph(graph)
+                yield from result.views()
+
+        return _views()
     states = propagate_many(
         graph, origin_list, workers=workers, excluded=excluded, engine=engine
     )

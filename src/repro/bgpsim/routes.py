@@ -80,6 +80,12 @@ class RoutingState:
     def route(self, asn: int) -> Optional[NodeRoute]:
         return self.routes.get(asn)
 
+    def route_class(self, asn: int) -> Optional[RouteClass]:
+        """Route class at ``asn`` (None when unrouted); array-backed
+        subclasses answer this without materializing ``routes``."""
+        node = self.route(asn)
+        return node.route_class if node else None
+
     def reachable_ases(self) -> frozenset[int]:
         """ASes holding a route, excluding the seeds themselves."""
         return frozenset(self.routes) - self.seed_asns

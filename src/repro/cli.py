@@ -171,6 +171,8 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         argv += ["--workers", str(args.workers)]
     if args.engine is not None:
         argv += ["--engine", args.engine]
+    if args.batch is not None:
+        argv += ["--batch", str(args.batch)]
     return runner_main(argv)
 
 
@@ -268,6 +270,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="propagation engine (default: compiled, or $REPRO_ENGINE); "
         "'incremental' speeds up the leak sweeps via shared baselines",
+    )
+    experiments.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        help="bit-parallel multi-origin batch width for the all-AS sweeps "
+        "(default: $REPRO_BATCH or 256; 1 disables batching)",
     )
     experiments.set_defaults(func=cmd_experiments)
 

@@ -67,29 +67,30 @@ def collect_ribs(
     cache: Optional[RoutingStateCache] = None,
     workers: int | str | None = None,
     engine: Optional[str] = None,
+    batch: Optional[int] = None,
 ) -> CollectorDump:
     """Simulate a collector RIB: each monitor's tied-best path per origin.
 
     Ties are broken by a deterministic walk over the best-path DAG (the
     supplied ``rng`` picks among tied parents), mirroring the fact that a
     real monitor exports exactly one best path.  ``workers`` parallelizes
-    the per-origin propagations; the tie-breaking walk stays serial so the
-    RNG stream (and the dump) is identical for any worker count.
+    and ``batch`` bit-parallelizes the per-origin propagations (one sweep
+    per batch of origins); the tie-breaking walk stays serial and uses the
+    per-AS route accessor, so the RNG stream (and the dump) is identical
+    for any worker count, batch width, or engine.
     """
     rng = rng or random.Random(0)
     if cache is None:
-        cache = RoutingStateCache(graph, engine=engine)
+        cache = RoutingStateCache(graph, engine=engine, batch=batch)
     monitors = sorted(set(monitors))
     if origins is None:
         origins = sorted(graph.nodes())
-    cache.prefetch(
-        (origin for origin in origins if origin in prefixes), workers=workers
-    )
     dump = CollectorDump()
-    for origin in origins:
-        if origin not in prefixes:
-            continue
-        state = cache.state_for(origin)
+    for origin, state in cache.states_for_many(
+        (origin for origin in origins if origin in prefixes),
+        workers=workers,
+        batch=batch,
+    ):
         for monitor in monitors:
             if monitor == origin:
                 continue
@@ -99,7 +100,7 @@ def collect_ribs(
             path = [monitor]
             node = monitor
             while node != origin:
-                node = rng.choice(sorted(state.routes[node].parents))
+                node = rng.choice(sorted(state.route(node).parents))
                 path.append(node)
             dump.entries.append(
                 RibEntry(

@@ -26,7 +26,7 @@ from __future__ import annotations
 import math
 import random
 from array import array
-from collections.abc import Collection, Mapping, Sequence
+from collections.abc import Collection, Iterable, Mapping, Sequence
 from typing import Optional
 
 from ..bgpsim.cache import RoutingStateCache
@@ -152,6 +152,34 @@ def _hegemony_task(
     return values
 
 
+def _hegemony_batch_task(
+    graph: ASGraph,
+    origins: tuple[int, ...],
+    targets: tuple[int, ...] = (),
+    trim: float = TRIM,
+    engine: Optional[str] = None,
+) -> list[array]:
+    """:func:`_hegemony_task` rows for a whole batch of origins, served
+    by one bit-parallel sweep (the per-origin views feed the same metric
+    kernels, so every float is bit-identical to the per-origin path)."""
+    from ..bgpsim.multiorigin import propagate_batch
+
+    del engine  # the batch kernel is the compiled engine
+    batch_state = propagate_batch(graph, origins)
+    rows: list[array] = []
+    for origin, state in batch_state.views():
+        values = array("d")
+        for target in targets:
+            if target == origin:
+                values.append(math.nan)
+            else:
+                values.append(
+                    _hegemony_of_state(state, origin, target, trim)
+                )
+        rows.append(values)
+    return rows
+
+
 def global_hegemony(
     graph: ASGraph,
     targets: Collection[int],
@@ -162,6 +190,7 @@ def global_hegemony(
     workers: int | str | None = None,
     cache_size: Optional[int] = None,
     engine: Optional[str] = None,
+    batch: Optional[int] = None,
 ) -> dict[int, float]:
     """``H(target)`` for each target, averaged over sampled origins.
 
@@ -169,24 +198,52 @@ def global_hegemony(
     one pass (the tied-best-path counts are shared across targets);
     ``workers`` fans the origins out across a process pool, and each
     worker returns one compact float array per origin rather than a
-    per-AS dict.  ``cache_size`` is kept for API compatibility — the
-    sweep streams one state at a time and retains none.
+    per-AS dict.  ``batch`` groups origins into bit-parallel multi-origin
+    sweeps (one propagation per batch; identical floats); it defaults
+    through ``REPRO_BATCH`` and is ignored on the reference engine.
+    ``cache_size`` is kept for API compatibility — the sweep streams one
+    state at a time and retains none.
     """
     del cache_size  # the streaming sweep holds no state cache
+    from ..bgpsim.engine import resolve_engine
+    from ..bgpsim.multiorigin import resolve_batch
+
     rng = rng or random.Random(0)
     nodes = sorted(graph.nodes())
     if origins is None:
         origins = rng.sample(nodes, k=min(sample, len(nodes)))
     targets = tuple(targets)
-    rows = graph_map(
-        graph,
-        _hegemony_task,
-        list(origins),
-        workers=workers,
-        targets=targets,
-        trim=trim,
-        engine=engine,
-    )
+    try:
+        resolved = resolve_engine(engine)
+    except ValueError:
+        resolved = "reference"  # unknown engine: let the task raise
+    width = resolve_batch(batch)
+    if width > 1 and resolved in ("compiled", "incremental") and origins:
+        origin_list = list(origins)
+        chunks = [
+            tuple(origin_list[i : i + width])
+            for i in range(0, len(origin_list), width)
+        ]
+        row_lists = graph_map(
+            graph,
+            _hegemony_batch_task,
+            chunks,
+            workers=workers,
+            targets=targets,
+            trim=trim,
+            engine=engine,
+        )
+        rows: Iterable[array] = (row for rows_ in row_lists for row in rows_)
+    else:
+        rows = graph_map(
+            graph,
+            _hegemony_task,
+            list(origins),
+            workers=workers,
+            targets=targets,
+            trim=trim,
+            engine=engine,
+        )
     sums = [0.0] * len(targets)
     counts_per_target = [0] * len(targets)
     for row in rows:

@@ -433,6 +433,7 @@ def average_resilience_curve(
     workers: int | str | None = None,
     engine: Optional[str] = None,
     cache: Optional[RoutingStateCache] = None,
+    batch: Optional[int] = None,
 ) -> list[float]:
     """The paper's *average resilience* baseline: random legitimate origins
     against random misconfigured ASes, announce-to-all, no locking.
@@ -442,7 +443,8 @@ def average_resilience_curve(
     then simulated, optionally in parallel.
 
     With ``engine="incremental"`` each distinct origin's baseline is
-    propagated exactly once (in parallel, through a
+    propagated exactly once (in parallel and — per ``batch`` — in
+    bit-parallel multi-origin sweeps, through a
     :class:`~repro.bgpsim.cache.RoutingStateCache` prefetch) and the
     per-origin baseline map ships to the pool workers alongside the CSR
     graph, so the historical ``origins × leakers`` full propagations
@@ -465,7 +467,7 @@ def average_resilience_curve(
             cache.maxsize is not None and cache.maxsize < len(unique_origins)
         ):
             cache = RoutingStateCache(graph, engine=engine)
-        cache.prefetch(unique_origins, workers=workers)
+        cache.prefetch(unique_origins, workers=workers, batch=batch)
         baselines = {
             origin: cache.state_for(origin) for origin in unique_origins
         }

@@ -344,6 +344,28 @@ def _reliance_summary_task(
     return summarize_reliance_from_state(state, bin_width=bin_width, top_n=top_n)
 
 
+def _reliance_summary_batch_task(
+    graph: ASGraph,
+    item: tuple[tuple[int, ...], frozenset[int]],
+    bin_width: int = 25,
+    top_n: int = 3,
+    engine: Optional[str] = None,
+) -> list[RelianceSummary]:
+    """Summaries for a batch of origins sharing one excluded set, served
+    by one bit-parallel sweep (the views feed the same fused kernel
+    aggregation, so every float is bit-identical to the per-origin path).
+    """
+    from ..bgpsim.multiorigin import propagate_batch
+
+    del engine  # the batch kernel is the compiled engine
+    origins, excluded = item
+    batch_state = propagate_batch(graph, origins, excluded=excluded)
+    return [
+        summarize_reliance_from_state(view, bin_width=bin_width, top_n=top_n)
+        for _, view in batch_state.views()
+    ]
+
+
 def reliance_summary_sweep(
     graph: ASGraph,
     origin_excluded: Iterable[tuple[int, Collection[int]]],
@@ -351,16 +373,60 @@ def reliance_summary_sweep(
     top_n: int = 3,
     workers: int | str | None = None,
     engine: Optional[str] = None,
+    batch: Optional[int] = None,
 ) -> list[RelianceSummary]:
     """:class:`RelianceSummary` per (origin, excluded) pair, in input order.
 
     Like :func:`reliance_sweep` but each worker aggregates before
     returning, which keeps the per-item payload O(histogram) instead of
     O(ASes) — the shape Fig. 6 / Table 2 actually consume.
+
+    ``batch`` routes the sweep through the bit-parallel multi-origin
+    kernel: pairs sharing an excluded set are grouped (the kernel needs
+    one export predicate per sweep) and each group chunked to the batch
+    width, so e.g. an all-AS hierarchy-free sweep with a common excluded
+    set costs ``ceil(N / batch)`` propagations instead of ``N``.  It
+    defaults through ``REPRO_BATCH`` and is ignored on the reference
+    engine; results are identical either way.
     """
+    from ..bgpsim.engine import resolve_engine
+    from ..bgpsim.multiorigin import resolve_batch
+
     items = [
         (origin, frozenset(excluded)) for origin, excluded in origin_excluded
     ]
+    try:
+        resolved = resolve_engine(engine)
+    except ValueError:
+        resolved = "reference"  # unknown engine: let the task raise
+    width = resolve_batch(batch)
+    if width > 1 and resolved in ("compiled", "incremental") and items:
+        groups: dict[frozenset[int], list[int]] = {}
+        for position, (_, excluded) in enumerate(items):
+            groups.setdefault(excluded, []).append(position)
+        tasks: list[tuple[tuple[int, ...], frozenset[int]]] = []
+        task_positions: list[list[int]] = []
+        for excluded, positions in groups.items():
+            for i in range(0, len(positions), width):
+                chunk = positions[i : i + width]
+                tasks.append(
+                    (tuple(items[p][0] for p in chunk), excluded)
+                )
+                task_positions.append(chunk)
+        results: list[Optional[RelianceSummary]] = [None] * len(items)
+        summaries_per_task = graph_map(
+            graph,
+            _reliance_summary_batch_task,
+            tasks,
+            workers=workers,
+            bin_width=bin_width,
+            top_n=top_n,
+            engine=engine,
+        )
+        for positions, summaries in zip(task_positions, summaries_per_task):
+            for position, summary in zip(positions, summaries):
+                results[position] = summary
+        return results
     return list(
         graph_map(
             graph,
@@ -382,6 +448,7 @@ def hierarchy_free_reliance_summaries(
     top_n: int = 3,
     workers: int | str | None = None,
     engine: Optional[str] = None,
+    batch: Optional[int] = None,
 ) -> list[RelianceSummary]:
     """:func:`reliance_summary_sweep` under hierarchy-free constraints."""
     return reliance_summary_sweep(
@@ -394,4 +461,5 @@ def hierarchy_free_reliance_summaries(
         top_n=top_n,
         workers=workers,
         engine=engine,
+        batch=batch,
     )

@@ -90,6 +90,7 @@ def run(
     bin_width: int = 25,
     workers: int | str | None = None,
     engine: str | None = None,
+    batch: int | None = None,
 ) -> Fig6Table2Result:
     graph, tiers = ctx.graph, ctx.tiers
     names = list(ctx.clouds.items())
@@ -100,6 +101,7 @@ def run(
         bin_width=bin_width,
         workers=workers,
         engine=engine,
+        batch=batch,
     )
     clouds = [
         CloudReliance(name=name, asn=asn, summary=summary)

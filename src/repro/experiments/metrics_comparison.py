@@ -73,6 +73,7 @@ def run(
     seed: int = 41,
     workers: int | str | None = None,
     engine: str | None = None,
+    batch: int | None = None,
 ) -> MetricsComparisonResult:
     graph, tiers = ctx.graph, ctx.tiers
     targets: list[tuple[str, int, str]] = [
@@ -91,6 +92,7 @@ def run(
         rng=random.Random(seed),
         workers=workers,
         engine=engine,
+        batch=batch,
     )
     rows = [
         MetricsRow(

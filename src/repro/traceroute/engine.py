@@ -54,6 +54,7 @@ class TracerouteCampaign:
         workers: int | str | None = None,
         cache_size: Optional[int] = None,
         engine: Optional[str] = None,
+        batch: Optional[int] = None,
     ) -> None:
         self.scenario = scenario
         self.rng = random.Random(seed)
@@ -64,8 +65,11 @@ class TracerouteCampaign:
             rng=self.rng,
         )
         self._states = RoutingStateCache(
-            scenario.graph, maxsize=cache_size, engine=engine
+            scenario.graph, maxsize=cache_size, engine=engine, batch=batch
         )
+        # exit distances depend only on (cloud, neighbor, VM city), not on
+        # the destination — memoized across the whole campaign
+        self._exit_km: dict[tuple[int, int, str], float] = {}
 
     # -- routing -------------------------------------------------------------
     def state_for(self, dst_asn: int) -> RoutingState:
@@ -116,18 +120,25 @@ class TracerouteCampaign:
             return self.rng.choice(candidates)
         # early exit: nearest interconnect to this VM wins (hot potato)
         def exit_distance(neighbor: int) -> float:
+            key = (vantage.cloud_asn, neighbor, vantage.city.code)
+            distance = self._exit_km.get(key)
+            if distance is not None:
+                return distance
             links = self.scenario.interconnects.get(
                 (vantage.cloud_asn, neighbor)
             )
             if not links:
-                return float("inf")
-            return min(
-                haversine_km(
-                    link.city.lat, link.city.lon,
-                    vantage.city.lat, vantage.city.lon,
+                distance = float("inf")
+            else:
+                distance = min(
+                    haversine_km(
+                        link.city.lat, link.city.lon,
+                        vantage.city.lat, vantage.city.lon,
+                    )
+                    for link in links
                 )
-                for link in links
-            )
+            self._exit_km[key] = distance
+            return distance
 
         return min(candidates, key=lambda n: (exit_distance(n), n))
 
@@ -172,7 +183,9 @@ class TracerouteCampaign:
             )
         path = [cloud, node]
         while node != dst_asn:
-            parents = sorted(state.routes[node].parents)
+            # the lazy per-AS accessor keeps compiled states compact: the
+            # walk touches a handful of ASes, not the whole routes dict
+            parents = sorted(state.route(node).parents)
             node = self.rng.choice(parents)
             path.append(node)
         return tuple(path)

@@ -161,3 +161,67 @@ class TestCampaign:
         text = str(campaign.measure(vm, dst, wan_egress=True))
         assert "traceroute from" in text
         assert str(vm.cloud_asn) in text
+
+
+class TestCompactStateRegression:
+    """The walk must stay on the lazy per-AS accessor (satellite fix).
+
+    ``forwarding_path`` used to index ``state.routes[node]``, forcing
+    every compiled state to materialize its full routes dict and
+    defeating the compact cache.
+    """
+
+    def test_run_cloud_never_materializes_compiled_states(self, quiet):
+        from repro.bgpsim import CompiledRoutingState
+
+        campaign = TracerouteCampaign(quiet, seed=2, engine="compiled")
+        cloud = quiet.clouds["Google"]
+        destinations = sorted(quiet.graph.nodes())[:12]
+        traces = campaign.run_cloud(cloud, destinations=destinations)
+        assert traces
+        states = list(campaign._states._states.values())
+        assert states
+        for state in states:
+            assert isinstance(state, CompiledRoutingState)
+            assert state._materialized is None
+
+
+class TestExitDistanceMemo:
+    """Exit distances depend only on (cloud, neighbor, VM city) — they
+    are computed once per key, not once per destination (satellite fix).
+    """
+
+    def test_memo_populated_and_stable(self, quiet):
+        campaign = TracerouteCampaign(quiet, seed=5)
+        cloud = quiet.clouds["Amazon"]  # early-exit: hits exit_distance
+        vm = vantage_points(quiet, cloud)[0]
+        destinations = [
+            a for a in sorted(quiet.graph.nodes())[:20]
+            if a not in quiet.cloud_asns()
+        ]
+        for dst in destinations:
+            campaign.forwarding_path(vm, dst, wan_egress=False)
+        memo = campaign._exit_km
+        assert memo  # the min-haversine results were cached
+        assert all(key[0] == cloud for key in memo)
+        assert all(key[2] == vm.city.code for key in memo)
+        # a second sweep over the same destinations adds no new keys
+        before = dict(memo)
+        for dst in destinations:
+            campaign.forwarding_path(vm, dst, wan_egress=False)
+        assert campaign._exit_km == before
+
+    def test_memoized_choice_unchanged(self, quiet):
+        """Same forwarding decisions with a cold and a warm memo."""
+        cloud = quiet.clouds["Amazon"]
+        dst = sorted(
+            a for a in quiet.graph if a not in quiet.cloud_asns()
+        )[10]
+        cold = TracerouteCampaign(quiet, seed=5)
+        warm = TracerouteCampaign(quiet, seed=5)
+        vm = vantage_points(quiet, cloud)[0]
+        warm.forwarding_path(vm, dst, wan_egress=False)  # prime the memo
+        warm.rng = __import__("random").Random(5)
+        cold_path = cold.forwarding_path(vm, dst, wan_egress=False)
+        warm_path = warm.forwarding_path(vm, dst, wan_egress=False)
+        assert cold_path == warm_path
