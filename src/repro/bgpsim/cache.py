@@ -38,6 +38,8 @@ class CacheStats:
     evictions: int
     prefetch_skipped: int = 0
     prefetch_chunks: int = 0
+    #: times invalidate() dropped the cached states (topology mutations)
+    baseline_invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -83,6 +85,7 @@ class RoutingStateCache:
         self._evictions = 0
         self._prefetch_skipped = 0
         self._prefetch_chunks = 0
+        self._baseline_invalidations = 0
 
     def _batch_width(self, batch: Optional[int]) -> int:
         """Effective batch width for a sweep: the per-call override, else
@@ -277,6 +280,7 @@ class RoutingStateCache:
             evictions=self._evictions,
             prefetch_skipped=self._prefetch_skipped,
             prefetch_chunks=self._prefetch_chunks,
+            baseline_invalidations=self._baseline_invalidations,
         )
 
     def __contains__(self, origin: int) -> bool:
@@ -285,8 +289,32 @@ class RoutingStateCache:
     def __len__(self) -> int:
         return len(self._states)
 
+    def invalidate(self) -> int:
+        """Drop every cached state because the topology changed.
+
+        Unlike :meth:`clear` the hit/miss counters survive and the drop
+        is counted in ``stats().baseline_invalidations``, so timeline
+        consumers (which must invalidate on every topology-mutating
+        event) leave an audit trail that the silent-staleness hazard is
+        actually being handled.  Returns the number of states dropped.
+        """
+        dropped = len(self._states)
+        self._states.clear()
+        self._baseline_invalidations += 1
+        return dropped
+
+    def install(self, origin: int, state: RoutingState) -> None:
+        """Insert a externally-computed state for ``origin``.
+
+        Timelines use this to seed post-event delta states as the next
+        events' baselines after :meth:`invalidate`; the normal LRU
+        bookkeeping (bound, evictions) applies.
+        """
+        self._insert(origin, state)
+
     def clear(self) -> None:
         """Drop all cached states (counters are reset too)."""
         self._states.clear()
         self._hits = self._misses = self._evictions = 0
         self._prefetch_skipped = self._prefetch_chunks = 0
+        self._baseline_invalidations = 0

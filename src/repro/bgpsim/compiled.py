@@ -132,6 +132,55 @@ class CompiledGraph:
         """Already compiled — lets ``graph.compile()`` work uniformly."""
         return self
 
+    @classmethod
+    def patched(cls, graph, base: "CompiledGraph", dirty) -> "CompiledGraph":
+        """A snapshot of ``graph`` built by patching ``base`` in place of
+        a full rebuild: only the adjacency rows of the ``dirty`` ASes are
+        recomputed, everything else is slice-copied from ``base``.
+
+        Valid only when the node set is unchanged since ``base`` was
+        built (``ASGraph.compile`` guarantees it by dropping the dirty
+        log on any node addition); produces arrays identical to
+        :meth:`from_graph` on the same graph.
+        """
+        index = base.index
+        arrays = []
+        for rows, off, nbr in (
+            (graph.providers, base.provider_off, base.provider_nbr),
+            (graph.customers, base.customer_off, base.customer_nbr),
+            (graph.peers, base.peer_off, base.peer_nbr),
+        ):
+            new_rows: dict[int, list[int]] = {}
+            for asn in dirty:
+                i = index[asn]
+                row = sorted(index[n] for n in rows(asn))
+                if row != list(nbr[off[i] : off[i + 1]]):
+                    new_rows[i] = row
+            if not new_rows:
+                arrays.append((off, nbr))
+                continue
+            new_nbr = array(nbr.typecode)
+            prev = 0
+            for i in sorted(new_rows):
+                new_nbr.extend(nbr[prev : off[i]])
+                new_nbr.extend(array(nbr.typecode, new_rows[i]))
+                prev = off[i + 1]
+            new_nbr.extend(nbr[prev:])
+            new_off = array("q", [0])
+            total = 0
+            for i in range(base.n):
+                total += (
+                    len(new_rows[i])
+                    if i in new_rows
+                    else off[i + 1] - off[i]
+                )
+                new_off.append(total)
+            arrays.append(
+                (_shrink(new_off, _unsigned_typecode(total)), new_nbr)
+            )
+        (p_off, p_nbr), (c_off, c_nbr), (e_off, e_nbr) = arrays
+        return cls(base.asns, p_off, p_nbr, c_off, c_nbr, e_off, e_nbr)
+
     # -- pickling: the index dict is derived, rebuild it on load ----------
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()

@@ -9,6 +9,8 @@ Subcommands mirror the workflows a downstream user actually has:
 * ``repro sweep`` — top-N networks by hierarchy-free reachability;
 * ``repro leak`` — route-leak resilience summary for one origin;
 * ``repro infer`` — AS-relationship inference from a collector dump;
+* ``repro timeline`` — replay a dynamic-topology event timeline and
+  report per-event reachability/reliance/hegemony series;
 * ``repro experiments`` — run every table/figure reproduction.
 """
 
@@ -163,6 +165,63 @@ def cmd_infer(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from .experiments.timeline import ScenarioRunner, parse_events
+    from .topology import load_graph
+
+    graph = load_graph(args.file)
+    if args.origin not in graph:
+        print(f"error: AS{args.origin} not in {args.file}", file=sys.stderr)
+        return 1
+    try:
+        events = parse_events(args.events)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    targets = (
+        [int(t) for t in args.targets.split(",") if t] if args.targets else []
+    )
+    runner = ScenarioRunner(
+        graph,
+        origins=[args.origin],
+        targets=targets,
+        engine=args.engine,
+        workers=args.workers,
+        batch=args.batch,
+        threshold=args.threshold,
+    )
+    result = runner.run(events)
+    print(
+        f"timeline for AS{args.origin} "
+        f"({len(graph)} ASes, {len(events)} events, "
+        f"engine={runner.engine}):"
+    )
+    for record in result.series(args.origin):
+        extra = ""
+        if record.captured is not None:
+            extra += f"  captured={record.captured}"
+        if record.step > 0:
+            extra += f"  visited={record.visited_fraction:.1%}"
+        if record.fallback:
+            extra += "  [fallback]"
+        print(
+            f"  step {record.step:2d}  {record.event:28s} "
+            f"reachable={record.reachable}{extra}"
+        )
+        for target in targets:
+            print(
+                f"           target AS{target}: "
+                f"reliance={record.reliance[target]:.4f} "
+                f"hegemony={record.hegemony[target]:.4f}"
+            )
+    stats = runner.cache.stats()
+    print(
+        f"  cache: {stats.hits} hits / {stats.misses} misses, "
+        f"{stats.baseline_invalidations} baseline invalidations"
+    )
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.runner import main as runner_main
 
@@ -253,6 +312,53 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--truth", help="ground-truth relationship file")
     infer.add_argument("-o", "--output", help="write inferred relationships")
     infer.set_defaults(func=cmd_infer)
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="replay a dynamic-topology event timeline for one origin",
+    )
+    timeline.add_argument("file", help="CAIDA serial-1/serial-2 file")
+    timeline.add_argument("origin", type=int)
+    timeline.add_argument(
+        "--events",
+        required=True,
+        help="comma-separated timeline, e.g. "
+        "'down:11-100,hijack:301,up:11-100:p2c' (kinds: down, up, "
+        "depeer, fail, hijack, leak)",
+    )
+    timeline.add_argument(
+        "--targets",
+        help="comma-separated ASNs to report reliance/hegemony toward",
+    )
+    timeline.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=None,
+        help="propagation worker processes (int, or 'auto' for all CPUs)",
+    )
+    timeline.add_argument(
+        "--engine",
+        choices=("compiled", "reference", "incremental"),
+        default=None,
+        help="propagation engine (default: compiled, or $REPRO_ENGINE); "
+        "'incremental' derives each post-event state from the cached "
+        "baseline instead of recomputing",
+    )
+    timeline.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        help="bit-parallel batch width for the baseline prefetch",
+    )
+    timeline.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="max withdrawal-region fraction before the incremental "
+        "engine falls back to a full recompute (default: "
+        "$REPRO_EVENT_THRESHOLD or 0.5)",
+    )
+    timeline.set_defaults(func=cmd_timeline)
 
     experiments = sub.add_parser(
         "experiments", help="run every table/figure reproduction"

@@ -16,6 +16,7 @@ from . import (
     sec45_validation,
     table1_top20,
     table3_rdns,
+    timeline,
 )
 from .context import (
     DEFAULT_PROFILE,
@@ -49,4 +50,5 @@ __all__ = [
     "sec45_validation",
     "table1_top20",
     "table3_rdns",
+    "timeline",
 ]

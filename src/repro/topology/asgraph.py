@@ -40,6 +40,10 @@ class ASGraph:
         self._version: int = 0
         self._compiled = None
         self._compiled_version: int = -1
+        # ASes whose adjacency rows changed since the compiled snapshot
+        # was built; None means "not patchable" (node set changed, log
+        # overflowed, or no snapshot yet) and forces a full recompile
+        self._dirty: Optional[set[int]] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -53,6 +57,7 @@ class ASGraph:
             self._customers[asn] = set()
             self._peers[asn] = set()
             self._version += 1
+            self._dirty = None  # node set changed: CSR shape is different
 
     def add_p2c(self, provider: int, customer: int) -> None:
         """Add a provider→customer (transit) edge."""
@@ -70,6 +75,7 @@ class ASGraph:
         self._customers[provider].add(customer)
         self._providers[customer].add(provider)
         self._version += 1
+        self._mark_dirty(provider, customer)
 
     def add_p2p(self, a: int, b: int) -> None:
         """Add a settlement-free peering edge."""
@@ -85,6 +91,7 @@ class ASGraph:
         self._peers[a].add(b)
         self._peers[b].add(a)
         self._version += 1
+        self._mark_dirty(a, b)
 
     def add_record(self, record: RelationshipRecord) -> None:
         """Add an edge from a :class:`RelationshipRecord`."""
@@ -108,6 +115,17 @@ class ASGraph:
             self._customers[b].discard(a)
             self._providers[a].discard(b)
         self._version += 1
+        self._mark_dirty(a, b)
+
+    #: dirty-row cap past which compile() rebuilds the CSR from scratch
+    _DIRTY_LIMIT = 256
+
+    def _mark_dirty(self, *asns: int) -> None:
+        if self._dirty is None:
+            return
+        self._dirty.update(asns)
+        if len(self._dirty) > self._DIRTY_LIMIT:
+            self._dirty = None
 
     # ------------------------------------------------------------------
     # queries
@@ -196,12 +214,27 @@ class ASGraph:
         traceroute augmentation path) invalidates the cache so the next
         call recompiles.  Previously returned snapshots stay valid as
         immutable views of the topology at the time they were built.
+
+        Edge mutations that keep the node set intact are tracked as a
+        dirty-row log, and the recompile *patches* the previous snapshot
+        — only the touched adjacency rows are rebuilt — so event-driven
+        timelines (``repro.bgpsim.events``) pay per-event compile costs
+        proportional to the event, not the graph.  Node additions, or
+        more than ``_DIRTY_LIMIT`` touched ASes, fall back to a full
+        rebuild; both paths produce identical arrays
+        (``tests/test_timeline_properties.py``).
         """
         if self._compiled is None or self._compiled_version != self._version:
             from ..bgpsim.compiled import CompiledGraph
 
-            self._compiled = CompiledGraph.from_graph(self)
+            if self._compiled is not None and self._dirty is not None:
+                self._compiled = CompiledGraph.patched(
+                    self, self._compiled, self._dirty
+                )
+            else:
+                self._compiled = CompiledGraph.from_graph(self)
             self._compiled_version = self._version
+            self._dirty = set()
         return self._compiled
 
     def __getstate__(self) -> dict:
@@ -210,6 +243,7 @@ class ASGraph:
         state = self.__dict__.copy()
         state["_compiled"] = None
         state["_compiled_version"] = -1
+        state["_dirty"] = None
         return state
 
     # ------------------------------------------------------------------

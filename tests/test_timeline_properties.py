@@ -1,0 +1,172 @@
+"""Property-based timeline tests: apply ∘ revert is the identity.
+
+Every event's :meth:`~repro.bgpsim.events.Event.apply` returns an
+:class:`~repro.bgpsim.events.AppliedEvent` carrying its inverse.  On
+random topologies and random event sequences, applying the whole
+sequence and then the reversed inverses must return
+
+* the ``ASGraph`` records (providers/customers/peers of every AS),
+* the ``ASGraph.compile()`` CSR arrays (catching stale-CSR /
+  missed-``_version``-bump bugs in the mutation paths), and
+* the propagation state for any origin
+
+exactly to their baselines.  Along the forward pass, every
+topology-mutating step is also checked differentially (delta ≡ full
+recompute on the mutated graph), so random *sequences* of chained
+mutations get the same conformance bar as the curated scenarios in
+``tests/test_event_engine.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bgpsim import (
+    ASFailure,
+    Depeer,
+    LinkDown,
+    LinkUp,
+    Seed,
+    propagate_compiled,
+    propagate_delta_event,
+)
+
+from .conftest import assert_states_equal, random_internet
+
+TIMELINE_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _graph_snapshot(graph):
+    return {
+        asn: (
+            frozenset(graph.providers(asn)),
+            frozenset(graph.customers(asn)),
+            frozenset(graph.peers(asn)),
+        )
+        for asn in graph.nodes()
+    }
+
+
+def _csr_snapshot(graph):
+    cg = graph.compile()
+    return (
+        tuple(cg.asns),
+        bytes(cg.provider_off.tobytes()),
+        bytes(cg.provider_nbr.tobytes()),
+        bytes(cg.customer_off.tobytes()),
+        bytes(cg.customer_nbr.tobytes()),
+        bytes(cg.peer_off.tobytes()),
+        bytes(cg.peer_nbr.tobytes()),
+    )
+
+
+def _random_event(graph, rng, origin):
+    """A random applicable topology event on the current graph state."""
+    nodes = sorted(graph.nodes())
+    for _ in range(50):
+        kind = rng.randrange(4)
+        if kind == 0:
+            edges = [
+                (a, b)
+                for a in nodes
+                for b in graph.customers(a) | graph.peers(a)
+            ]
+            if edges:
+                return LinkDown(*rng.choice(sorted(edges)))
+        elif kind == 1:
+            a, b = rng.sample(nodes, 2)
+            if graph.relationship_between(a, b) is None:
+                rel = rng.choice(("p2p", "p2c"))
+                return LinkUp(a, b, relationship=rel)
+        elif kind == 2:
+            peerings = [
+                (a, b) for a in nodes for b in graph.peers(a) if a < b
+            ]
+            if peerings:
+                return Depeer(*rng.choice(sorted(peerings)))
+        else:
+            victim = rng.choice(nodes)
+            if victim != origin:
+                return ASFailure(victim)
+    raise AssertionError("no applicable event found")
+
+
+class TestApplyRevertIdentity:
+    @TIMELINE_SETTINGS
+    @given(seed=st.integers(0, 10**6), steps=st.integers(1, 6))
+    def test_sequence_and_reversed_inverses_restore_baseline(
+        self, seed, steps
+    ):
+        rng = random.Random(seed)
+        graph = random_internet(rng, n_transit=4, n_edge=10)
+        nodes = sorted(graph.nodes())
+        origin = nodes[seed % len(nodes)]
+        graph_before = _graph_snapshot(graph)
+        csr_before = _csr_snapshot(graph)
+        state_before = propagate_compiled(graph, Seed(asn=origin))
+
+        applied_stack = []
+        state = state_before
+        for _ in range(steps):
+            event = _random_event(graph, rng, origin)
+            applied = event.apply(graph)
+            applied_stack.append(applied)
+            # forward conformance: delta over the previous state must
+            # equal a full recompute on the mutated graph
+            out = propagate_delta_event(graph, state, applied, threshold=1.0)
+            full = propagate_compiled(graph, Seed(asn=origin))
+            assert_states_equal(out.state, full, f"forward {event.describe()}")
+            state = out.state
+
+        for applied in reversed(applied_stack):
+            assert applied.inverse is not None
+            applied.inverse.apply(graph)
+
+        assert _graph_snapshot(graph) == graph_before
+        assert _csr_snapshot(graph) == csr_before
+        restored = propagate_compiled(graph, Seed(asn=origin))
+        assert_states_equal(restored, state_before, "after revert")
+
+    @TIMELINE_SETTINGS
+    @given(seed=st.integers(0, 10**6))
+    def test_reverting_through_deltas_restores_the_state_too(self, seed):
+        # the delta engine itself round-trips: applying the inverse event
+        # as a *delta* over the post-event state lands exactly on the
+        # baseline state (not merely an equivalent graph)
+        rng = random.Random(seed)
+        graph = random_internet(rng, n_transit=4, n_edge=10)
+        nodes = sorted(graph.nodes())
+        origin = nodes[seed % len(nodes)]
+        baseline = propagate_compiled(graph, Seed(asn=origin))
+        event = _random_event(graph, rng, origin)
+        applied = event.apply(graph)
+        forward = propagate_delta_event(
+            graph, baseline, applied, threshold=1.0
+        )
+        reverted = applied.inverse.apply(graph)
+        back = propagate_delta_event(
+            graph, forward.state, reverted, threshold=1.0
+        )
+        assert_states_equal(back.state, baseline, "delta round-trip")
+
+    @TIMELINE_SETTINGS
+    @given(seed=st.integers(0, 10**6))
+    def test_asfailure_inverse_restores_every_edge(self, seed):
+        rng = random.Random(seed)
+        graph = random_internet(rng, n_transit=4, n_edge=10)
+        nodes = sorted(graph.nodes())
+        victim = rng.choice(nodes)
+        before = _graph_snapshot(graph)
+        applied = ASFailure(victim).apply(graph)
+        assert not graph.providers(victim)
+        assert not graph.customers(victim)
+        assert not graph.peers(victim)
+        applied.inverse.apply(graph)
+        assert _graph_snapshot(graph) == before
