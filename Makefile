@@ -5,7 +5,7 @@ PROFILE ?= small
 # Let the targets work from a fresh checkout without `make install`.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench bench-engine bench-leaks bench-events bench-metrics-kernel bench-multiorigin experiments csv examples all
+.PHONY: install test test-fast bench bench-engine bench-leaks bench-events bench-metrics-kernel bench-multiorigin bench-vector bench-scale experiments csv examples all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -50,6 +50,19 @@ bench-metrics-kernel:
 # benchmarks/bench_multiorigin.json.
 bench-multiorigin:
 	pytest benchmarks/test_bench_multiorigin.py --benchmark-only
+
+# Vectorized numpy kernels vs the pure-Python compiled path (propagation
+# + path counts + reliance + hegemony + histogram on 32 origins); asserts
+# bitwise-identical outputs and the >=3x speedup; writes
+# benchmarks/bench_vector.json.  Requires numpy (the [perf] extra).
+bench-vector:
+	pytest benchmarks/test_bench_vector.py --benchmark-only
+
+# Propagation + Fig. 6 reliance sweep wall time across scenario scales
+# (small ~700 / mid ~2k / large ~10k ASes), engine/vector/shm/batch
+# stamped; writes benchmarks/bench_scale.json.
+bench-scale:
+	pytest benchmarks/test_bench_scale.py --benchmark-only
 
 experiments:
 	python -m repro.experiments.runner $(PROFILE)

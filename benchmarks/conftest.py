@@ -21,7 +21,12 @@ from typing import Any, Optional
 
 import pytest
 
-from repro.bgpsim import resolve_batch, resolve_engine
+from repro.bgpsim import (
+    resolve_batch,
+    resolve_engine,
+    resolve_shm,
+    resolve_vector,
+)
 from repro.experiments.context import cached_context
 from repro.netgen import companion_2015
 
@@ -39,6 +44,8 @@ def bench_metadata(
         "engine": resolve_engine(engine),
         "workers": workers,
         "batch": resolve_batch(batch),
+        "vector": resolve_vector(),
+        "shm": resolve_shm(),
         "cpu_count": os.cpu_count() or 1,
     }
 

@@ -1,0 +1,90 @@
+"""Benchmark — propagation and Fig. 6 metrics across scenario scales.
+
+One row per netgen profile (``small`` ~700 ASes, ``mid`` ~2k, ``large``
+~10k): wall time to build + compile the topology, to run the per-cloud
+compiled propagation sweep, and to run the full Fig. 6/Table 2
+hierarchy-free reliance sweep (propagation + metric kernels + summary).
+The stamped metadata records the engine / vector / shm / batch settings
+the row was measured under, so records from different configurations
+remain comparable.
+
+Run it through ``make bench-scale``; the record lands in
+``benchmarks/bench_scale.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from benchmarks.conftest import write_bench_json
+from repro.bgpsim import Seed, propagate
+from repro.core.reliance import hierarchy_free_reliance_summaries
+from repro.netgen import build_scenario, profile
+
+BENCH_JSON = Path(__file__).resolve().parent / "bench_scale.json"
+SCALES = ("small", "mid", "large")
+#: best-of rounds per timed stage (tames scheduler noise on small hosts)
+ROUNDS = 3
+
+
+def _best_of(func, rounds=ROUNDS):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _scale_row(name):
+    started = time.perf_counter()
+    scenario = build_scenario(profile(name))
+    graph = scenario.graph
+    graph.compile()
+    build_s = time.perf_counter() - started
+
+    clouds = sorted(scenario.clouds.values())
+    propagate_s, _ = _best_of(
+        lambda: [
+            propagate(graph, Seed(asn=asn), engine="compiled")
+            for asn in clouds
+        ]
+    )
+    fig6_s, summaries = _best_of(
+        lambda: hierarchy_free_reliance_summaries(
+            graph, clouds, scenario.tiers, engine="compiled"
+        )
+    )
+    return {
+        "profile": name,
+        "ases": len(graph),
+        "clouds": len(clouds),
+        "build_compile_s": build_s,
+        "propagate_sweep_s": propagate_s,
+        "fig6_reliance_sweep_s": fig6_s,
+        "networks_relied_on": [s.networks for s in summaries],
+    }
+
+
+def test_bench_scale_sweep(benchmark):
+    rows = [_scale_row(name) for name in SCALES[:-1]]
+    # the large row is timed once under the benchmark timer (building the
+    # ~10k-AS scenario repeatedly would dominate the suite's runtime)
+    rows.append(
+        benchmark.pedantic(
+            _scale_row, args=(SCALES[-1],), rounds=1, iterations=1
+        )
+    )
+
+    record = {"rounds": ROUNDS, "scales": rows}
+    write_bench_json(BENCH_JSON, record, engine="compiled", workers=None)
+
+    assert [row["profile"] for row in rows] == list(SCALES)
+    for row in rows:
+        assert row["propagate_sweep_s"] > 0.0
+        assert row["fig6_reliance_sweep_s"] > 0.0
+    # scale ordering sanity: each profile really is materially larger
+    sizes = [row["ases"] for row in rows]
+    assert sizes == sorted(sizes) and sizes[-1] > 4 * sizes[0]

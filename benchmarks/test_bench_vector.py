@@ -1,0 +1,193 @@
+"""Benchmark — vectorized numpy kernels vs the pure-Python compiled path.
+
+Two legs run the same small-profile workload (32 sampled origins:
+compiled propagation, tied-best-path counts, reliance, local hegemony
+toward the 24 highest-degree targets, and the path-length histogram):
+
+* ``pure`` — ``REPRO_VECTOR=off``: the interpreted compiled kernels;
+* ``vector`` — ``REPRO_VECTOR=on``: the numpy frontier sweeps of
+  :mod:`repro.bgpsim.vectorized` dispatched inside the same entry points.
+
+Correctness is asserted first and bitwise: the two legs must produce
+identical routing arrays (route class / length / parent-pool sets),
+identical count/reliance/histogram dicts, and hegemony rows whose float
+bytes match exactly (``array.tobytes()`` equality) — the vectorized
+kernels replay the pure kernels' accumulation order, so this is equality
+of every bit, not approximate agreement.  The record then asserts the
+vectorized propagation + metric layer is ≥3× faster end to end.
+
+Run it through ``make bench-vector``; the record lands in
+``benchmarks/bench_vector.json``.  Skipped when numpy is missing (the
+``[perf]`` extra is optional by design).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import write_bench_json
+from repro.bgpsim import Seed, numpy_available, propagate
+from repro.bgpsim import metrics_kernel as mk
+from repro.core.hegemony import _hegemony_values
+
+BENCH_JSON = Path(__file__).resolve().parent / "bench_vector.json"
+#: best-of rounds per timed leg (tames scheduler noise on small hosts)
+ROUNDS = 5
+N_ORIGINS = 32
+N_TARGETS = 24
+
+
+def _workload(graph):
+    nodes = sorted(graph.nodes())
+    origins = random.Random(7).sample(nodes, min(N_ORIGINS, len(nodes)))
+    by_degree = sorted(
+        nodes,
+        key=lambda a: -(len(graph.customers(a)) + len(graph.peers(a))),
+    )
+    targets = tuple(by_degree[:N_TARGETS])
+    return origins, targets
+
+
+def _parent_sets(state):
+    """Per-node parent-ASN frozensets (pool order is not the contract)."""
+    head, pool_parent, pool_next, asns = (
+        state._parent_head,
+        state._pool_parent,
+        state._pool_next,
+        state._asns,
+    )
+    sets = []
+    for i in range(len(asns)):
+        h = head[i]
+        parents = set()
+        while h >= 0:
+            parents.add(asns[pool_parent[h]])
+            h = pool_next[h]
+        sets.append(frozenset(parents))
+    return sets
+
+
+def _state_signature(state):
+    return (
+        bytes(state._route_class),
+        state._length.tobytes(),
+        tuple(sorted(state._routed)),  # discovery order is not the contract
+        _parent_sets(state),
+    )
+
+
+def _sweep(graph, origins, targets):
+    """One full pass: propagation + the four metric passes, staged."""
+    stages = {}
+    t0 = time.perf_counter()
+    states = [
+        propagate(graph, Seed(asn=o), engine="compiled") for o in origins
+    ]
+    stages["propagate"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    counts = [mk.path_counts_kernel(st) for st in states]
+    stages["path_counts"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    reliance = [mk.reliance_kernel(st) for st in states]
+    stages["reliance"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    hegemony = [
+        _hegemony_values(st, o, targets)
+        for st, o in zip(states, origins)
+    ]
+    stages["hegemony"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    histograms = [mk.length_histogram_kernel(st) for st in states]
+    stages["length_histogram"] = time.perf_counter() - t0
+    outputs = {
+        "states": [_state_signature(st) for st in states],
+        "counts": counts,
+        "reliance": reliance,
+        "hegemony": [row.tobytes() for row in hegemony],
+        "histograms": histograms,
+    }
+    return stages, outputs
+
+
+def _best_of(func, rounds=ROUNDS):
+    """(best per-stage seconds, last outputs) over ``rounds`` runs."""
+    best = None
+    outputs = None
+    for _ in range(rounds):
+        stages, outputs = func()
+        if best is None or sum(stages.values()) < sum(best.values()):
+            best = stages
+    return best, outputs
+
+
+def _leg(mode, graph, origins, targets):
+    previous = os.environ.get("REPRO_VECTOR")
+    os.environ["REPRO_VECTOR"] = mode
+    try:
+        _sweep(graph, origins, targets)  # warm caches/imports
+        return _best_of(lambda: _sweep(graph, origins, targets))
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_VECTOR", None)
+        else:
+            os.environ["REPRO_VECTOR"] = previous
+
+
+def test_bench_vectorized_kernels(benchmark, ctx2020):
+    if not numpy_available():
+        pytest.skip("numpy not installed; the [perf] extra is optional")
+    graph = ctx2020.graph
+    graph.compile()
+    origins, targets = _workload(graph)
+
+    pure_stages, pure_out = _leg("off", graph, origins, targets)
+    vec_stages, vec_out = _leg("on", graph, origins, targets)
+    benchmark.pedantic(
+        lambda: _leg("on", graph, origins, targets)[0],
+        rounds=1, iterations=1,
+    )
+
+    # correctness first, and bitwise: same routes, same floats
+    assert pure_out["states"] == vec_out["states"], (
+        "vectorized propagation diverged from the pure compiled kernel"
+    )
+    assert pure_out["counts"] == vec_out["counts"]
+    assert pure_out["reliance"] == vec_out["reliance"]
+    assert pure_out["hegemony"] == vec_out["hegemony"], (
+        "hegemony float bytes diverged between the pure and numpy kernels"
+    )
+    assert pure_out["histograms"] == vec_out["histograms"]
+
+    pure_total = sum(pure_stages.values())
+    vec_total = sum(vec_stages.values())
+    speedup = pure_total / vec_total
+    record = {
+        "workload": (
+            f"{len(origins)} origins: compiled propagation + path counts "
+            f"+ reliance + hegemony({len(targets)} targets) + histogram"
+        ),
+        "ases": len(graph),
+        "rounds": ROUNDS,
+        "pure_s": pure_stages,
+        "vector_s": vec_stages,
+        "pure_total_s": pure_total,
+        "vector_total_s": vec_total,
+        "speedup": speedup,
+        "stage_speedups": {
+            stage: pure_stages[stage] / vec_stages[stage]
+            for stage in pure_stages
+        },
+        "outputs_bitwise_identical": True,
+    }
+    write_bench_json(BENCH_JSON, record, engine="compiled", workers=None)
+
+    assert speedup >= 3.0, (
+        f"vectorized kernels ({vec_total * 1e3:.1f} ms) are only "
+        f"{speedup:.2f}x faster than the pure compiled path "
+        f"({pure_total * 1e3:.1f} ms)"
+    )

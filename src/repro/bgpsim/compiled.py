@@ -66,6 +66,19 @@ def _shrink(values, typecode: str) -> array:
     return array(typecode, values)
 
 
+def _concrete_buffers(state: dict) -> dict:
+    """Replace ``memoryview`` values (zero-copy views of a shared-memory
+    arena, see :mod:`repro.bgpsim.shm`) with picklable owned copies."""
+    for key, value in state.items():
+        if isinstance(value, memoryview):
+            state[key] = (
+                bytearray(value)
+                if value.format == "B"
+                else array(value.format, value)
+            )
+    return state
+
+
 def _csr(
     asns: list[int], index: dict[int, int], rows, nbr_code: str
 ) -> tuple[array, array]:
@@ -181,11 +194,13 @@ class CompiledGraph:
         (p_off, p_nbr), (c_off, c_nbr), (e_off, e_nbr) = arrays
         return cls(base.asns, p_off, p_nbr, c_off, c_nbr, e_off, e_nbr)
 
-    # -- pickling: the index dict is derived, rebuild it on load ----------
+    # -- pickling: the index dict (and the vectorized engine's cached
+    # numpy views) are derived, rebuild them on load ----------------------
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         del state["index"]
-        return state
+        state.pop("_np_csr", None)
+        return _concrete_buffers(state)
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
@@ -418,7 +433,7 @@ class CompiledRoutingState(RoutingState):
         state["_materialized"] = None
         state["_metric_dag"] = None
         state["_metric_counts"] = None
-        return state
+        return _concrete_buffers(state)
 
 
 def _check_seeds(
@@ -459,6 +474,15 @@ def propagate_compiled(
         seeds = (seeds,)
     seeds = tuple(seeds)
     _check_seeds(cg, seeds, excluded)
+
+    # vectorized numpy port (REPRO_VECTOR): same semantics, same arrays
+    from . import vectorized as _vec
+
+    if _vec.vector_enabled():
+        return _vec.propagate_compiled_vector(
+            cg, seeds, excluded, peer_locked, locked_origin
+        )
+
     index = cg.index
     n = cg.n
     if locked_origin is None:

@@ -38,7 +38,10 @@ from .routes import NodeRoute, RouteClass, RoutingState, Seed
 #: engines selectable through ``propagate(engine=...)`` / ``REPRO_ENGINE``.
 #: ``"incremental"`` changes how *leak sweeps* derive their combined
 #: states (``repro.bgpsim.incremental``); for a plain propagation it is
-#: the compiled kernel.
+#: the compiled kernel.  Orthogonally, ``REPRO_VECTOR`` selects whether
+#: the compiled kernel runs its pure-Python loops or the numpy sweeps of
+#: ``repro.bgpsim.vectorized`` — dispatch happens inside
+#: ``propagate_compiled``, so the engine names here never change.
 ENGINES = ("compiled", "reference", "incremental")
 
 

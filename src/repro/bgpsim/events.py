@@ -362,11 +362,27 @@ def _capacity(typecode: str) -> int:
     return (1 << (bits - 1)) - 1 if typecode.islower() else (1 << bits) - 1
 
 
-def _widened(arr: array, needed_max: int, code_fn) -> array:
+def _owned(arr) -> array:
+    """A mutable owned copy of ``arr`` (slice copy for arrays; a
+    ``memoryview`` of a shared-memory baseline must not be aliased)."""
+    if isinstance(arr, array):
+        return arr[:]
+    return array(arr.format, arr)
+
+
+def _widened(arr, needed_max: int, code_fn) -> array:
     """Copy ``arr``, widening its typecode only if ``needed_max`` won't
     fit — the common case is a same-typecode slice copy (a memcpy),
     keeping delta-state construction O(frontier) instead of O(n)
-    element-conversion work."""
+    element-conversion work.  A ``memoryview`` (a zero-copy view of a
+    shared-memory baseline) must become an owned array either way: its
+    slice would alias the shared segment and the caller mutates the
+    result."""
+    if not isinstance(arr, array):
+        code = arr.format
+        if needed_max <= _capacity(code):
+            return array(code, arr)
+        return array(code_fn(needed_max), arr)
     if needed_max <= _capacity(arr.typecode):
         return arr[:]
     return array(code_fn(needed_max), arr)
@@ -648,7 +664,7 @@ class _DeltaContext:
         head = _widened(
             baseline._parent_head, pool_size - 1, _signed_typecode
         )
-        pool_parent = baseline._pool_parent[:]
+        pool_parent = _owned(baseline._pool_parent)
         pool_next = _widened(
             baseline._pool_next, pool_size - 1, _signed_typecode
         )
@@ -1145,7 +1161,7 @@ def _hijack_outcome(
         baseline._length, max(hln) if len(hln) else 0, _unsigned_typecode
     )
     head = _widened(baseline._parent_head, pool_size - 1, _signed_typecode)
-    pool_parent = baseline._pool_parent[:]
+    pool_parent = _owned(baseline._pool_parent)
     pool_next = _widened(baseline._pool_next, pool_size - 1, _signed_typecode)
     mask = [0] * n
     for i in baseline._routed:

@@ -45,6 +45,7 @@ from collections.abc import Collection, Mapping
 from fractions import Fraction
 from typing import Optional
 
+from . import vectorized as _vec
 from .compiled import _NO_ROUTE, CompiledRoutingState
 from .incremental import DeltaRoutingState
 from .routes import RoutingState
@@ -52,6 +53,7 @@ from .routes import RoutingState
 __all__ = [
     "MetricDAG",
     "cross_fractions_kernel",
+    "cross_fractions_many_kernel",
     "dag_of",
     "is_array_state",
     "length_histogram_kernel",
@@ -95,6 +97,9 @@ class MetricDAG:
         "parents",
         "routed",
         "seed_idx",
+        # lazy numpy cache of the vectorized kernels (repro.bgpsim
+        # .vectorized._dag_np): None = not built, False = not servable
+        "_np",
     )
 
     def __init__(self, state: RoutingState) -> None:
@@ -229,6 +234,7 @@ class MetricDAG:
         self.parents = parents
         self.routed = routed
         self.seed_idx = seed_idx
+        self._np = None
 
     def idx(self, asn: int) -> Optional[int]:
         """Node index of ``asn`` (None when absent from the graph)."""
@@ -247,7 +253,10 @@ def dag_of(state: RoutingState) -> MetricDAG:
                 "metric kernels require a CompiledRoutingState or "
                 f"DeltaRoutingState, not {type(state).__name__}"
             )
-        dag = MetricDAG(state)
+        if _vec.vector_enabled():
+            dag = _vec.build_metric_dag_vector(state)
+        if dag is None:
+            dag = MetricDAG(state)
         state._metric_dag = dag
     return dag
 
@@ -269,6 +278,10 @@ def path_counts_indexed(state: RoutingState) -> list[int]:
 
 def path_counts_kernel(state: RoutingState) -> dict[int, int]:
     """ASN-keyed tied-best-path counts (kernel twin of ``path_counts``)."""
+    if _vec.vector_enabled():
+        result = _vec.path_counts_vector(state)
+        if result is not None:
+            return result
     dag = dag_of(state)
     counts = path_counts_indexed(state)
     asns = dag.asns
@@ -288,6 +301,10 @@ def reliance_mass_kernel(
     building an ASN-keyed dict first; :func:`reliance_kernel` is the
     dict-shaped wrapper.
     """
+    if not exact and _vec.vector_enabled():
+        result = _vec.reliance_mass_vector(state, receivers=receivers)
+        if result is not None:
+            return result
     dag = dag_of(state)
     counts = path_counts_indexed(state)
     seed_idx = dag.seed_idx
@@ -342,6 +359,10 @@ def reliance_kernel(
     parents ascending) mirrors the canonical dict-path order, so results
     are bit-identical.
     """
+    if not exact and _vec.vector_enabled():
+        result = _vec.reliance_vector(state, receivers=receivers)
+        if result is not None:
+            return result
     dag, mass = reliance_mass_kernel(state, receivers=receivers, exact=exact)
     asns, seed_idx = dag.asns, dag.seed_idx
     return {
@@ -355,6 +376,10 @@ def cross_fractions_kernel(
     state: RoutingState, target: int
 ) -> dict[int, float]:
     """Hegemony's crossing fractions as one forward pass over the DAG."""
+    if _vec.vector_enabled():
+        result = _vec.cross_fractions_vector(state, target)
+        if result is not None:
+            return result
     dag = dag_of(state)
     ti = dag.idx(target)
     if ti is None or not dag.routed[ti]:
@@ -387,6 +412,26 @@ def cross_fractions_kernel(
     return out
 
 
+def cross_fractions_many_kernel(
+    state: RoutingState, targets: Collection[int]
+) -> list[dict[int, float]]:
+    """:func:`cross_fractions_kernel` for many targets against one
+    state, in target order.
+
+    A hegemony sweep evaluates dozens of targets per origin; the
+    vectorized path serves the whole set in one ``(m, T)`` forward sweep
+    (every dict bit-identical to the per-target kernel), and the pure
+    path simply loops — the DAG and tied-best-path counts are cached on
+    the state either way.
+    """
+    targets = list(targets)
+    if _vec.vector_enabled():
+        result = _vec.cross_fractions_many_vector(state, targets)
+        if result is not None:
+            return result
+    return [cross_fractions_kernel(state, target) for target in targets]
+
+
 def length_histogram_kernel(
     state: RoutingState,
     weights: Optional[Mapping[int, float]] = None,
@@ -399,6 +444,12 @@ def length_histogram_kernel(
     accounting to a subset.  Read straight off the length array — no
     parent pools, no route objects.
     """
+    if _vec.vector_enabled():
+        result = _vec.length_histogram_vector(
+            state, weights=weights, restrict_to=restrict_to
+        )
+        if result is not None:
+            return result
     dag = dag_of(state)
     seed_idx = dag.seed_idx
     asns, lengths = dag.asns, dag.lengths

@@ -494,6 +494,14 @@ def propagate_batch(
         if i is not None:
             ex[i] = 1
 
+    # vectorized numpy port (REPRO_VECTOR): same masks, same buckets
+    from . import vectorized as _vec
+
+    if _vec.vector_enabled():
+        state = _vec.propagate_batch_vector(cg, origins, ex)
+        if state is not None:
+            return state
+
     cust = [0] * n
     peer = [0] * n
     prov = [0] * n

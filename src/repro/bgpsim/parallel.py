@@ -43,6 +43,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Optional
 
 from ..topology.asgraph import ASGraph
+from . import shm
 from .engine import propagate, resolve_engine
 from .routes import RoutingState, Seed
 
@@ -83,9 +84,13 @@ def _init_worker(
     graph: ASGraph, func: Callable[..., Any], shared: dict[str, Any]
 ) -> None:
     global _WORKER_GRAPH, _WORKER_FUNC, _WORKER_SHARED
-    _WORKER_GRAPH = graph
+    # shared-memory payloads arrive as tiny refs; attach and rebuild the
+    # real objects once per worker (plain payloads pass through)
+    _WORKER_GRAPH = shm.restore_payload(graph)
     _WORKER_FUNC = func
-    _WORKER_SHARED = shared
+    _WORKER_SHARED = {
+        key: shm.restore_payload(value) for key, value in shared.items()
+    }
 
 
 def _run_task(item: Any) -> Any:
@@ -141,13 +146,33 @@ def graph_map(
         except ValueError:
             pass  # unknown engine string: let the task raise it
 
+    # Move the big constant arrays (the CSR graph, per-sweep baseline
+    # states) into shared-memory segments: the initializer then ships
+    # only tiny refs and every worker attaches the same pages instead of
+    # unpickling its own copy.  REPRO_SHM=off (or an unsupported
+    # platform) keeps the plain pickle path — still shipped once per
+    # worker via the initializer, never per batch.
+    arenas: list[shm.ShmArena] = []
+    if shm.resolve_shm():
+        payload = shm.share_payload(payload, arenas)
+        shared = {
+            key: shm.share_payload(value, arenas)
+            for key, value in shared.items()
+        }
+
     def _parallel() -> Iterator[Any]:
-        with ProcessPoolExecutor(
-            max_workers=count,
-            initializer=_init_worker,
-            initargs=(payload, func, shared),
-        ) as pool:
-            yield from pool.map(_run_task, item_list, chunksize=chunksize)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=count,
+                initializer=_init_worker,
+                initargs=(payload, func, shared),
+            ) as pool:
+                yield from pool.map(
+                    _run_task, item_list, chunksize=chunksize
+                )
+        finally:
+            for arena in arenas:
+                arena.close()
 
     return _parallel()
 

@@ -17,6 +17,7 @@ Subcommands mirror the workflows a downstream user actually has:
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 from pathlib import Path
@@ -243,12 +244,29 @@ def build_parser() -> argparse.ArgumentParser:
             "Flat Internet' (IMC 2020)."
         ),
     )
+    parser.add_argument(
+        "--vector",
+        choices=("auto", "on", "off"),
+        default=None,
+        help="numpy vectorized kernels (default: $REPRO_VECTOR or auto; "
+        "'auto' uses numpy when installed, 'on' requires it, 'off' "
+        "forces the pure-Python loops)",
+    )
+    parser.add_argument(
+        "--shm",
+        choices=("auto", "on", "off"),
+        default=None,
+        help="shared-memory payload transport for parallel sweeps "
+        "(default: $REPRO_SHM or auto)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     generate = sub.add_parser(
         "generate", help="write a synthetic Internet as a CAIDA-format file"
     )
-    generate.add_argument("profile", help="tiny | small | year2020 | year2015")
+    generate.add_argument(
+        "profile", help="tiny | small | mid | large | year2020 | year2015"
+    )
     generate.add_argument("-o", "--output", required=True)
     generate.add_argument("--seed", type=int, default=20200901)
     generate.add_argument("--serial", type=int, choices=(1, 2), default=2)
@@ -392,6 +410,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # the kernels read the environment at every dispatch site, so the
+    # flags translate to the knobs once, before the subcommand runs
+    if args.vector is not None:
+        os.environ["REPRO_VECTOR"] = args.vector
+    if args.shm is not None:
+        os.environ["REPRO_SHM"] = args.shm
     return args.func(args)
 
 

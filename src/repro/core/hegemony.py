@@ -29,9 +29,14 @@ from array import array
 from collections.abc import Collection, Iterable, Mapping, Sequence
 from typing import Optional
 
+from ..bgpsim import vectorized as _vec
 from ..bgpsim.cache import RoutingStateCache
 from ..bgpsim.engine import propagate
-from ..bgpsim.metrics_kernel import cross_fractions_kernel, is_array_state
+from ..bgpsim.metrics_kernel import (
+    cross_fractions_kernel,
+    cross_fractions_many_kernel,
+    is_array_state,
+)
 from ..bgpsim.parallel import graph_map
 from ..bgpsim.routes import RoutingState, Seed
 from ..topology.asgraph import ASGraph
@@ -99,14 +104,58 @@ def _hegemony_of_state(
     target: int,
     trim: float = TRIM,
     counts: Optional[Mapping[int, int]] = None,
+    fractions: Optional[Mapping[int, float]] = None,
 ) -> float:
-    fractions = path_cross_fractions(state, target, counts=counts)
+    if fractions is None:
+        fractions = path_cross_fractions(state, target, counts=counts)
     samples = [
         value
         for asn, value in fractions.items()
         if asn not in (origin, target)
     ]
     return trimmed_mean(samples, trim)
+
+
+def _hegemony_values(
+    state: RoutingState,
+    origin: int,
+    targets: tuple[int, ...],
+    trim: float = TRIM,
+) -> array:
+    """One origin's local hegemony toward every target, as a compact
+    float array (NaN where target == origin).  Array-backed states get
+    all targets' crossing fractions from one many-target sweep."""
+    if is_array_state(state):
+        if _vec.vector_enabled():
+            fused = _vec.hegemony_values_vector(state, origin, targets, trim)
+            if fused is not None:
+                return fused
+        values = array("d")
+        others = [target for target in targets if target != origin]
+        by_target = dict(
+            zip(others, cross_fractions_many_kernel(state, others))
+        )
+        for target in targets:
+            if target == origin:
+                values.append(math.nan)
+            else:
+                values.append(
+                    _hegemony_of_state(
+                        state, origin, target, trim,
+                        fractions=by_target[target],
+                    )
+                )
+        return values
+    values = array("d")
+    counts = path_counts(state)
+    for target in targets:
+        if target == origin:
+            values.append(math.nan)
+        else:
+            values.append(
+                _hegemony_of_state(state, origin, target, trim, counts=counts)
+            )
+    return values
 
 
 def local_hegemony(
@@ -140,16 +189,7 @@ def _hegemony_task(
     """One origin's local hegemony toward every target, as a compact
     float array (NaN where target == origin)."""
     state = propagate(graph, Seed(asn=origin), engine=engine)
-    counts = None if is_array_state(state) else path_counts(state)
-    values = array("d")
-    for target in targets:
-        if target == origin:
-            values.append(math.nan)
-        else:
-            values.append(
-                _hegemony_of_state(state, origin, target, trim, counts=counts)
-            )
-    return values
+    return _hegemony_values(state, origin, targets, trim)
 
 
 def _hegemony_batch_task(
@@ -166,18 +206,10 @@ def _hegemony_batch_task(
 
     del engine  # the batch kernel is the compiled engine
     batch_state = propagate_batch(graph, origins)
-    rows: list[array] = []
-    for origin, state in batch_state.views():
-        values = array("d")
-        for target in targets:
-            if target == origin:
-                values.append(math.nan)
-            else:
-                values.append(
-                    _hegemony_of_state(state, origin, target, trim)
-                )
-        rows.append(values)
-    return rows
+    return [
+        _hegemony_values(state, origin, targets, trim)
+        for origin, state in batch_state.views()
+    ]
 
 
 def global_hegemony(

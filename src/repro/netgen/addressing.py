@@ -15,7 +15,7 @@ from collections.abc import Sequence
 AS_PREFIX_BASE = int(ipaddress.IPv4Address("16.0.0.0"))
 #: IXP LANs are /24s carved from this block (homage to NL-IX's 193.238/22).
 IXP_LAN_BASE = int(ipaddress.IPv4Address("193.238.0.0"))
-MAX_AS_PREFIXES = 8192
+MAX_AS_PREFIXES = 16384  # 16.0.0.0-79.255.255.255, clear of the IXP pool
 MAX_IXP_LANS = 1024
 
 

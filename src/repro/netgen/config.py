@@ -216,6 +216,25 @@ def small(seed: int = 20200901) -> ScenarioConfig:
     )
 
 
+def mid(seed: int = 20200901) -> ScenarioConfig:
+    """~2k ASes; benchmark-scale scenario with a flatter edge mix than
+    :func:`year2020` (more access networks, fewer transit tiers)."""
+    return ScenarioConfig(
+        name="mid", seed=seed, n_tier1=10, n_tier2=14, n_regional=80,
+        n_access=1100, n_content=280, n_enterprise=500, n_ixps=30,
+        n_bgp_monitors=40, clouds=_clouds_2020(),
+    )
+
+
+def large(seed: int = 20200901) -> ScenarioConfig:
+    """~10k ASes; stress-scale scenario for the scaling benchmarks."""
+    return ScenarioConfig(
+        name="large", seed=seed, n_tier1=14, n_tier2=18, n_regional=300,
+        n_access=5600, n_content=1100, n_enterprise=2950, n_ixps=80,
+        n_bgp_monitors=100, clouds=_clouds_2020(),
+    )
+
+
 def year2020(seed: int = 20200901) -> ScenarioConfig:
     """The default benchmark scenario (~2000 ASes), September-2020-like."""
     return ScenarioConfig(name="year2020", seed=seed, clouds=_clouds_2020())
@@ -280,11 +299,25 @@ def small2015(seed: int = 20150901) -> ScenarioConfig:
     return _scale_to_2015(small(), "small2015", seed)
 
 
+def mid2015(seed: int = 20150901) -> ScenarioConfig:
+    """2015 companion of :func:`mid`."""
+    return _scale_to_2015(mid(), "mid2015", seed)
+
+
+def large2015(seed: int = 20150901) -> ScenarioConfig:
+    """2015 companion of :func:`large`."""
+    return _scale_to_2015(large(), "large2015", seed)
+
+
 PROFILES = {
     "tiny": tiny,
     "tiny2015": tiny2015,
     "small": small,
     "small2015": small2015,
+    "mid": mid,
+    "mid2015": mid2015,
+    "large": large,
+    "large2015": large2015,
     "year2020": year2020,
     "year2015": year2015,
 }
@@ -293,6 +326,8 @@ PROFILES = {
 COMPANION_2015 = {
     "tiny": "tiny2015",
     "small": "small2015",
+    "mid": "mid2015",
+    "large": "large2015",
     "year2020": "year2015",
 }
 

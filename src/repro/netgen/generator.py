@@ -234,6 +234,20 @@ class _Builder:
         self._synth_asn += 1
         return self._synth_asn
 
+    def _block_asns(
+        self, base: int, count: int, reserved: set[int]
+    ) -> list[int]:
+        """``count`` ASNs from ``base`` upward, deterministically skipping
+        reserved real-world ASNs (large profiles run the synthetic access
+        block through territory like Facebook's 32934)."""
+        out: list[int] = []
+        asn = base
+        while len(out) < count:
+            if asn not in reserved and asn not in self.as_info:
+                out.append(asn)
+            asn += 1
+        return out
+
     def _weighted_city(self, continent: Continent | None = None) -> City:
         pool = [
             c
@@ -262,6 +276,10 @@ class _Builder:
     # -- population ----------------------------------------------------
     def make_ases(self) -> None:
         cfg = self.config
+        reserved = {DURAND_ASN, cfg.facebook_asn}
+        reserved.update(asn for _, asn in TIER1_NAMES)
+        reserved.update(asn for _, asn in TIER2_NAMES)
+        reserved.update(profile.asn for profile in cfg.clouds)
         names1 = list(TIER1_NAMES)
         for i in range(cfg.n_tier1):
             name, asn = (
@@ -284,32 +302,41 @@ class _Builder:
             self._weighted_city(Continent.SOUTH_AMERICA),
         )
         self.regional.append(self.durand)
-        for i in range(cfg.n_regional):
+        for i, asn in enumerate(
+            self._block_asns(20000, cfg.n_regional, reserved)
+        ):
             continent = self._pick_continent()
             city = self._weighted_city(continent)
-            asn = self._register(
-                20000 + i, f"Regional-{city.country}-{i}", ASKind.REGIONAL, city
+            self.regional.append(
+                self._register(
+                    asn, f"Regional-{city.country}-{i}", ASKind.REGIONAL, city
+                )
             )
-            self.regional.append(asn)
-        for i in range(cfg.n_access):
+        for i, asn in enumerate(
+            self._block_asns(30000, cfg.n_access, reserved)
+        ):
             city = self._weighted_city(self._pick_continent())
             self.access.append(
                 self._register(
-                    30000 + i, f"Access-{city.code}-{i}", ASKind.ACCESS, city
+                    asn, f"Access-{city.code}-{i}", ASKind.ACCESS, city
                 )
             )
-        for i in range(cfg.n_content):
+        for i, asn in enumerate(
+            self._block_asns(40000, cfg.n_content, reserved)
+        ):
             city = self._weighted_city()
             self.content.append(
                 self._register(
-                    40000 + i, f"Content-{city.code}-{i}", ASKind.CONTENT, city
+                    asn, f"Content-{city.code}-{i}", ASKind.CONTENT, city
                 )
             )
-        for i in range(cfg.n_enterprise):
+        for i, asn in enumerate(
+            self._block_asns(50000, cfg.n_enterprise, reserved)
+        ):
             city = self._weighted_city(self._pick_continent())
             self.enterprise.append(
                 self._register(
-                    50000 + i, f"Enterprise-{city.code}-{i}",
+                    asn, f"Enterprise-{city.code}-{i}",
                     ASKind.ENTERPRISE, city,
                 )
             )

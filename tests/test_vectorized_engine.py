@@ -1,0 +1,215 @@
+"""Differential harness: vectorized numpy kernels ≡ pure-Python kernels.
+
+The numpy kernels of :mod:`repro.bgpsim.vectorized` dispatch inside the
+existing entry points (``propagate_compiled`` / ``propagate_batch`` /
+``dag_of`` / the metric kernels), so the only acceptable behaviour is
+bit-for-bit equivalence with the pure loops they replace.  This module
+proves it on seeded synthetic-Internet scenarios (≥3 seeds × 2 sizes):
+
+* full propagation states (including :class:`DeltaRoutingState` leak
+  injections and :class:`BatchOriginView` per-origin views);
+* every metric kernel output — counts and histograms by dict equality,
+  reliance / crossing fractions / hegemony by **float byte equality**
+  (the vectorized kernels replay the pure kernels' accumulation order);
+* the ``REPRO_VECTOR`` knob: ``off`` forces pure loops, ``on`` without
+  numpy raises, and ``auto`` without numpy silently falls back.
+
+Skipped wholesale (except the knob tests) when numpy is missing — the
+``[perf]`` extra is optional by design.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .conftest import assert_states_equal, netgen_graph, sample_origins
+from repro.bgpsim import (
+    Seed,
+    leak_seed,
+    propagate_batch,
+    propagate_compiled,
+    propagate_delta,
+    resolve_vector,
+)
+from repro.bgpsim import metrics_kernel as mk
+from repro.bgpsim import vectorized as vec
+from repro.core.hegemony import _hegemony_values
+
+#: (profile, scenario seed) — ≥3 seeds × 2 sizes, per the acceptance bar.
+SCENARIOS = [
+    ("tiny", 20200901),
+    ("tiny", 7),
+    ("tiny", 8),
+    ("small", 20200901),
+    ("small", 7),
+    ("small", 8),
+]
+
+needs_numpy = pytest.mark.skipif(
+    not vec.numpy_available(), reason="numpy not installed ([perf] extra)"
+)
+
+
+@pytest.fixture
+def vector_off(monkeypatch):
+    monkeypatch.setenv("REPRO_VECTOR", "off")
+
+
+@pytest.fixture
+def vector_on(monkeypatch):
+    if not vec.numpy_available():
+        pytest.skip("numpy not installed ([perf] extra)")
+    monkeypatch.setenv("REPRO_VECTOR", "on")
+
+
+def _with_mode(monkeypatch, mode, func):
+    with monkeypatch.context() as ctx:
+        ctx.setenv("REPRO_VECTOR", mode)
+        return func()
+
+
+def _metric_outputs(state, origin, targets):
+    """Every kernel output, floats as exact bytes."""
+    reliance = mk.reliance_kernel(state)
+    return {
+        "counts": mk.path_counts_kernel(state),
+        "reliance_keys": sorted(reliance),
+        "reliance_bytes": [
+            reliance[key].hex() for key in sorted(reliance)
+        ],
+        "hegemony_bytes": _hegemony_values(
+            state, origin, targets
+        ).tobytes(),
+        "histogram": mk.length_histogram_kernel(state),
+        "routed": mk.routed_count_kernel(state),
+    }
+
+
+@needs_numpy
+class TestVectorizedDifferential:
+    @pytest.mark.parametrize("profile_name,seed", SCENARIOS)
+    def test_propagation_states_identical(
+        self, monkeypatch, profile_name, seed
+    ):
+        graph = netgen_graph(profile_name, seed)
+        cg = graph.compile()
+        for origin in sample_origins(graph, 6, seed=seed):
+            seeds = (Seed(asn=origin),)
+            pure = _with_mode(
+                monkeypatch, "off", lambda: propagate_compiled(cg, seeds)
+            )
+            fast = _with_mode(
+                monkeypatch, "on", lambda: propagate_compiled(cg, seeds)
+            )
+            assert_states_equal(
+                pure, fast, f"({profile_name}/{seed} origin {origin})"
+            )
+
+    @pytest.mark.parametrize("profile_name,seed", SCENARIOS)
+    def test_metric_kernels_bit_identical(
+        self, monkeypatch, profile_name, seed
+    ):
+        graph = netgen_graph(profile_name, seed)
+        cg = graph.compile()
+        origins = sample_origins(graph, 4, seed=seed)
+        targets = tuple(sample_origins(graph, 8, seed=seed + 1))
+        for origin in origins:
+            seeds = (Seed(asn=origin),)
+
+            def outputs():
+                state = propagate_compiled(cg, seeds)
+                return _metric_outputs(state, origin, targets)
+
+            pure = _with_mode(monkeypatch, "off", outputs)
+            fast = _with_mode(monkeypatch, "on", outputs)
+            assert pure == fast, (
+                f"metric outputs diverged ({profile_name}/{seed} "
+                f"origin {origin})"
+            )
+
+    @pytest.mark.parametrize("profile_name,seed", SCENARIOS[3:])
+    def test_delta_states_identical(self, monkeypatch, profile_name, seed):
+        graph = netgen_graph(profile_name, seed)
+        origins = sample_origins(graph, 4, seed=seed)
+        leakers = sample_origins(graph, 4, seed=seed + 1)
+
+        def delta_state():
+            baseline = propagate_compiled(
+                graph.compile(), (Seed(asn=origin),)
+            )
+            leak = leak_seed(graph, origin, leaker)
+            return propagate_delta(graph, baseline, leak)
+
+        for origin, leaker in zip(origins, leakers):
+            if origin == leaker:
+                continue
+            try:
+                pure = _with_mode(monkeypatch, "off", delta_state)
+            except ValueError:
+                continue  # config outside the delta contract: skip pair
+            fast = _with_mode(monkeypatch, "on", delta_state)
+            assert_states_equal(
+                pure, fast,
+                f"(delta {profile_name}/{seed} {origin}->{leaker})",
+            )
+
+    @pytest.mark.parametrize("profile_name,seed", SCENARIOS[3:])
+    def test_batch_views_identical(self, monkeypatch, profile_name, seed):
+        graph = netgen_graph(profile_name, seed)
+        origins = sample_origins(graph, 8, seed=seed)
+        targets = tuple(sample_origins(graph, 6, seed=seed + 1))
+
+        def batch_outputs():
+            batch = propagate_batch(graph, origins)
+            return [
+                _metric_outputs(state, origin, targets)
+                for origin, state in batch.views()
+            ]
+
+        pure = _with_mode(monkeypatch, "off", batch_outputs)
+        fast = _with_mode(monkeypatch, "on", batch_outputs)
+        assert pure == fast
+
+
+class TestVectorKnob:
+    def test_off_forces_pure(self, vector_off):
+        assert resolve_vector() is False
+        assert vec.vector_enabled() is False
+
+    def test_explicit_values_win_over_env(self, vector_off):
+        if vec.numpy_available():
+            assert resolve_vector("on") is True
+        assert resolve_vector("off") is False
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_vector("sideways")
+
+    def test_auto_without_numpy_falls_back_silently(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR", "auto")
+        monkeypatch.setattr(vec, "_np", None)
+        monkeypatch.setattr(vec, "_np_checked", True)
+        assert resolve_vector() is False
+        # dispatch sites keep working on the pure path
+        graph = netgen_graph("tiny", 7)
+        state = propagate_compiled(
+            graph.compile(), (Seed(asn=sorted(graph.nodes())[0]),)
+        )
+        assert mk.routed_count_kernel(state) > 0
+
+    def test_on_without_numpy_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR", "on")
+        monkeypatch.setattr(vec, "_np", None)
+        monkeypatch.setattr(vec, "_np_checked", True)
+        with pytest.raises(RuntimeError, match="numpy"):
+            resolve_vector()
+
+    @needs_numpy
+    def test_vector_kernels_return_none_beyond_exact_floats(self):
+        # counts beyond 2**53 cannot cast exactly; the builder hands back
+        graph = netgen_graph("tiny", 7)
+        state = propagate_compiled(
+            graph.compile(), (Seed(asn=sorted(graph.nodes())[0]),)
+        )
+        dag = mk.dag_of(state)
+        assert dag is not None
