@@ -5,7 +5,7 @@ PROFILE ?= small
 # Let the targets work from a fresh checkout without `make install`.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench bench-engine bench-leaks bench-events bench-metrics-kernel bench-multiorigin bench-vector bench-scale experiments csv examples all
+.PHONY: install test test-fast bench bench-engine bench-leaks bench-events bench-metrics-kernel bench-multiorigin bench-vector bench-scale bench-serve experiments csv examples all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -63,6 +63,13 @@ bench-vector:
 # stamped; writes benchmarks/bench_scale.json.
 bench-scale:
 	pytest benchmarks/test_bench_scale.py --benchmark-only
+
+# Query-serving tiers: cold propagation vs warm LRU vs precomputed mmap
+# shards, plus an HTTP load-generator leg against the real `repro serve`
+# server; asserts bit-identical answers across tiers and the >=10x
+# precomputed-vs-cold speedup; writes benchmarks/bench_serve.json.
+bench-serve:
+	pytest benchmarks/test_bench_serve.py --benchmark-only
 
 experiments:
 	python -m repro.experiments.runner $(PROFILE)

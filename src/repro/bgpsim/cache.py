@@ -34,6 +34,9 @@ class CacheStats:
     ``prefetch_skipped`` counts origins a bounded cache declined to
     prefetch (the request exceeded ``maxsize``; they recompute lazily on
     first use), ``prefetch_chunks`` the batched sweeps prefetches issued.
+    ``disk_hits``/``disk_misses`` count consults of the attached shard
+    store (always 0 without one): a disk hit served a precomputed
+    mmap-backed state instead of propagating.
     """
 
     size: int
@@ -45,11 +48,22 @@ class CacheStats:
     prefetch_chunks: int = 0
     #: times invalidate() dropped the cached states (topology mutations)
     baseline_invalidations: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def tiers(self) -> dict[str, int]:
+        """Lookups answered per tier: warm LRU, mmap disk, propagation."""
+        return {
+            "lru": self.hits,
+            "disk": self.disk_hits,
+            "computed": self.misses,
+        }
 
 
 class RoutingStateCache:
@@ -68,6 +82,16 @@ class RoutingStateCache:
     bundles that only materialize per-AS route objects when a consumer
     touches ``state.routes`` — so a bounded cache holds far more origins
     in the same memory.
+
+    ``shards`` (or a later :meth:`attach_shards`) adds a **disk tier**:
+    a :class:`~repro.bgpsim.shards.ShardStore` of precomputed
+    mmap-backed states consulted between the LRU and propagation, so an
+    LRU miss over a precomputed corpus costs an offset lookup + six
+    ``memoryview`` casts instead of a graph sweep.  The store's graph
+    digest is verified on attach and re-verified whenever the graph's
+    compiled snapshot changes (timeline events), so a mutated topology
+    silently bypasses the disk tier instead of serving stale states —
+    and re-enables it when an inverse event restores the topology.
     """
 
     def __init__(
@@ -76,6 +100,7 @@ class RoutingStateCache:
         maxsize: Optional[int] = None,
         engine: Optional[str] = None,
         batch: Optional[int] = None,
+        shards=None,
     ) -> None:
         if maxsize is not None and maxsize < 1:
             raise ValueError("maxsize must be None or >= 1")
@@ -91,13 +116,84 @@ class RoutingStateCache:
         self._prefetch_skipped = 0
         self._prefetch_chunks = 0
         self._baseline_invalidations = 0
+        self._disk_hits = 0
+        self._disk_misses = 0
+        self.shards = None
+        self._shards_ok_cg = None  # compiled snapshot the digest matched
+        self._shards_bad_cg = None  # compiled snapshot it mismatched
+        if shards is not None:
+            self.attach_shards(shards)
 
-    def _batch_width(self, batch: Optional[int]) -> int:
+    # -- disk tier ------------------------------------------------------
+    def attach_shards(self, store) -> None:
+        """Attach a precomputed shard store as the disk tier.
+
+        The store's graph digest must match this cache's graph
+        (:class:`~repro.bgpsim.shards.ShardError` otherwise).
+        """
+        store.verify(self.graph)
+        self.shards = store
+        self._shards_ok_cg = self.graph.compile()
+        self._shards_bad_cg = None
+
+    def detach_shards(self):
+        """Drop the disk tier; returns the store (not closed)."""
+        store, self.shards = self.shards, None
+        self._shards_ok_cg = self._shards_bad_cg = None
+        return store
+
+    def _disk_ready(self) -> bool:
+        """Whether the disk tier may serve the *current* topology.
+
+        Digest checks are memoized on the graph's compiled-snapshot
+        identity — ``ASGraph.compile()`` returns a cached object until a
+        mutation invalidates it — so steady-state consults cost two
+        ``is`` checks, while every topology change forces exactly one
+        re-hash (disabling the tier on mismatch, restoring it when an
+        inverse event brings the digest back).
+        """
+        if self.shards is None:
+            return False
+        cg = self.graph.compile()
+        if cg is self._shards_ok_cg:
+            return True
+        if cg is self._shards_bad_cg:
+            return False
+        from .shards import graph_digest
+
+        if graph_digest(cg) == self.shards.digest:
+            self._shards_ok_cg = cg
+            return True
+        self._shards_bad_cg = cg
+        return False
+
+    def _on_disk(self, origin: int) -> bool:
+        """Uncounted peek: could the disk tier serve ``origin``?"""
+        return self._disk_ready() and origin in self.shards
+
+    def _from_disk(
+        self, origin: int, insert: bool = True
+    ) -> Optional[RoutingState]:
+        """Consult the disk tier for ``origin`` (counted in stats)."""
+        if not self._disk_ready():
+            return None
+        try:
+            state = self.shards.state_for(origin)
+        except KeyError:
+            self._disk_misses += 1
+            return None
+        self._disk_hits += 1
+        if insert:
+            self._insert(origin, state)
+        return state
+
+    def _batch_width(self, batch: Optional[int], cap: bool = True) -> int:
         """Effective batch width for a sweep: the per-call override, else
         the cache's knob, else the environment default — capped at the
         cache bound (a wider batch would only compute states that evict
-        each other before first use) and forced to 1 on the reference
-        engine (which has no batch kernel)."""
+        each other before first use; streaming sweeps that bypass the
+        LRU pass ``cap=False``) and forced to 1 on the reference engine
+        (which has no batch kernel)."""
         from .multiorigin import resolve_batch
 
         width = resolve_batch(self.batch if batch is None else batch)
@@ -106,7 +202,7 @@ class RoutingStateCache:
                 return 1
         except ValueError:
             return 1  # unknown engine string: the sweep itself will raise
-        if self.maxsize is not None:
+        if cap and self.maxsize is not None:
             width = min(width, self.maxsize)
         return max(width, 1)
 
@@ -115,6 +211,9 @@ class RoutingStateCache:
         if state is not None:
             self._hits += 1
             self._states.move_to_end(origin)
+            return state
+        state = self._from_disk(origin)
+        if state is not None:
             return state
         self._misses += 1
         state = propagate(self.graph, Seed(asn=origin), engine=self.engine)
@@ -175,14 +274,16 @@ class RoutingStateCache:
     ) -> int:
         """Warm the cache for ``origins``; returns how many were computed.
 
-        Missing origins are propagated — batched through the bit-parallel
-        multi-origin kernel, in parallel when ``workers`` asks for it —
-        and inserted in input order.  With a bounded cache the request is
-        chunked to the cache bound: the *first* ``maxsize`` missing
-        origins are computed (consumers drain prefetched sweeps in input
-        order, so these are the ones read before any eviction) and the
-        rest are skipped rather than computed-then-evicted unread; the
-        skip/chunk decisions are visible in :meth:`stats`.
+        Missing origins are served from the disk tier when a shard store
+        is attached, and otherwise propagated — batched through the
+        bit-parallel multi-origin kernel, in parallel when ``workers``
+        asks for it — and inserted in input order.  With a bounded cache
+        the request is chunked to the cache bound: the *first*
+        ``maxsize`` missing origins are computed (consumers drain
+        prefetched sweeps in input order, so these are the ones read
+        before any eviction) and the rest are skipped rather than
+        computed-then-evicted unread; the skip/chunk decisions are
+        visible in :meth:`stats`.
         """
         from .parallel import propagate_origins
 
@@ -195,7 +296,7 @@ class RoutingStateCache:
             if origin in self._states:
                 self._states.move_to_end(origin)
                 self._hits += 1
-            else:
+            elif self._from_disk(origin) is None:
                 missing.append(origin)
         if self.maxsize is not None and len(missing) > self.maxsize:
             self._prefetch_skipped += len(missing) - self.maxsize
@@ -220,18 +321,30 @@ class RoutingStateCache:
         origins: Iterable[int],
         workers: int | str | None = None,
         batch: Optional[int] = None,
+        stream: bool = False,
     ) -> Iterator[tuple[int, RoutingState]]:
         """``(origin, state)`` pairs in input order, batching the misses.
 
         Unlike :meth:`prefetch` + :meth:`state_for`, this streams: runs
         of missing origins are computed as bit-parallel batches and
-        yielded (and cached) as they complete, so an over-``maxsize``
-        sweep still pays one batched sweep per chunk — never a fallback
-        to per-origin recomputes — while the cache holds at most
-        ``maxsize`` states at any moment.
+        yielded as they complete, so an over-``maxsize`` sweep still
+        pays one batched sweep per chunk — never a fallback to
+        per-origin recomputes — while the cache holds at most
+        ``maxsize`` states at any moment.  Cache and disk hits are
+        served from their tiers either way.
+
+        ``stream=True`` additionally bypasses the LRU for computed
+        states: each batch's views are yielded and then *dropped* (the
+        backing :class:`~repro.bgpsim.multiorigin.BatchRoutingState` is
+        released as soon as its window is consumed, and nothing is
+        inserted into the cache), so a full-origin-set sweep — or
+        ``repro precompute`` — runs in **O(batch) peak memory**
+        regardless of the origin count (tracemalloc-asserted in
+        ``tests/test_shards.py``).  The batch width is then also not
+        capped at ``maxsize``.
         """
         origin_list = list(origins)
-        width = self._batch_width(batch)
+        width = self._batch_width(batch, cap=not stream)
         from .parallel import propagate_origins
 
         i, n = 0, len(origin_list)
@@ -244,13 +357,22 @@ class RoutingStateCache:
                 yield origin, state
                 i += 1
                 continue
+            state = self._from_disk(origin, insert=not stream)
+            if state is not None:
+                yield origin, state
+                i += 1
+                continue
             # gather the next window's distinct missing origins, one batch
             chunk: list[int] = []
             chunk_set: set[int] = set()
             j = i
             while j < n and len(chunk) < width:
                 candidate = origin_list[j]
-                if candidate not in self._states and candidate not in chunk_set:
+                if (
+                    candidate not in self._states
+                    and candidate not in chunk_set
+                    and not self._on_disk(candidate)
+                ):
                     chunk.append(candidate)
                     chunk_set.add(candidate)
                 j += 1
@@ -264,17 +386,31 @@ class RoutingStateCache:
                 batch=width,
             ):
                 self._misses += 1
-                self._insert(o, s)
+                if not stream:
+                    self._insert(o, s)
                 computed[o] = s
             while i < j:
                 origin = origin_list[i]
                 state = computed.get(origin)
                 if state is None:
-                    # cached at scan time; state_for re-propagates in the
-                    # rare case the chunk's own inserts evicted it since
-                    state = self.state_for(origin)
+                    cached = self._states.get(origin)
+                    if cached is not None:
+                        self._hits += 1
+                        self._states.move_to_end(origin)
+                        state = cached
+                    else:
+                        state = self._from_disk(origin, insert=not stream)
+                    if state is None:
+                        # evicted by the chunk's own inserts (bounded,
+                        # non-stream); recompute through the normal path
+                        state = self.state_for(origin)
                 yield origin, state
+                state = None
                 i += 1
+            # release the window's views (and their BatchRoutingState)
+            # before the next batch is computed — stream peak memory is
+            # one window, not the whole origin set
+            computed.clear()
 
     def stats(self) -> CacheStats:
         return CacheStats(
@@ -286,6 +422,8 @@ class RoutingStateCache:
             prefetch_skipped=self._prefetch_skipped,
             prefetch_chunks=self._prefetch_chunks,
             baseline_invalidations=self._baseline_invalidations,
+            disk_hits=self._disk_hits,
+            disk_misses=self._disk_misses,
         )
 
     def __contains__(self, origin: int) -> bool:
@@ -323,3 +461,4 @@ class RoutingStateCache:
         self._hits = self._misses = self._evictions = 0
         self._prefetch_skipped = self._prefetch_chunks = 0
         self._baseline_invalidations = 0
+        self._disk_hits = self._disk_misses = 0

@@ -301,6 +301,11 @@ def propagate_origins(
                 if result._graph is None:  # returned from a pool worker
                     result.bind_graph(graph)
                 yield from result.views()
+                # break the view-cache cycle (view._batch <-> batch._views)
+                # so a streaming consumer that drops its views frees the
+                # whole batch by refcount alone, without waiting for gc —
+                # this is what keeps full-origin-set sweeps at O(batch)
+                result._views.clear()
 
         return _views()
     states = propagate_many(

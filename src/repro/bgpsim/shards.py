@@ -1,0 +1,698 @@
+"""Precomputed on-disk routing shards with zero-copy mmap readers.
+
+Every headline metric in the paper — reachability, path lengths,
+reliance, hegemony — is a pure function of a per-origin routing state,
+and the compiled engine already represents those states as flat arrays
+(:class:`~repro.bgpsim.compiled.CompiledRoutingState`).  This module
+persists them: a *shard* is an append-only binary file packing many
+origins' state arrays with a fixed header and a per-origin offset index,
+so a :class:`ShardReader` can ``mmap`` the file once and materialize any
+origin's state **zero-copy** — the state's arrays are ``memoryview``
+slices aliased onto the map, exactly the buffer-protocol objects the
+pure loops index and the vectorized kernels ``np.frombuffer`` (the same
+trick :mod:`repro.bgpsim.shm` plays with worker payloads).  No route
+objects are unpickled; opening a state is a dict lookup plus six
+``memoryview.cast`` calls.
+
+File layout (all integers little-endian, all payloads 8-byte aligned,
+matching the shared-memory arena packing):
+
+.. code-block:: text
+
+   header   magic "RPBGPSH1" | version u32 | flags u32 | n_nodes u64
+            | n_origins u64 | index_off u64 (0 while unsealed)
+            | asns_off u64 | asns_nbytes u64 | asns fmt char | pad
+            | sha256 graph digest (32 bytes)                     [96 B]
+   asns     the shared ASN table, one copy per shard
+   records  per origin: origin u64, then 6 entry descriptors
+            (fmt char | pad | abs offset u64 | nbytes u64) for
+            route_class / length / parent_head / pool_parent /
+            pool_next / routed, then the 8-aligned array payloads
+   index    n_origins × (origin u64, record offset u64)
+
+The header is written last (the writer seals the file by back-patching
+``index_off``), so a crash mid-write leaves ``index_off == 0`` and the
+reader rejects the file instead of serving a torn state.  The graph
+digest binds a shard to the exact CSR snapshot it was computed over;
+readers and stores refuse shards whose digest does not match the serving
+graph.
+
+On top of single files, :class:`ShardStore` manages a *content-addressed
+results directory* — ``<root>/<digest16>/manifest.json`` plus shard
+files — and :func:`precompute_shards` fans the origin set through the
+bit-parallel batched sweeps of
+:func:`~repro.bgpsim.parallel.propagate_origins` to build one.
+Correctness is anchored by the differential harness in
+``tests/test_shards.py`` (mmap-aliased states ≡ ``propagate_compiled``
+output on multiple netgen seeds).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+import struct
+from array import array
+from collections.abc import Iterator, Sequence
+from pathlib import Path
+from typing import Any, Optional
+
+from .compiled import CompiledGraph, CompiledRoutingState
+from .routes import Seed
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "MANIFEST_NAME",
+    "ShardError",
+    "ShardReader",
+    "ShardStore",
+    "ShardWriter",
+    "graph_digest",
+    "precompute_shards",
+]
+
+_MAGIC = b"RPBGPSH1"
+_VERSION = 1
+#: header: magic, version, flags, n_nodes, n_origins, index_off,
+#: asns_off, asns_nbytes, asns fmt char (+pad), graph digest
+_HEADER = struct.Struct("<8sIIQQQQQc7x32s")
+#: one per-origin record header: the origin ASN
+_REC = struct.Struct("<Q")
+#: one array entry descriptor: fmt char (+pad), abs offset, nbytes
+_ENTRY = struct.Struct("<c7xQQ")
+#: one offset-index row: origin ASN, record offset
+_INDEX = struct.Struct("<QQ")
+
+#: the state arrays a record stores, in on-disk order; ``_asns`` is
+#: shard-level (stored once, aliased by every origin's state)
+_RECORD_FIELDS = (
+    "_route_class",
+    "_length",
+    "_parent_head",
+    "_pool_parent",
+    "_pool_next",
+    "_routed",
+)
+
+MANIFEST_NAME = "manifest.json"
+
+#: default origins per shard file; small enough that a partial
+#: precompute flushes regularly, large enough that a paper-scale corpus
+#: stays at a few dozen files
+DEFAULT_SHARD_SIZE = 4096
+
+
+class ShardError(RuntimeError):
+    """A shard file or store is unreadable, unsealed, or mismatched."""
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+def _fmt_of(buf: Any) -> str:
+    """The element format char of a state buffer (``B`` for raw bytes)."""
+    if isinstance(buf, array):
+        return buf.typecode
+    if isinstance(buf, memoryview):
+        return buf.format
+    return "B"  # bytes / bytearray
+
+
+def graph_digest(graph) -> str:
+    """SHA-256 hex digest of a graph's compiled CSR snapshot.
+
+    Covers every adjacency array *and* its element format, so any
+    topology change — and nothing else — changes the digest.  Shards
+    carry it; readers refuse to serve states for a different graph.
+    """
+    cg: CompiledGraph = graph.compile()
+    digest = hashlib.sha256()
+    for name in (
+        "asns",
+        "provider_off",
+        "provider_nbr",
+        "customer_off",
+        "customer_nbr",
+        "peer_off",
+        "peer_nbr",
+    ):
+        buf = getattr(cg, name)
+        mv = memoryview(buf)
+        digest.update(name.encode())
+        digest.update(_fmt_of(buf).encode())
+        digest.update(mv.nbytes.to_bytes(8, "little"))
+        digest.update(mv.cast("B"))
+    return digest.hexdigest()
+
+
+class ShardWriter:
+    """Append per-origin compiled states to one shard file.
+
+    The header is written as a placeholder (``index_off = 0``) up front
+    and back-patched by :meth:`close` after the offset index — an
+    interrupted write therefore never yields a readable-but-torn shard.
+    Usable as a context manager.
+    """
+
+    def __init__(self, path: str | os.PathLike, graph) -> None:
+        cg: CompiledGraph = graph.compile()
+        self.path = Path(path)
+        self.digest = graph_digest(cg)
+        self._cg = cg
+        self._asns_bytes = bytes(memoryview(cg.asns).cast("B"))
+        self._asns_fmt = _fmt_of(cg.asns)
+        self._index: list[tuple[int, int]] = []
+        self._handle = open(self.path, "wb")
+        self._pos = 0
+        self._write(b"\x00" * _HEADER.size)
+        self._pad_to(_align8(self._pos))
+        self._asns_off = self._pos
+        self._write(self._asns_bytes)
+        self._closed = False
+
+    # -- low-level append ----------------------------------------------
+    def _write(self, data: bytes) -> None:
+        self._handle.write(data)
+        self._pos += len(data)
+
+    def _pad_to(self, target: int) -> None:
+        if target > self._pos:
+            self._write(b"\x00" * (target - self._pos))
+
+    @property
+    def origins(self) -> tuple[int, ...]:
+        return tuple(origin for origin, _ in self._index)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def add(self, origin: int, state) -> None:
+        """Append ``origin``'s routing state.
+
+        ``state`` must be an array-backed single-seed state: a
+        :class:`~repro.bgpsim.compiled.CompiledRoutingState` for the
+        plain ``Seed(asn=origin)`` (a
+        :class:`~repro.bgpsim.multiorigin.BatchOriginView` is converted
+        via ``to_compiled()``, which also shrinks its arrays to the
+        smallest typecodes — the compact on-disk form).
+        """
+        if self._closed:
+            raise ShardError(f"shard {self.path} is already sealed")
+        to_compiled = getattr(state, "to_compiled", None)
+        if to_compiled is not None:
+            state = to_compiled()
+        if not isinstance(state, CompiledRoutingState):
+            raise ShardError(
+                "shards hold array-backed compiled states; got "
+                f"{type(state).__name__} (run the compiled engine)"
+            )
+        if state.seeds != (Seed(asn=origin),) or state._origin_mask is not None:
+            raise ShardError(
+                f"shard records are plain single-origin states; AS{origin} "
+                f"got seeds {state.seeds!r}"
+            )
+        if len(state._asns) != self._cg.n:
+            raise ShardError(
+                f"state for AS{origin} has {len(state._asns)} nodes, "
+                f"shard graph has {self._cg.n}"
+            )
+        if any(o == origin for o, _ in self._index):
+            raise ShardError(f"duplicate origin AS{origin}")
+
+        buffers = [getattr(state, field) for field in _RECORD_FIELDS]
+        record_off = _align8(self._pos)
+        self._pad_to(record_off)
+        # lay the payloads out after the descriptor table, 8-aligned
+        cursor = record_off + _REC.size + _ENTRY.size * len(buffers)
+        descriptors = []
+        payloads = []
+        for buf in buffers:
+            data = bytes(memoryview(buf).cast("B"))
+            cursor = _align8(cursor)
+            descriptors.append((_fmt_of(buf).encode(), cursor, len(data)))
+            payloads.append((cursor, data))
+            cursor += len(data)
+        self._write(_REC.pack(origin))
+        for fmt, offset, nbytes in descriptors:
+            self._write(_ENTRY.pack(fmt, offset, nbytes))
+        for offset, data in payloads:
+            self._pad_to(offset)
+            self._write(data)
+        self._index.append((origin, record_off))
+
+    def close(self) -> None:
+        """Write the offset index, seal the header, and fsync."""
+        if self._closed:
+            return
+        index_off = _align8(self._pos)
+        self._pad_to(index_off)
+        for origin, record_off in self._index:
+            self._write(_INDEX.pack(origin, record_off))
+        header = _HEADER.pack(
+            _MAGIC,
+            _VERSION,
+            0,
+            self._cg.n,
+            len(self._index),
+            index_off,
+            self._asns_off,
+            len(self._asns_bytes),
+            self._asns_fmt.encode(),
+            bytes.fromhex(self.digest),
+        )
+        self._handle.flush()
+        self._handle.seek(0)
+        self._handle.write(header)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        self._closed = True
+
+    def __enter__(self) -> "ShardWriter":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is None:
+            self.close()
+        else:  # abandon the torn file unsealed (readers will reject it)
+            self._handle.close()
+            self._closed = True
+
+
+class ShardReader:
+    """Memory-mapped random access to one shard file.
+
+    ``state_for`` materializes an origin's
+    :class:`~repro.bgpsim.compiled.CompiledRoutingState` with every
+    array aliased onto the map — no copies, no unpickling.  Readers are
+    independent (several may map the same file) and ``state_for`` is
+    thread-safe after construction (reads only immutable lookups and the
+    shared map).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        expected_digest: Optional[str] = None,
+    ) -> None:
+        self.path = Path(path)
+        try:
+            self._file = open(self.path, "rb")
+        except OSError as exc:
+            raise ShardError(f"cannot open shard {self.path}: {exc}") from exc
+        try:
+            size = os.fstat(self._file.fileno()).st_size
+            if size < _HEADER.size:
+                raise ShardError(
+                    f"shard {self.path} is truncated "
+                    f"({size} bytes < {_HEADER.size}-byte header)"
+                )
+            self._mm = mmap.mmap(
+                self._file.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except ShardError:
+            self._file.close()
+            raise
+        self._buf = memoryview(self._mm)
+        self._size = size
+        try:
+            (
+                magic,
+                version,
+                _flags,
+                self.n_nodes,
+                n_origins,
+                index_off,
+                asns_off,
+                asns_nbytes,
+                asns_fmt,
+                digest,
+            ) = _HEADER.unpack_from(self._buf, 0)
+            if magic != _MAGIC:
+                raise ShardError(
+                    f"{self.path} is not a routing shard "
+                    f"(bad magic {magic!r})"
+                )
+            if version != _VERSION:
+                raise ShardError(
+                    f"{self.path} has shard format version {version}; "
+                    f"this reader understands {_VERSION}"
+                )
+            if index_off == 0:
+                raise ShardError(
+                    f"{self.path} is unsealed (interrupted write?)"
+                )
+            index_end = index_off + n_origins * _INDEX.size
+            if index_end > size or asns_off + asns_nbytes > size:
+                raise ShardError(
+                    f"{self.path} is truncated ({size} bytes; "
+                    f"index ends at {index_end})"
+                )
+            self.digest = digest.hex()
+            if expected_digest is not None and self.digest != expected_digest:
+                raise ShardError(
+                    f"{self.path} was precomputed for graph "
+                    f"{self.digest[:16]}, expected {expected_digest[:16]}"
+                )
+            fmt = asns_fmt.decode()
+            asns_view = self._buf[asns_off : asns_off + asns_nbytes]
+            self._asns = asns_view if fmt == "B" else asns_view.cast(fmt)
+            self._index: dict[int, int] = {}
+            for row in range(n_origins):
+                origin, record_off = _INDEX.unpack_from(
+                    self._buf, index_off + row * _INDEX.size
+                )
+                self._index[origin] = record_off
+        except ShardError:
+            self.close()
+            raise
+        except (struct.error, ValueError) as exc:
+            self.close()
+            raise ShardError(f"corrupted shard {self.path}: {exc}") from exc
+
+    # -- queries --------------------------------------------------------
+    @property
+    def origins(self) -> tuple[int, ...]:
+        """Origins in record (precompute input) order."""
+        return tuple(self._index)
+
+    def __contains__(self, origin: int) -> bool:
+        return origin in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def state_for(self, origin: int) -> CompiledRoutingState:
+        """``origin``'s routing state, arrays aliased onto the map."""
+        record_off = self._index.get(origin)
+        if record_off is None:
+            raise KeyError(f"AS{origin} not in shard {self.path}")
+        try:
+            (stored,) = _REC.unpack_from(self._buf, record_off)
+        except struct.error as exc:
+            raise ShardError(
+                f"corrupted shard {self.path}: record for AS{origin} "
+                f"at {record_off} is out of bounds"
+            ) from exc
+        if stored != origin:
+            raise ShardError(
+                f"corrupted shard {self.path}: index points AS{origin} "
+                f"at a record for AS{stored}"
+            )
+        views = []
+        cursor = record_off + _REC.size
+        for field in _RECORD_FIELDS:
+            try:
+                fmt, offset, nbytes = _ENTRY.unpack_from(self._buf, cursor)
+            except struct.error as exc:
+                raise ShardError(
+                    f"corrupted shard {self.path}: torn entry table "
+                    f"for AS{origin}"
+                ) from exc
+            cursor += _ENTRY.size
+            if offset + nbytes > self._size:
+                raise ShardError(
+                    f"corrupted shard {self.path}: {field} of AS{origin} "
+                    f"extends past end of file"
+                )
+            view = self._buf[offset : offset + nbytes]
+            code = fmt.decode()
+            views.append(view if code == "B" else view.cast(code))
+        rc, length, head, pool_parent, pool_next, routed = views
+        return CompiledRoutingState(
+            self._asns,
+            (Seed(asn=origin),),
+            rc,
+            length,
+            head,
+            pool_parent,
+            pool_next,
+            routed,
+            None,
+        )
+
+    def close(self) -> None:
+        """Release the map (idempotent).
+
+        States handed out earlier keep the map alive through their
+        views; like the shared-memory arenas, a map pinned by live views
+        is simply left for process exit to reclaim.
+        """
+        buf = self.__dict__.pop("_buf", None)
+        if buf is not None:
+            try:
+                buf.release()
+            except BufferError:
+                pass
+        mm = self.__dict__.pop("_mm", None)
+        if mm is not None:
+            try:
+                mm.close()
+            except BufferError:
+                pass  # live state views pin the map; exit reclaims it
+        handle = self.__dict__.pop("_file", None)
+        if handle is not None:
+            handle.close()
+
+    def __enter__(self) -> "ShardReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# shard stores: a content-addressed directory of shards + manifest
+# ---------------------------------------------------------------------------
+
+
+class ShardStore:
+    """A directory of shards behind one origin → state lookup.
+
+    The directory holds ``manifest.json`` (graph digest, engine/vector
+    knobs, per-shard origin ranges) and the shard files it names; origins
+    resolve to their shard in O(1).  Open with :meth:`open`, which also
+    accepts the *root* directory of a content-addressed tree (it then
+    descends into ``<digest16>/`` for the supplied graph).
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        manifest: dict[str, Any],
+        readers: Sequence[ShardReader],
+    ) -> None:
+        self.directory = directory
+        self.manifest = manifest
+        self.digest: str = manifest["graph_digest"]
+        self._readers = tuple(readers)
+        self._where: dict[int, ShardReader] = {}
+        for reader in self._readers:
+            for origin in reader.origins:
+                self._where.setdefault(origin, reader)
+
+    @classmethod
+    def open(cls, directory: str | os.PathLike, graph=None) -> "ShardStore":
+        """Open a shard directory (or a content-addressed root).
+
+        With ``graph`` the store's digest is verified against it —
+        mismatches raise :class:`ShardError` rather than silently
+        serving states for a different topology.
+        """
+        root = Path(directory)
+        manifest_path = root / MANIFEST_NAME
+        if not manifest_path.exists() and graph is not None:
+            candidate = root / graph_digest(graph)[:16] / MANIFEST_NAME
+            if candidate.exists():
+                manifest_path = candidate
+        if not manifest_path.exists():
+            raise ShardError(f"no {MANIFEST_NAME} under {root}")
+        base = manifest_path.parent
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ShardError(f"unreadable manifest {manifest_path}: {exc}")
+        if manifest.get("format") != "repro.bgpsim.shards":
+            raise ShardError(f"{manifest_path} is not a shard manifest")
+        digest = manifest.get("graph_digest")
+        if not digest:
+            raise ShardError(f"{manifest_path} carries no graph digest")
+        readers: list[ShardReader] = []
+        try:
+            for entry in manifest.get("shards", ()):
+                readers.append(
+                    ShardReader(base / entry["file"], expected_digest=digest)
+                )
+        except ShardError:
+            for reader in readers:
+                reader.close()
+            raise
+        store = cls(base, manifest, readers)
+        if graph is not None:
+            store.verify(graph)
+        return store
+
+    def verify(self, graph) -> "ShardStore":
+        """Raise :class:`ShardError` unless ``graph`` matches the store."""
+        actual = graph_digest(graph)
+        if actual != self.digest:
+            raise ShardError(
+                f"shard store {self.directory} was precomputed for graph "
+                f"{self.digest[:16]}, but the serving graph is "
+                f"{actual[:16]} — re-run `repro precompute`"
+            )
+        return self
+
+    # -- queries --------------------------------------------------------
+    def __contains__(self, origin: int) -> bool:
+        return origin in self._where
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def origins(self) -> tuple[int, ...]:
+        return tuple(self._where)
+
+    def state_for(self, origin: int) -> CompiledRoutingState:
+        reader = self._where.get(origin)
+        if reader is None:
+            raise KeyError(f"AS{origin} not in shard store {self.directory}")
+        return reader.state_for(origin)
+
+    def close(self) -> None:
+        for reader in self._readers:
+            reader.close()
+
+    def __enter__(self) -> "ShardStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# precompute driver
+# ---------------------------------------------------------------------------
+
+
+def precompute_shards(
+    graph,
+    out_root: str | os.PathLike,
+    origins: Optional[Sequence[int]] = None,
+    workers: int | str | None = None,
+    batch: Optional[int] = None,
+    engine: Optional[str] = None,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    force: bool = False,
+    progress=None,
+) -> Path:
+    """Precompute routing shards for ``origins`` (default: every AS).
+
+    Fans the origin set through the bit-parallel batched sweeps of
+    :func:`~repro.bgpsim.parallel.propagate_origins` (``workers``
+    processes, ``REPRO_BATCH``-sized batches) and streams the per-origin
+    states into shard files of ``shard_size`` origins under the
+    content-addressed directory ``<out_root>/<digest16>/``, consuming
+    each batch as it completes — peak memory stays O(batch) regardless
+    of the origin-set size.  Writes ``manifest.json`` last (its presence
+    marks the corpus complete); an existing complete corpus covering the
+    requested origins is reused unless ``force``.
+
+    Returns the content-addressed directory.
+    """
+    if shard_size < 1:
+        raise ValueError("shard_size must be >= 1")
+    from .engine import resolve_engine
+    from .multiorigin import resolve_batch
+    from .parallel import propagate_origins, resolve_workers
+    from .shm import resolve_shm
+    from .vectorized import resolve_vector
+
+    cg: CompiledGraph = graph.compile()
+    digest = graph_digest(cg)
+    target = Path(out_root) / digest[:16]
+    origin_list = (
+        sorted(cg.asns) if origins is None else list(dict.fromkeys(origins))
+    )
+    if not force and (target / MANIFEST_NAME).exists():
+        try:
+            store = ShardStore.open(target)
+        except ShardError:
+            pass  # stale/torn corpus: rebuild below
+        else:
+            have = set(store.origins())
+            store.close()
+            if set(origin_list) <= have:
+                return target
+    target.mkdir(parents=True, exist_ok=True)
+
+    shard_infos: list[dict[str, Any]] = []
+    writer: Optional[ShardWriter] = None
+    done = 0
+    try:
+        for origin, state in propagate_origins(
+            graph,
+            origin_list,
+            workers=workers,
+            engine=engine,
+            batch=batch,
+        ):
+            if writer is None:
+                name = f"shard-{len(shard_infos):05d}.shard"
+                writer = ShardWriter(target / name, cg)
+            writer.add(origin, state)
+            done += 1
+            if progress is not None:
+                progress(done, len(origin_list))
+            if len(writer) >= shard_size:
+                writer.close()
+                shard_infos.append(_shard_info(writer))
+                writer = None
+        if writer is not None and len(writer):
+            writer.close()
+            shard_infos.append(_shard_info(writer))
+            writer = None
+    finally:
+        if writer is not None:
+            writer._handle.close()  # abandon unsealed on error
+
+    manifest = {
+        "format": "repro.bgpsim.shards",
+        "version": _VERSION,
+        "graph_digest": digest,
+        "n_nodes": cg.n,
+        "origins": len(origin_list),
+        "engine": resolve_engine(engine),
+        "workers": resolve_workers(workers),
+        "batch": resolve_batch(batch),
+        "vector": resolve_vector(),
+        "shm": resolve_shm(),
+        "shard_size": shard_size,
+        "shards": shard_infos,
+    }
+    (target / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2) + "\n"
+    )
+    return target
+
+
+def _shard_info(writer: ShardWriter) -> dict[str, Any]:
+    origins = writer.origins
+    return {
+        "file": writer.path.name,
+        "origins": len(origins),
+        "first": min(origins),
+        "last": max(origins),
+        "bytes": writer.path.stat().st_size,
+    }
+
+
+def iter_store_states(
+    store: ShardStore,
+) -> Iterator[tuple[int, CompiledRoutingState]]:
+    """``(origin, state)`` pairs for every origin in the store."""
+    for origin in store.origins():
+        yield origin, store.state_for(origin)

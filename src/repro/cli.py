@@ -11,6 +11,10 @@ Subcommands mirror the workflows a downstream user actually has:
 * ``repro infer`` — AS-relationship inference from a collector dump;
 * ``repro timeline`` — replay a dynamic-topology event timeline and
   report per-event reachability/reliance/hegemony series;
+* ``repro precompute`` — shard every origin's routing state to disk
+  under a content-addressed results directory;
+* ``repro serve`` — HTTP query service over the warm-LRU + mmap-shard
+  tiers (reachable/path_length/reliance/hegemony/rib);
 * ``repro experiments`` — run every table/figure reproduction.
 """
 
@@ -166,6 +170,96 @@ def cmd_infer(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_precompute(args: argparse.Namespace) -> int:
+    from .bgpsim.shards import ShardStore, precompute_shards
+    from .topology import load_graph
+
+    graph = load_graph(args.file)
+    origins = None
+    if args.origins:
+        origins = [int(o) for o in args.origins.split(",") if o]
+        unknown = [o for o in origins if o not in graph]
+        if unknown:
+            print(
+                f"error: AS{unknown[0]} not in {args.file}", file=sys.stderr
+            )
+            return 1
+
+    total = len(origins) if origins is not None else len(graph)
+    last = [-1]
+
+    def progress(done: int, count: int) -> None:
+        percent = done * 100 // count
+        if percent >= last[0] + 10 or done == count:
+            last[0] = percent
+            print(f"  {done}/{count} origins", file=sys.stderr)
+
+    target = precompute_shards(
+        graph,
+        args.output,
+        origins=origins,
+        workers=args.workers,
+        batch=args.batch,
+        engine=args.engine,
+        shard_size=args.shard_size,
+        force=args.force,
+        progress=progress if not args.quiet else None,
+    )
+    with ShardStore.open(target) as store:
+        manifest = store.manifest
+        print(
+            f"precomputed {len(store)}/{total} origins into "
+            f"{len(manifest['shards'])} shard(s) under {target} "
+            f"(graph {manifest['graph_digest'][:16]})"
+        )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .bgpsim.shards import ShardError, ShardStore
+    from .serve import QueryService, serve, smoke_check
+    from .topology import load_graph
+
+    graph = load_graph(args.file)
+    store = None
+    if args.shards:
+        try:
+            store = ShardStore.open(args.shards, graph=graph)
+        except ShardError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    service = QueryService(
+        graph,
+        shards=store,
+        maxsize=args.maxsize,
+        engine=args.engine,
+        batch=args.batch,
+    )
+    if args.smoke:
+        failures = smoke_check(service, host=args.host)
+        if failures:
+            for failure in failures:
+                print(f"smoke FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(
+            "smoke ok: every endpoint matches live propagation "
+            f"({len(graph)} ASes, shards={'yes' if store else 'no'})"
+        )
+        return 0
+    tier = f" + {len(store)} precomputed origins" if store else ""
+    print(
+        f"serving {len(graph)} ASes on http://{args.host}:{args.port} "
+        f"(warm LRU maxsize={args.maxsize}{tier}); Ctrl-C stops"
+    )
+    try:
+        asyncio.run(serve(service, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def cmd_timeline(args: argparse.Namespace) -> int:
     from .experiments.timeline import ScenarioRunner, parse_events
     from .topology import load_graph
@@ -182,6 +276,15 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     targets = (
         [int(t) for t in args.targets.split(",") if t] if args.targets else []
     )
+    shards = None
+    if args.shards:
+        from .bgpsim.shards import ShardError, ShardStore
+
+        try:
+            shards = ShardStore.open(args.shards, graph=graph)
+        except ShardError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     runner = ScenarioRunner(
         graph,
         origins=[args.origin],
@@ -190,6 +293,7 @@ def cmd_timeline(args: argparse.Namespace) -> int:
         workers=args.workers,
         batch=args.batch,
         threshold=args.threshold,
+        shards=shards,
     )
     result = runner.run(events)
     print(
@@ -216,10 +320,13 @@ def cmd_timeline(args: argparse.Namespace) -> int:
                 f"hegemony={record.hegemony[target]:.4f}"
             )
     stats = runner.cache.stats()
+    disk = f" / {stats.disk_hits} disk hits" if shards is not None else ""
     print(
-        f"  cache: {stats.hits} hits / {stats.misses} misses, "
+        f"  cache: {stats.hits} hits / {stats.misses} misses{disk}, "
         f"{stats.baseline_invalidations} baseline invalidations"
     )
+    if shards is not None:
+        shards.close()
     return 0
 
 
@@ -376,7 +483,96 @@ def build_parser() -> argparse.ArgumentParser:
         "engine falls back to a full recompute (default: "
         "$REPRO_EVENT_THRESHOLD or 0.5)",
     )
+    timeline.add_argument(
+        "--shards",
+        help="precomputed shard directory (repro precompute) serving "
+        "pre-event baselines from mmap instead of propagating",
+    )
     timeline.set_defaults(func=cmd_timeline)
+
+    precompute = sub.add_parser(
+        "precompute",
+        help="shard every origin's routing state to disk for O(1) serving",
+    )
+    precompute.add_argument("file", help="CAIDA serial-1/serial-2 file")
+    precompute.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        help="results root; shards land under <output>/<graph-digest16>/",
+    )
+    precompute.add_argument(
+        "--origins",
+        help="comma-separated ASNs (default: every AS in the graph)",
+    )
+    precompute.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=None,
+        help="propagation worker processes (int, or 'auto' for all CPUs)",
+    )
+    precompute.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        help="bit-parallel batch width (default: $REPRO_BATCH or 256)",
+    )
+    precompute.add_argument(
+        "--engine",
+        choices=("compiled", "reference", "incremental"),
+        default=None,
+        help="propagation engine (shards store compiled array states)",
+    )
+    precompute.add_argument(
+        "--shard-size",
+        type=int,
+        default=4096,
+        help="origins per shard file (default: 4096)",
+    )
+    precompute.add_argument(
+        "--force",
+        action="store_true",
+        help="rebuild even if a complete corpus already exists",
+    )
+    precompute.add_argument("-q", "--quiet", action="store_true")
+    precompute.set_defaults(func=cmd_precompute)
+
+    serve = sub.add_parser(
+        "serve",
+        help="HTTP query service over the warm-LRU + mmap-shard tiers",
+    )
+    serve.add_argument("file", help="CAIDA serial-1/serial-2 file")
+    serve.add_argument(
+        "--shards",
+        help="precomputed shard directory (repro precompute) to mmap as "
+        "the disk tier",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8351)
+    serve.add_argument(
+        "--maxsize",
+        type=int,
+        default=1024,
+        help="warm-tier LRU bound (default: 1024)",
+    )
+    serve.add_argument(
+        "--engine",
+        choices=("compiled", "reference", "incremental"),
+        default=None,
+    )
+    serve.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        help="bit-parallel width for batched request warming",
+    )
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="bind an ephemeral port, issue one query per endpoint, diff "
+        "against live propagation, and exit (CI health check)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     experiments = sub.add_parser(
         "experiments", help="run every table/figure reproduction"

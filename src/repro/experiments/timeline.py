@@ -197,6 +197,12 @@ class ScenarioRunner:
     processes, ``batch`` sets the bit-parallel prefetch width, and
     ``threshold`` caps the delta pass's withdrawal region
     (:func:`~repro.bgpsim.events.resolve_event_threshold`).
+
+    ``shards`` attaches a precomputed
+    :class:`~repro.bgpsim.shards.ShardStore` as the cache's disk tier:
+    the step-0 baselines come from mmap instead of propagation, and the
+    digest re-check inside the cache keeps mutated topologies off the
+    disk tier (re-enabling it when an inverse event restores the graph).
     """
 
     def __init__(
@@ -209,6 +215,7 @@ class ScenarioRunner:
         workers: int | str | None = None,
         batch: Optional[int] = None,
         threshold: Optional[float] = None,
+        shards=None,
     ) -> None:
         self.graph = graph
         self.origins = tuple(origins)
@@ -221,6 +228,8 @@ class ScenarioRunner:
         self.threshold = threshold
         if cache is None:
             cache = RoutingStateCache(graph, engine="compiled", batch=batch)
+        if shards is not None:
+            cache.attach_shards(shards)
         self.cache = cache
 
     def run(self, events: Iterable[Event]) -> TimelineResult:

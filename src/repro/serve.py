@@ -1,0 +1,585 @@
+"""``repro serve`` — the routing-state query service.
+
+The paper's headline metrics are pure functions of per-origin routing
+states, and the engine stack now has three tiers for obtaining one:
+
+1. **warm** — the :class:`~repro.bgpsim.cache.RoutingStateCache` LRU;
+2. **disk** — precomputed shards (``repro precompute``) memory-mapped by
+   a :class:`~repro.bgpsim.shards.ShardStore`, O(1) per origin;
+3. **cold** — a live propagation sweep.
+
+This module puts an HTTP face on that stack: :class:`QueryService` is
+the synchronous query core (one method per endpoint, fully testable
+without sockets) and :func:`serve` wraps it in a stdlib-``asyncio``
+HTTP/1.1 server with **request batching** — concurrent queries for
+cache-missing origins are coalesced within a short window and warmed
+through one bit-parallel ``prefetch`` sweep instead of N independent
+propagations.
+
+Endpoints (GET, JSON responses):
+
+``/reachable?origin=A&target=B``
+    whether B holds a route for A's prefix (+ class and path length)
+``/path_length?origin=A&target=B``
+    B's tied-best AS-path length toward A (``null`` when unreachable)
+``/reliance?origin=A&target=B``
+    the paper's provider-reliance mass ``rely(A, B)``
+``/hegemony?origin=A&target=B``
+    local AS hegemony ``H(A, B)`` (Fontugne et al.)
+``/rib?origin=A&asn=B``
+    B's RIB entry for A's prefix: class, length, tied parent set
+``/stats`` · ``/health``
+    cache tier counters (lru/disk/computed) and liveness
+
+Every answer is derived from the same states live propagation produces —
+the serve benchmark (``make bench-serve``) and the CI smoke leg assert
+responses bit-identical to fresh ``propagate`` output.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import threading
+from typing import Any, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from .bgpsim.cache import RoutingStateCache
+from .core.hegemony import TRIM, local_hegemony
+from .core.reliance import reliance_from_state
+from .topology.asgraph import ASGraph
+
+__all__ = [
+    "DEFAULT_MAXSIZE",
+    "QueryError",
+    "QueryService",
+    "ServerHandle",
+    "serve",
+    "start_server_thread",
+]
+
+#: default warm-tier bound: enough for a busy working set, bounded so a
+#: long-running server over a paper-scale corpus cannot grow unbounded
+DEFAULT_MAXSIZE = 1024
+
+#: how long the batcher waits to coalesce concurrent cold origins
+DEFAULT_BATCH_WINDOW = 0.002
+
+
+class QueryError(Exception):
+    """An HTTP-mappable query failure (bad parameter, unknown AS)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class QueryService:
+    """The synchronous query core behind every ``repro serve`` endpoint.
+
+    Holds the tiered state stack — a
+    :class:`~repro.bgpsim.cache.RoutingStateCache` (warm LRU), optionally
+    backed by a precomputed :class:`~repro.bgpsim.shards.ShardStore`
+    (mmap disk tier) — and answers one query per method call.  The HTTP
+    layer is a thin wrapper over :meth:`answer`; tests and benchmarks
+    call the service directly.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        cache: Optional[RoutingStateCache] = None,
+        shards=None,
+        maxsize: Optional[int] = DEFAULT_MAXSIZE,
+        engine: Optional[str] = None,
+        batch: Optional[int] = None,
+        trim: float = TRIM,
+    ) -> None:
+        if cache is None:
+            cache = RoutingStateCache(
+                graph, maxsize=maxsize, engine=engine, batch=batch
+            )
+        if shards is not None:
+            cache.attach_shards(shards)
+        self.graph = graph
+        self.cache = cache
+        self.trim = trim
+        self.requests = 0
+        self._routes = {
+            "/health": self._ep_health,
+            "/stats": self._ep_stats,
+            "/reachable": self._ep_reachable,
+            "/path_length": self._ep_path_length,
+            "/reliance": self._ep_reliance,
+            "/hegemony": self._ep_hegemony,
+            "/rib": self._ep_rib,
+        }
+
+    # -- plumbing -------------------------------------------------------
+    def _asn(self, params: dict[str, str], name: str) -> int:
+        raw = params.get(name)
+        if raw is None:
+            raise QueryError(400, f"missing query parameter {name!r}")
+        try:
+            asn = int(raw)
+        except ValueError:
+            raise QueryError(400, f"{name} must be an AS number, got {raw!r}")
+        if asn not in self.graph:
+            raise QueryError(404, f"AS{asn} not in graph")
+        return asn
+
+    def _state(self, origin: int):
+        return self.cache.state_for(origin)
+
+    def warm(self, origins) -> int:
+        """Batched warm-up for the request batcher: one bit-parallel
+        prefetch sweep over the origins that are in the graph (unknown
+        origins are left for their own requests to 404)."""
+        known = [o for o in origins if o in self.graph]
+        if not known:
+            return 0
+        return self.cache.prefetch(known)
+
+    def answer(self, path: str, params: dict[str, str]) -> tuple[int, dict]:
+        """Dispatch one query; returns ``(http_status, json_payload)``."""
+        self.requests += 1
+        handler = self._routes.get(path.rstrip("/") or "/health")
+        if handler is None:
+            return 404, {
+                "error": f"unknown endpoint {path!r}",
+                "endpoints": sorted(self._routes),
+            }
+        try:
+            return 200, handler(params)
+        except QueryError as exc:
+            return exc.status, {"error": exc.message}
+
+    # -- endpoints ------------------------------------------------------
+    def _ep_health(self, params: dict[str, str]) -> dict[str, Any]:
+        return {"status": "ok", "nodes": len(self.graph.nodes())}
+
+    def _ep_stats(self, params: dict[str, str]) -> dict[str, Any]:
+        stats = self.cache.stats()
+        payload: dict[str, Any] = dataclasses.asdict(stats)
+        payload["tiers"] = stats.tiers
+        payload["requests"] = self.requests
+        store = self.cache.shards
+        payload["shards"] = (
+            None
+            if store is None
+            else {
+                "directory": str(store.directory),
+                "origins": len(store),
+                "graph_digest": store.digest[:16],
+            }
+        )
+        return payload
+
+    def _ep_reachable(self, params: dict[str, str]) -> dict[str, Any]:
+        origin = self._asn(params, "origin")
+        target = self._asn(params, "target")
+        state = self._state(origin)
+        route_class = state.route_class(target)
+        return {
+            "origin": origin,
+            "target": target,
+            "reachable": route_class is not None,
+            "route_class": None if route_class is None else route_class.name,
+            "path_length": state.path_length(target),
+        }
+
+    def _ep_path_length(self, params: dict[str, str]) -> dict[str, Any]:
+        origin = self._asn(params, "origin")
+        target = self._asn(params, "target")
+        return {
+            "origin": origin,
+            "target": target,
+            "path_length": self._state(origin).path_length(target),
+        }
+
+    def _ep_reliance(self, params: dict[str, str]) -> dict[str, Any]:
+        origin = self._asn(params, "origin")
+        target = self._asn(params, "target")
+        mass = reliance_from_state(self._state(origin))
+        return {
+            "origin": origin,
+            "target": target,
+            "reliance": mass.get(target, 0.0),
+        }
+
+    def _ep_hegemony(self, params: dict[str, str]) -> dict[str, Any]:
+        origin = self._asn(params, "origin")
+        target = self._asn(params, "target")
+        value = local_hegemony(
+            self.graph, origin, target, cache=self.cache, trim=self.trim
+        )
+        return {
+            "origin": origin,
+            "target": target,
+            "hegemony": value,
+            "trim": self.trim,
+        }
+
+    def _ep_rib(self, params: dict[str, str]) -> dict[str, Any]:
+        origin = self._asn(params, "origin")
+        asn = self._asn(params, "asn")
+        node = self._state(origin).route(asn)
+        route = (
+            None
+            if node is None
+            else {
+                "route_class": node.route_class.name,
+                "length": node.length,
+                "parents": sorted(node.parents),
+                "origins": sorted(node.origins),
+            }
+        )
+        return {"origin": origin, "asn": asn, "route": route}
+
+
+# ---------------------------------------------------------------------------
+# the asyncio HTTP layer
+# ---------------------------------------------------------------------------
+
+
+class _Batcher:
+    """Coalesce concurrent cold-origin requests into one prefetch sweep.
+
+    Each request awaiting a cache-missing origin registers a future; the
+    first registration arms a ``window``-second timer, and on fire every
+    pending origin is warmed through one ``QueryService.warm`` call (a
+    bit-parallel batched sweep) on the executor.  Requests whose origin
+    is already warm skip the batcher entirely.
+    """
+
+    def __init__(
+        self, service: QueryService, window: float = DEFAULT_BATCH_WINDOW
+    ) -> None:
+        self.service = service
+        self.window = window
+        self.batches = 0
+        self.batched_origins = 0
+        self._pending: dict[int, asyncio.Future] = {}
+        self._timer: Optional[asyncio.TimerHandle] = None
+
+    async def warm(self, origin: int) -> None:
+        if origin in self.service.cache or origin not in self.service.graph:
+            return
+        loop = asyncio.get_running_loop()
+        future = self._pending.get(origin)
+        if future is None:
+            future = loop.create_future()
+            self._pending[origin] = future
+            if self._timer is None:
+                self._timer = loop.call_later(
+                    self.window, lambda: loop.create_task(self._flush())
+                )
+        await future
+
+    async def _flush(self) -> None:
+        self._timer = None
+        pending, self._pending = self._pending, {}
+        if not pending:
+            return
+        self.batches += 1
+        self.batched_origins += len(pending)
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(
+                None, self.service.warm, list(pending)
+            )
+        except Exception as exc:  # surface on every waiter
+            for future in pending.values():
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for future in pending.values():
+            if not future.done():
+                future.set_result(None)
+
+
+class _HttpServer:
+    """Minimal stdlib HTTP/1.1 front end over a :class:`QueryService`."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        window: float = DEFAULT_BATCH_WINDOW,
+    ) -> None:
+        self.service = service
+        self.batcher = _Batcher(service, window=window)
+
+    async def handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                parts = request_line.decode("latin-1").split()
+                if len(parts) != 3:
+                    await self._respond(
+                        writer, 400, {"error": "malformed request line"}, False
+                    )
+                    break
+                method, target, version = parts
+                keep_alive = version.upper() == "HTTP/1.1"
+                content_length = 0
+                while True:
+                    line = await reader.readline()
+                    if not line or line in (b"\r\n", b"\n"):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    lowered = name.strip().lower()
+                    if lowered == "content-length":
+                        try:
+                            content_length = int(value.strip() or 0)
+                        except ValueError:
+                            content_length = 0
+                    elif lowered == "connection":
+                        keep_alive = value.strip().lower() != "close"
+                if content_length:
+                    await reader.readexactly(content_length)
+                if method.upper() != "GET":
+                    await self._respond(
+                        writer,
+                        405,
+                        {"error": f"{method} not supported; use GET"},
+                        keep_alive,
+                    )
+                    if not keep_alive:
+                        break
+                    continue
+                url = urlsplit(target)
+                params = {
+                    key: values[-1]
+                    for key, values in parse_qs(url.query).items()
+                }
+                status, payload = await self._answer(url.path, params)
+                await self._respond(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _answer(
+        self, path: str, params: dict[str, str]
+    ) -> tuple[int, dict]:
+        raw_origin = params.get("origin")
+        if raw_origin is not None:
+            try:
+                await self.batcher.warm(int(raw_origin))
+            except ValueError:
+                pass  # the service will map this to a 400
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, self.service.answer, path, params
+        )
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload).encode()
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
+            status, "Error"
+        )
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+
+async def serve(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 8351,
+    window: float = DEFAULT_BATCH_WINDOW,
+    ready: Optional[threading.Event] = None,
+    bound: Optional[dict] = None,
+    stop: Optional[asyncio.Event] = None,
+) -> None:
+    """Serve ``service`` over HTTP until cancelled (or ``stop`` is set).
+
+    ``port=0`` binds an ephemeral port; the actual address is published
+    into ``bound`` (``{"host":…, "port":…}``) before ``ready`` is set —
+    the hooks :func:`start_server_thread` uses to run the server in a
+    background thread for tests, benchmarks, and the smoke check.
+    """
+    http = _HttpServer(service, window=window)
+    server = await asyncio.start_server(http.handle, host, port)
+    address = server.sockets[0].getsockname()
+    if bound is not None:
+        bound["host"], bound["port"] = address[0], address[1]
+        bound["batcher"] = http.batcher
+    if ready is not None:
+        ready.set()
+    try:
+        if stop is None:
+            await server.serve_forever()
+        else:
+            await stop.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+
+
+class ServerHandle:
+    """A running background server: address + clean shutdown."""
+
+    def __init__(
+        self,
+        thread: threading.Thread,
+        loop: asyncio.AbstractEventLoop,
+        stop: asyncio.Event,
+        host: str,
+        port: int,
+        batcher: _Batcher,
+    ) -> None:
+        self._thread = thread
+        self._loop = loop
+        self._stop = stop
+        self.host = host
+        self.port = port
+        self.batcher = batcher
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+            self._thread.join(timeout=10)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def start_server_thread(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    window: float = DEFAULT_BATCH_WINDOW,
+) -> ServerHandle:
+    """Run :func:`serve` in a daemon thread; returns once it is bound."""
+    ready = threading.Event()
+    bound: dict = {}
+
+    def _run() -> None:
+        async def _main() -> None:
+            stop = asyncio.Event()
+            bound["loop"] = asyncio.get_running_loop()
+            bound["stop"] = stop
+            await serve(
+                service,
+                host=host,
+                port=port,
+                window=window,
+                ready=ready,
+                bound=bound,
+                stop=stop,
+            )
+
+        asyncio.run(_main())
+
+    thread = threading.Thread(target=_run, daemon=True, name="repro-serve")
+    thread.start()
+    if not ready.wait(timeout=30):
+        raise RuntimeError("repro serve failed to bind within 30s")
+    return ServerHandle(
+        thread,
+        bound["loop"],
+        bound["stop"],
+        bound["host"],
+        bound["port"],
+        bound["batcher"],
+    )
+
+
+def smoke_check(service: QueryService, host: str = "127.0.0.1") -> list[str]:
+    """One HTTP query per endpoint, diffed against live propagation.
+
+    Starts the server on an ephemeral port, issues a real request per
+    endpoint, and recomputes every expected answer from a **fresh**
+    ``propagate`` (bypassing the service's tiers).  Returns the list of
+    mismatches — empty means the serve stack is answer-identical to the
+    live engine.  This is the CI ``tests-serve`` leg.
+    """
+    import urllib.request
+
+    from .bgpsim.engine import propagate
+    from .bgpsim.routes import Seed
+
+    nodes = sorted(service.graph.nodes())
+    origin, target = nodes[0], nodes[-1]
+    live = propagate(service.graph, Seed(asn=origin))
+    live_mass = reliance_from_state(live)
+    fresh_cache = RoutingStateCache(service.graph)
+    expected = {
+        "/health": {"status": "ok", "nodes": len(nodes)},
+        f"/reachable?origin={origin}&target={target}": {
+            "reachable": live.has_route(target),
+            "route_class": None
+            if live.route_class(target) is None
+            else live.route_class(target).name,
+            "path_length": live.path_length(target),
+        },
+        f"/path_length?origin={origin}&target={target}": {
+            "path_length": live.path_length(target)
+        },
+        f"/reliance?origin={origin}&target={target}": {
+            "reliance": live_mass.get(target, 0.0)
+        },
+        f"/hegemony?origin={origin}&target={target}": {
+            "hegemony": local_hegemony(
+                service.graph, origin, target, cache=fresh_cache
+            )
+        },
+        f"/rib?origin={origin}&asn={target}": {
+            "route": None
+            if live.route(target) is None
+            else {
+                "route_class": live.route(target).route_class.name,
+                "length": live.route(target).length,
+                "parents": sorted(live.route(target).parents),
+                "origins": sorted(live.route(target).origins),
+            }
+        },
+    }
+    failures: list[str] = []
+    with start_server_thread(service, host=host) as handle:
+        for query, want in expected.items():
+            with urllib.request.urlopen(handle.base_url + query) as response:
+                got = json.loads(response.read())
+            for key, value in want.items():
+                if got.get(key) != value:
+                    failures.append(
+                        f"{query}: {key} = {got.get(key)!r}, "
+                        f"live propagation says {value!r}"
+                    )
+    return failures

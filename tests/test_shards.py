@@ -1,0 +1,386 @@
+"""Differential + failure-mode harness for the on-disk routing shards.
+
+The contract under test: ``precompute_shards`` → ``ShardReader``/
+``ShardStore`` must hand back, zero-copy off an mmap, exactly the states
+live propagation produces — across netgen seeds, for the *full*
+small-profile origin set, through the cache's disk tier, and never from
+a torn, truncated, or wrong-graph shard file.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+import threading
+import tracemalloc
+
+import pytest
+
+from .conftest import assert_states_equal, netgen_graph, sample_origins
+from repro.bgpsim import (
+    RoutingStateCache,
+    Seed,
+    graph_digest,
+    precompute_shards,
+    propagate_batch,
+    propagate_compiled,
+)
+from repro.bgpsim.shards import (
+    MANIFEST_NAME,
+    ShardError,
+    ShardReader,
+    ShardStore,
+    ShardWriter,
+)
+
+
+def write_shard(tmp_path, graph, origins, name="one.shard"):
+    path = tmp_path / name
+    with ShardWriter(path, graph) as writer:
+        for origin, view in propagate_batch(graph, tuple(origins)).views():
+            writer.add(origin, view)
+    return path
+
+
+def assert_same_routing(disk, live, context=""):
+    """Cheap array-level equality: class/length per node are canonical
+    (identical regardless of parent-pool layout), so they compare as
+    flat lists without materializing routes."""
+    assert list(disk._asns) == list(live._asns), context
+    assert list(disk._route_class) == list(live._route_class), context
+    assert list(disk._length) == list(live._length), context
+    assert sorted(disk._routed) == sorted(live._routed), context
+
+
+# ---------------------------------------------------------------------------
+# format round-trip
+# ---------------------------------------------------------------------------
+
+
+def test_header_and_offset_index_round_trip(tmp_path):
+    graph = netgen_graph("tiny")
+    origins = sample_origins(graph, 12, seed=1)
+    path = write_shard(tmp_path, graph, origins)
+    with ShardReader(path) as reader:
+        assert reader.n_nodes == len(graph)
+        assert reader.digest == graph_digest(graph)
+        assert sorted(reader.origins) == sorted(origins)
+        assert len(reader) == len(origins)
+        assert origins[0] in reader
+        assert 999_999_999 not in reader
+        with pytest.raises(KeyError):
+            reader.state_for(999_999_999)
+
+
+@pytest.mark.parametrize("seed", [20200901, 7, 1234])
+def test_mmap_states_equal_pickled_states(tmp_path, seed):
+    """Zero-copy mmap states ≡ the pickled standalone states the batch
+    views produce, on multiple netgen seeds."""
+    graph = netgen_graph("tiny", seed=seed)
+    origins = sample_origins(graph, 16, seed=seed)
+    path = write_shard(tmp_path, graph, origins, name=f"s{seed}.shard")
+    views = dict(propagate_batch(graph, tuple(origins)).views())
+    with ShardReader(path) as reader:
+        for origin in origins:
+            pickled = pickle.loads(pickle.dumps(views[origin]))
+            disk = reader.state_for(origin)
+            assert_states_equal(disk, pickled, f"origin={origin} seed={seed}")
+            # the arrays really are aliases onto the map, not copies
+            assert disk._length.obj is reader._mm
+
+
+def test_full_small_profile_differential(tmp_path):
+    """Acceptance: precompute + read back the *full* small-profile
+    origin set; every state equals ``propagate_compiled`` output."""
+    graph = netgen_graph("small")
+    target = precompute_shards(graph, tmp_path / "out", workers=1)
+    with ShardStore.open(target, graph=graph) as store:
+        every = sorted(graph.nodes())
+        assert sorted(store.origins()) == every
+        for origin in every:
+            live = propagate_compiled(graph, (Seed(asn=origin),))
+            assert_same_routing(
+                store.state_for(origin), live, f"origin={origin}"
+            )
+        # parent sets / origins on a sample, through full materialization
+        for origin in sample_origins(graph, 25, seed=3):
+            live = propagate_compiled(graph, (Seed(asn=origin),))
+            assert_states_equal(
+                store.state_for(origin), live, f"origin={origin}"
+            )
+
+
+def test_precompute_is_idempotent_and_sharded(tmp_path):
+    graph = netgen_graph("tiny")
+    origins = sample_origins(graph, 10, seed=2)
+    target = precompute_shards(
+        graph, tmp_path / "out", origins=origins, workers=1, shard_size=4
+    )
+    manifest = json.loads((target / MANIFEST_NAME).read_text())
+    assert manifest["graph_digest"] == graph_digest(graph)
+    assert len(manifest["shards"]) == 3  # 4 + 4 + 2 origins
+    assert sum(s["origins"] for s in manifest["shards"]) == 10
+    stamps = {p.name: p.stat().st_mtime_ns for p in target.iterdir()}
+    # a second run over a subset reuses the complete corpus untouched
+    again = precompute_shards(
+        graph, tmp_path / "out", origins=origins[:4], workers=1
+    )
+    assert again == target
+    assert {p.name: p.stat().st_mtime_ns for p in target.iterdir()} == stamps
+
+
+def test_concurrent_readers_over_one_file(tmp_path):
+    graph = netgen_graph("tiny")
+    origins = sample_origins(graph, 20, seed=4)
+    path = write_shard(tmp_path, graph, origins)
+    expected = {
+        o: propagate_compiled(graph, (Seed(asn=o),)) for o in origins
+    }
+    readers = [ShardReader(path) for _ in range(3)]
+    failures: list[str] = []
+
+    def hammer(reader: ShardReader) -> None:
+        try:
+            for _ in range(5):
+                for origin in origins:
+                    assert_same_routing(
+                        reader.state_for(origin),
+                        expected[origin],
+                        f"origin={origin}",
+                    )
+        except AssertionError as exc:  # pragma: no cover
+            failures.append(str(exc))
+
+    threads = [
+        threading.Thread(target=hammer, args=(r,))
+        for r in readers
+        for _ in range(2)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not failures
+    for reader in readers:
+        reader.close()
+
+
+# ---------------------------------------------------------------------------
+# rejection paths
+# ---------------------------------------------------------------------------
+
+
+def test_graph_digest_mismatch_rejected(tmp_path):
+    graph = netgen_graph("tiny", seed=20200901)
+    other = netgen_graph("tiny", seed=7)
+    target = precompute_shards(
+        graph,
+        tmp_path / "out",
+        origins=sample_origins(graph, 4, seed=5),
+        workers=1,
+    )
+    with pytest.raises(ShardError, match="precomputed for graph"):
+        ShardStore.open(target, graph=other)
+    # the reader-level check too
+    shard = next(target.glob("*.shard"))
+    with pytest.raises(ShardError, match="precomputed for graph"):
+        ShardReader(shard, expected_digest=graph_digest(other))
+    # and the cache refuses to attach a mismatched store
+    with ShardStore.open(target) as store:
+        with pytest.raises(ShardError, match="precomputed for graph"):
+            RoutingStateCache(other, shards=store)
+
+
+def test_unsealed_shard_rejected(tmp_path):
+    graph = netgen_graph("tiny")
+    writer = ShardWriter(tmp_path / "torn.shard", graph)
+    for origin, view in propagate_batch(
+        graph, tuple(sample_origins(graph, 3, seed=6))
+    ).views():
+        writer.add(origin, view)
+    writer._handle.close()  # crash before close(): header never patched
+    with pytest.raises(ShardError, match="unsealed"):
+        ShardReader(tmp_path / "torn.shard")
+
+
+def test_truncated_shard_rejected(tmp_path):
+    graph = netgen_graph("tiny")
+    path = write_shard(tmp_path, graph, sample_origins(graph, 5, seed=7))
+    whole = path.read_bytes()
+    path.write_bytes(whole[: len(whole) - 64])  # chop the index tail
+    with pytest.raises(ShardError, match="truncated"):
+        ShardReader(path)
+    path.write_bytes(whole[:40])  # not even a full header
+    with pytest.raises(ShardError, match="truncated"):
+        ShardReader(path)
+
+
+def test_corrupted_header_rejected(tmp_path):
+    graph = netgen_graph("tiny")
+    path = write_shard(tmp_path, graph, sample_origins(graph, 5, seed=8))
+    whole = bytearray(path.read_bytes())
+    bad_magic = bytearray(whole)
+    bad_magic[:8] = b"NOTSHARD"
+    path.write_bytes(bytes(bad_magic))
+    with pytest.raises(ShardError, match="bad magic"):
+        ShardReader(path)
+    bad_version = bytearray(whole)
+    struct.pack_into("<I", bad_version, 8, 99)
+    path.write_bytes(bytes(bad_version))
+    with pytest.raises(ShardError, match="version 99"):
+        ShardReader(path)
+
+
+def test_writer_validation(tmp_path):
+    graph = netgen_graph("tiny")
+    origins = sample_origins(graph, 2, seed=9)
+    views = dict(propagate_batch(graph, tuple(origins)).views())
+    writer = ShardWriter(tmp_path / "v.shard", graph)
+    writer.add(origins[0], views[origins[0]])
+    with pytest.raises(ShardError, match="duplicate origin"):
+        writer.add(origins[0], views[origins[0]])
+    with pytest.raises(ShardError, match="single-origin"):
+        writer.add(origins[1], views[origins[0]])
+    with pytest.raises(ShardError, match="array-backed"):
+        writer.add(origins[1], object())
+    writer.close()
+    with pytest.raises(ShardError, match="sealed"):
+        writer.add(origins[1], views[origins[1]])
+    assert ShardReader(tmp_path / "v.shard").origins == (origins[0],)
+
+
+def test_store_open_failures(tmp_path):
+    with pytest.raises(ShardError, match="no manifest.json"):
+        ShardStore.open(tmp_path)
+    (tmp_path / MANIFEST_NAME).write_text("{not json")
+    with pytest.raises(ShardError, match="unreadable manifest"):
+        ShardStore.open(tmp_path)
+    (tmp_path / MANIFEST_NAME).write_text(json.dumps({"format": "other"}))
+    with pytest.raises(ShardError, match="not a shard manifest"):
+        ShardStore.open(tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# the cache's disk tier
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def tiny_corpus(tmp_path):
+    graph = netgen_graph("tiny")
+    target = precompute_shards(graph, tmp_path / "corpus", workers=1)
+    store = ShardStore.open(target, graph=graph)
+    yield graph, store
+    store.close()
+
+
+def test_state_for_falls_through_to_disk(tiny_corpus):
+    graph, store = tiny_corpus
+    cache = RoutingStateCache(graph, shards=store)
+    origin = sorted(graph.nodes())[0]
+    state = cache.state_for(origin)
+    live = propagate_compiled(graph, (Seed(asn=origin),))
+    assert_states_equal(state, live, "disk tier")
+    stats = cache.stats()
+    assert (stats.hits, stats.disk_hits, stats.misses) == (0, 1, 0)
+    assert stats.tiers == {"lru": 0, "disk": 1, "computed": 0}
+    # second read is a warm LRU hit (the disk hit was installed)
+    cache.state_for(origin)
+    assert cache.stats().tiers == {"lru": 1, "disk": 1, "computed": 0}
+
+
+def test_prefetch_and_baseline_consult_disk(tiny_corpus):
+    graph, store = tiny_corpus
+    cache = RoutingStateCache(graph, shards=store)
+    origins = sample_origins(graph, 8, seed=10)
+    computed = cache.prefetch(origins)
+    assert computed == 0  # everything came off the map
+    stats = cache.stats()
+    assert stats.disk_hits == len(origins) and stats.misses == 0
+    # plain-seed baselines ride the same tiers...
+    other = sample_origins(graph, 20, seed=11)[-1]
+    cache2 = RoutingStateCache(graph, shards=store)
+    cache2.baseline_for(Seed(asn=other))
+    assert cache2.stats().disk_hits == 1
+    # ...but locked/leak baselines are not plain origin states: computed
+    cache2.baseline_for(
+        Seed(asn=other), peer_locked=frozenset({origins[0]})
+    )
+    assert cache2.stats().misses == 1
+
+
+def test_states_for_many_disk_and_stream(tiny_corpus):
+    graph, store = tiny_corpus
+    every = sorted(graph.nodes())
+    cache = RoutingStateCache(graph, shards=store)
+    out = dict(cache.states_for_many(every, batch=16, stream=True))
+    assert sorted(out) == every
+    assert len(cache) == 0  # stream mode never fills the LRU
+    stats = cache.stats()
+    assert stats.disk_hits == len(every) and stats.misses == 0
+    live = propagate_compiled(graph, (Seed(asn=every[3]),))
+    assert_states_equal(out[every[3]], live, "streamed disk state")
+
+
+def test_disk_tier_disabled_while_topology_mutated(tiny_corpus):
+    graph, store = tiny_corpus
+    cache = RoutingStateCache(graph, shards=store)
+    a = sorted(graph.nodes())[0]
+    providers = sorted(graph.providers(a)) or sorted(graph.peers(a))
+    b = providers[0]
+    relationship = "p2c" if b in graph.providers(a) else "p2p"
+    graph.remove_edge(b, a)
+    cache.invalidate()
+    cache.state_for(a)  # digest mismatch: must propagate, not read disk
+    assert cache.stats().disk_hits == 0
+    assert cache.stats().misses == 1
+    # restoring the topology restores the digest — disk tier resumes
+    if relationship == "p2c":
+        graph.add_p2c(b, a)
+    else:
+        graph.add_p2p(b, a)
+    cache.invalidate()
+    cache.state_for(a)
+    assert cache.stats().disk_hits == 1
+
+
+# ---------------------------------------------------------------------------
+# streaming memory bound (satellite: O(batch) sweeps)
+# ---------------------------------------------------------------------------
+
+
+def _stream_peak(graph, origins, batch):
+    cache = RoutingStateCache(graph)
+    tracemalloc.start()
+    try:
+        for _origin, state in cache.states_for_many(
+            origins, batch=batch, stream=True
+        ):
+            state.path_length(origins[0])  # touch, then drop
+        _size, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert len(cache) == 0
+    return peak
+
+
+def test_streaming_sweep_memory_is_o_batch():
+    graph = netgen_graph("tiny")
+    graph.compile()  # charge one-time compile outside the measurement
+    every = sorted(graph.nodes())
+    # warm-up pass so interpreter/allocator one-time costs don't count
+    _stream_peak(graph, every[:8], batch=8)
+    quarter = _stream_peak(graph, every[: len(every) // 4], batch=8)
+    full = _stream_peak(graph, every, batch=8)
+    # 4x the origins must NOT mean 4x the peak: the window is the bound
+    assert full < 2 * quarter, (full, quarter)
+    # and streaming must be far below holding the whole sweep
+    cache = RoutingStateCache(graph)
+    tracemalloc.start()
+    try:
+        held = dict(cache.states_for_many(every, batch=8))
+        _size, hold_all = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert held and full < hold_all / 2, (full, hold_all)
