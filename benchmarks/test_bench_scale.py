@@ -1,12 +1,18 @@
-"""Benchmark — propagation and Fig. 6 metrics across scenario scales.
+"""Benchmark — scale sweep with per-stage wall time and memory peaks.
 
 One row per netgen profile (``small`` ~700 ASes, ``mid`` ~2k, ``large``
-~10k): wall time to build + compile the topology, to run the per-cloud
-compiled propagation sweep, and to run the full Fig. 6/Table 2
-hierarchy-free reliance sweep (propagation + metric kernels + summary).
-The stamped metadata records the engine / vector / shm / batch settings
-the row was measured under, so records from different configurations
-remain comparable.
+~10k): wall time (best-of rounds) *and* tracemalloc / RSS high-water
+marks for building + compiling the topology, the per-cloud compiled
+propagation sweep, and the full Fig. 6/Table 2 hierarchy-free reliance
+sweep.
+
+The ``large`` row additionally runs the paper-scale streaming leg: a
+256-origin Fig. 6 reliance sweep (one common hierarchy excluded set)
+and a 256-origin hegemony sweep, eager vs ``stream=True``, asserting
+the outputs bit-identical and the streamed peak at least
+:data:`STREAM_MIN_RATIO` times below the eager peak — the whole point
+of the O(batch) tier.  Set ``REPRO_FULL_PROFILE=1`` to append a
+``full`` (~70k-AS) generation + structural-validation row.
 
 Run it through ``make bench-scale``; the record lands in
 ``benchmarks/bench_scale.json``.
@@ -14,77 +20,254 @@ Run it through ``make bench-scale``; the record lands in
 
 from __future__ import annotations
 
+import os
+import random
+import resource
 import time
+import tracemalloc
 from pathlib import Path
 
 from benchmarks.conftest import write_bench_json
 from repro.bgpsim import Seed, propagate
-from repro.core.reliance import hierarchy_free_reliance_summaries
-from repro.netgen import build_scenario, profile
+from repro.core.hegemony import global_hegemony
+from repro.core.reliance import (
+    hierarchy_free_reliance_summaries,
+    reliance_summary_sweep,
+)
+from repro.netgen import build_scenario, profile, validate_scenario
 
 BENCH_JSON = Path(__file__).resolve().parent / "bench_scale.json"
 SCALES = ("small", "mid", "large")
 #: best-of rounds per timed stage (tames scheduler noise on small hosts)
 ROUNDS = 3
+#: origins and batch width of the large-profile streamed-vs-eager legs
+SWEEP_ORIGINS = 256
+SWEEP_BATCH = 256
+#: the streamed sweep must peak at least this many times below eager
+STREAM_MIN_RATIO = 5.0
 
 
-def _best_of(func, rounds=ROUNDS):
-    best = float("inf")
+def _rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+
+
+def _stage(func, rounds: int = ROUNDS):
+    """Best-of wall time (untraced) + tracemalloc peak (one traced run).
+
+    The traced run is separate so tracemalloc's overhead never distorts
+    the recorded wall time; ``rss_peak_mb`` is the process high-water
+    mark *after* the stage (monotone across stages by definition).
+    """
+    wall = float("inf")
     result = None
     for _ in range(rounds):
         started = time.perf_counter()
         result = func()
-        best = min(best, time.perf_counter() - started)
-    return best, result
+        wall = min(wall, time.perf_counter() - started)
+    tracemalloc.start()
+    try:
+        func()
+        _size, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    stats = {
+        "wall_s": wall,
+        "tracemalloc_peak_mb": peak / 1e6,
+        "rss_peak_mb": _rss_mb(),
+    }
+    return stats, result
 
 
-def _scale_row(name):
-    started = time.perf_counter()
-    scenario = build_scenario(profile(name))
+def _sweep_origins(scenario, count: int = SWEEP_ORIGINS) -> list[int]:
+    """A deterministic origin sample clear of the transit hierarchy (so
+    one common excluded set serves the whole sweep)."""
+    nodes = sorted(set(scenario.graph.nodes()) - scenario.tiers.hierarchy)
+    if len(nodes) <= count:
+        return nodes
+    return sorted(random.Random(0).sample(nodes, count))
+
+
+def _stream_legs(scenario):
+    """Eager-vs-streamed Fig. 6 + hegemony sweeps on one scenario.
+
+    Returns the per-leg stats and asserts the two contracts the
+    streaming tier ships under: bit-identical outputs, >=5x lower peak.
+    """
     graph = scenario.graph
+    origins = _sweep_origins(scenario)
+    common = scenario.tiers.hierarchy
+    items = [(origin, common) for origin in origins]
+    clouds = sorted(scenario.clouds.values())
+
+    def _measure(func):
+        tracemalloc.start()
+        try:
+            started = time.perf_counter()
+            result = func()
+            wall = time.perf_counter() - started
+            _size, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return {"wall_s": wall, "tracemalloc_peak_mb": peak / 1e6}, result
+
+    legs = {}
+    eager_stats, eager_fig6 = _measure(
+        lambda: reliance_summary_sweep(
+            graph, items, engine="compiled", batch=SWEEP_BATCH, stream=False
+        )
+    )
+    stream_stats, stream_fig6 = _measure(
+        lambda: reliance_summary_sweep(
+            graph, items, engine="compiled", batch=SWEEP_BATCH, stream=True
+        )
+    )
+    assert stream_fig6 == eager_fig6, "streamed Fig. 6 sweep diverged"
+    ratio = (
+        eager_stats["tracemalloc_peak_mb"]
+        / stream_stats["tracemalloc_peak_mb"]
+    )
+    assert ratio >= STREAM_MIN_RATIO, (
+        f"streamed Fig. 6 peak only {ratio:.1f}x below eager "
+        f"({stream_stats['tracemalloc_peak_mb']:.1f} MB vs "
+        f"{eager_stats['tracemalloc_peak_mb']:.1f} MB)"
+    )
+    legs["fig6_reliance"] = {
+        "origins": len(origins),
+        "batch": SWEEP_BATCH,
+        "eager": eager_stats,
+        "stream": stream_stats,
+        "peak_ratio": ratio,
+    }
+
+    eager_stats, eager_heg = _measure(
+        lambda: global_hegemony(
+            graph,
+            clouds,
+            origins=origins,
+            engine="compiled",
+            batch=SWEEP_BATCH,
+            stream=False,
+        )
+    )
+    stream_stats, stream_heg = _measure(
+        lambda: global_hegemony(
+            graph,
+            clouds,
+            origins=origins,
+            engine="compiled",
+            batch=SWEEP_BATCH,
+            stream=True,
+        )
+    )
+    assert stream_heg == eager_heg, "streamed hegemony sweep diverged"
+    ratio = (
+        eager_stats["tracemalloc_peak_mb"]
+        / stream_stats["tracemalloc_peak_mb"]
+    )
+    assert ratio >= STREAM_MIN_RATIO, (
+        f"streamed hegemony peak only {ratio:.1f}x below eager "
+        f"({stream_stats['tracemalloc_peak_mb']:.1f} MB vs "
+        f"{eager_stats['tracemalloc_peak_mb']:.1f} MB)"
+    )
+    legs["global_hegemony"] = {
+        "origins": len(origins),
+        "batch": SWEEP_BATCH,
+        "eager": eager_stats,
+        "stream": stream_stats,
+        "peak_ratio": ratio,
+    }
+    return legs
+
+
+def _scale_row(name, rounds=ROUNDS, stream_legs=False):
+    build_stats, scenario = _stage(
+        lambda: build_scenario(profile(name)), rounds=1
+    )
+    graph = scenario.graph
+    started = time.perf_counter()
     graph.compile()
-    build_s = time.perf_counter() - started
+    build_stats["wall_s"] += time.perf_counter() - started
 
     clouds = sorted(scenario.clouds.values())
-    propagate_s, _ = _best_of(
+    propagate_stats, _ = _stage(
         lambda: [
             propagate(graph, Seed(asn=asn), engine="compiled")
             for asn in clouds
-        ]
+        ],
+        rounds=rounds,
     )
-    fig6_s, summaries = _best_of(
+    fig6_stats, summaries = _stage(
         lambda: hierarchy_free_reliance_summaries(
             graph, clouds, scenario.tiers, engine="compiled"
-        )
+        ),
+        rounds=rounds,
     )
-    return {
+    row = {
         "profile": name,
         "ases": len(graph),
         "clouds": len(clouds),
-        "build_compile_s": build_s,
-        "propagate_sweep_s": propagate_s,
-        "fig6_reliance_sweep_s": fig6_s,
+        "build_compile": build_stats,
+        "propagate_sweep": propagate_stats,
+        "fig6_reliance_sweep": fig6_stats,
         "networks_relied_on": [s.networks for s in summaries],
+    }
+    if stream_legs:
+        row["stream_vs_eager"] = _stream_legs(scenario)
+    return row
+
+
+def _full_row():
+    """Paper-scale generation + structural validation (no sweeps: the
+    point of this row is that the ~70k-AS profile builds and passes the
+    seed profiles' tolerance band)."""
+    gen_stats, scenario = _stage(
+        lambda: build_scenario(profile("full")), rounds=1
+    )
+    val_stats, report = _stage(
+        lambda: validate_scenario(scenario), rounds=1
+    )
+    assert report.ok, report.violations
+    return {
+        "profile": "full",
+        "ases": report.n_ases,
+        "edges": report.n_edges,
+        "generate": gen_stats,
+        "validate": val_stats,
+        "structure": {
+            "avg_degree": report.avg_degree,
+            "assortativity": report.assortativity,
+            "clustering": report.clustering,
+            "neighbor_degree_corr": report.neighbor_degree_corr,
+        },
     }
 
 
 def test_bench_scale_sweep(benchmark):
     rows = [_scale_row(name) for name in SCALES[:-1]]
     # the large row is timed once under the benchmark timer (building the
-    # ~10k-AS scenario repeatedly would dominate the suite's runtime)
+    # ~10k-AS scenario repeatedly would dominate the suite's runtime) and
+    # carries the streamed-vs-eager paper-scale legs
     rows.append(
         benchmark.pedantic(
-            _scale_row, args=(SCALES[-1],), rounds=1, iterations=1
+            _scale_row,
+            args=(SCALES[-1],),
+            kwargs={"rounds": 1, "stream_legs": True},
+            rounds=1,
+            iterations=1,
         )
     )
-
     record = {"rounds": ROUNDS, "scales": rows}
+    if os.environ.get("REPRO_FULL_PROFILE") == "1":
+        record["full"] = _full_row()
     write_bench_json(BENCH_JSON, record, engine="compiled", workers=None)
 
     assert [row["profile"] for row in rows] == list(SCALES)
     for row in rows:
-        assert row["propagate_sweep_s"] > 0.0
-        assert row["fig6_reliance_sweep_s"] > 0.0
+        assert row["propagate_sweep"]["wall_s"] > 0.0
+        assert row["fig6_reliance_sweep"]["tracemalloc_peak_mb"] > 0.0
     # scale ordering sanity: each profile really is materially larger
     sizes = [row["ases"] for row in rows]
     assert sizes == sorted(sizes) and sizes[-1] > 4 * sizes[0]
+    legs = rows[-1]["stream_vs_eager"]
+    assert legs["fig6_reliance"]["peak_ratio"] >= STREAM_MIN_RATIO
+    assert legs["global_hegemony"]["peak_ratio"] >= STREAM_MIN_RATIO

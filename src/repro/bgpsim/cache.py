@@ -18,12 +18,12 @@ mid-session never invalidates the cache.
 from __future__ import annotations
 
 from collections import OrderedDict
-from collections.abc import Iterable, Iterator
+from collections.abc import Collection, Iterable, Iterator
 from dataclasses import dataclass
 from typing import Optional
 
 from ..topology.asgraph import ASGraph
-from .engine import propagate, resolve_engine
+from .engine import propagate, resolve_engine, resolve_stream
 from .routes import RoutingState, Seed
 
 
@@ -101,6 +101,7 @@ class RoutingStateCache:
         engine: Optional[str] = None,
         batch: Optional[int] = None,
         shards=None,
+        stream: bool | str | None = None,
     ) -> None:
         if maxsize is not None and maxsize < 1:
             raise ValueError("maxsize must be None or >= 1")
@@ -109,6 +110,9 @@ class RoutingStateCache:
         self.engine = engine
         #: batch width for prefetch sweeps (None: REPRO_BATCH / default)
         self.batch = batch
+        #: default ``stream`` mode for :meth:`states_for_many`
+        #: (None: per-call knob, else ``REPRO_STREAM`` / auto)
+        self.stream = stream
         self._states: OrderedDict[int, RoutingState] = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -321,7 +325,8 @@ class RoutingStateCache:
         origins: Iterable[int],
         workers: int | str | None = None,
         batch: Optional[int] = None,
-        stream: bool = False,
+        stream: bool | str | None = None,
+        excluded: Collection[int] = frozenset(),
     ) -> Iterator[tuple[int, RoutingState]]:
         """``(origin, state)`` pairs in input order, batching the misses.
 
@@ -333,18 +338,41 @@ class RoutingStateCache:
         ``maxsize`` states at any moment.  Cache and disk hits are
         served from their tiers either way.
 
-        ``stream=True`` additionally bypasses the LRU for computed
-        states: each batch's views are yielded and then *dropped* (the
-        backing :class:`~repro.bgpsim.multiorigin.BatchRoutingState` is
-        released as soon as its window is consumed, and nothing is
-        inserted into the cache), so a full-origin-set sweep — or
-        ``repro precompute`` — runs in **O(batch) peak memory**
-        regardless of the origin count (tracemalloc-asserted in
-        ``tests/test_shards.py``).  The batch width is then also not
-        capped at ``maxsize``.
+        ``stream`` resolves through
+        :func:`~repro.bgpsim.engine.resolve_stream` (per-call value,
+        else the cache's knob, else ``REPRO_STREAM``; ``auto`` streams
+        at paper scale).  When it resolves true, computed states bypass
+        the LRU: views are yielded *one at a time* and each is dropped
+        from its batch the moment the caller releases it, so a
+        full-origin-set sweep — or ``repro precompute`` — runs in
+        **O(batch) peak memory** regardless of the origin count
+        (tracemalloc-asserted in ``tests/test_shards.py`` and
+        ``tests/test_streaming_sweeps.py``).  The batch width is then
+        also not capped at ``maxsize``.  The disk tier still serves
+        precomputed origins per window, so a sharded corpus accelerates
+        streaming sweeps too.
+
+        ``excluded`` propagates every *computed* state over the subgraph
+        without those ASes (the hierarchy-free sweeps of §6–7).  A
+        non-empty set bypasses the LRU **and** disk tiers entirely —
+        both hold plain full-graph states keyed by origin, which must
+        never be conflated with subgraph states.
         """
         origin_list = list(origins)
-        width = self._batch_width(batch, cap=not stream)
+        excluded = frozenset(excluded)
+        knob = stream if stream is not None else self.stream
+        streaming = resolve_stream(knob, len(self.graph))
+        width = self._batch_width(batch, cap=not streaming)
+        if streaming:
+            yield from self._stream_states(
+                origin_list, width, workers, excluded
+            )
+            return
+        if excluded:
+            yield from self._sweep_uncached(
+                origin_list, width, workers, excluded
+            )
+            return
         from .parallel import propagate_origins
 
         i, n = 0, len(origin_list)
@@ -357,7 +385,7 @@ class RoutingStateCache:
                 yield origin, state
                 i += 1
                 continue
-            state = self._from_disk(origin, insert=not stream)
+            state = self._from_disk(origin)
             if state is not None:
                 yield origin, state
                 i += 1
@@ -386,8 +414,7 @@ class RoutingStateCache:
                 batch=width,
             ):
                 self._misses += 1
-                if not stream:
-                    self._insert(o, s)
+                self._insert(o, s)
                 computed[o] = s
             while i < j:
                 origin = origin_list[i]
@@ -399,18 +426,153 @@ class RoutingStateCache:
                         self._states.move_to_end(origin)
                         state = cached
                     else:
-                        state = self._from_disk(origin, insert=not stream)
+                        state = self._from_disk(origin)
                     if state is None:
-                        # evicted by the chunk's own inserts (bounded,
-                        # non-stream); recompute through the normal path
+                        # evicted by the chunk's own inserts (bounded
+                        # cache); recompute through the normal path
                         state = self.state_for(origin)
                 yield origin, state
                 state = None
                 i += 1
-            # release the window's views (and their BatchRoutingState)
-            # before the next batch is computed — stream peak memory is
-            # one window, not the whole origin set
             computed.clear()
+
+    def _sweep_uncached(
+        self,
+        origin_list: list[int],
+        width: int,
+        workers: int | str | None,
+        excluded: frozenset[int],
+    ) -> Iterator[tuple[int, RoutingState]]:
+        """Eager subgraph sweep: no tier is consulted or populated.
+
+        Duplicate origins within a batch window share one propagation;
+        the window's states are retained together (the historical eager
+        footprint), then released before the next window.
+        """
+        from .parallel import propagate_origins
+
+        i, n = 0, len(origin_list)
+        while i < n:
+            chunk: list[int] = []
+            chunk_set: set[int] = set()
+            j = i
+            while j < n and len(chunk) < width:
+                candidate = origin_list[j]
+                if candidate not in chunk_set:
+                    chunk.append(candidate)
+                    chunk_set.add(candidate)
+                j += 1
+            computed: dict[int, RoutingState] = {}
+            self._prefetch_chunks += 1
+            for o, s in propagate_origins(
+                self.graph,
+                chunk,
+                workers=workers,
+                engine=self.engine,
+                batch=width,
+                excluded=excluded,
+            ):
+                self._misses += 1
+                computed[o] = s
+            while i < j:
+                yield origin_list[i], computed[origin_list[i]]
+                i += 1
+            computed.clear()
+
+    def _stream_states(
+        self,
+        origin_list: list[int],
+        width: int,
+        workers: int | str | None,
+        excluded: frozenset[int],
+    ) -> Iterator[tuple[int, RoutingState]]:
+        """O(batch)-memory sweep: yield each view as it is computed.
+
+        The interleaving is the point: the window's views are *pulled*
+        from the propagation iterator one at a time as the window is
+        replayed, so at any moment only the live batch masks plus the
+        one or two views in flight are resident — never the whole
+        window's materialized arrays (the eager path's footprint).
+        Only origins duplicated within a window are parked until their
+        last occurrence.
+        """
+        from .parallel import propagate_origins
+
+        use_tiers = not excluded
+        i, n = 0, len(origin_list)
+        while i < n:
+            origin = origin_list[i]
+            if use_tiers:
+                state = self._states.get(origin)
+                if state is not None:
+                    self._hits += 1
+                    self._states.move_to_end(origin)
+                    yield origin, state
+                    i += 1
+                    continue
+                state = self._from_disk(origin, insert=False)
+                if state is not None:
+                    yield origin, state
+                    i += 1
+                    continue
+            # gather the next window's distinct missing origins, one batch
+            chunk: list[int] = []
+            chunk_set: set[int] = set()
+            last_use: dict[int, int] = {}
+            j = i
+            while j < n and len(chunk) < width:
+                candidate = origin_list[j]
+                if candidate in chunk_set:
+                    last_use[candidate] = j
+                elif not use_tiers or (
+                    candidate not in self._states
+                    and not self._on_disk(candidate)
+                ):
+                    chunk.append(candidate)
+                    chunk_set.add(candidate)
+                    last_use[candidate] = j
+                j += 1
+            self._prefetch_chunks += 1
+            pending = propagate_origins(
+                self.graph,
+                chunk,
+                workers=workers,
+                engine=self.engine,
+                batch=width,
+                excluded=excluded,
+            )
+            held: dict[int, RoutingState] = {}
+            while i < j:
+                origin = origin_list[i]
+                if origin in chunk_set:
+                    state = held.pop(origin, None)
+                    if state is None:
+                        # the chunk preserves first-occurrence order, so
+                        # this pulls exactly the next view
+                        for o, s in pending:
+                            self._misses += 1
+                            if o == origin:
+                                state = s
+                                break
+                            held[o] = s  # defensive: out-of-order view
+                    if last_use[origin] > i:
+                        held[origin] = state  # duplicated later in window
+                else:
+                    # a warm tier covered this origin at gather time
+                    state = self._states.get(origin)
+                    if state is not None:
+                        self._hits += 1
+                        self._states.move_to_end(origin)
+                    else:
+                        state = self._from_disk(origin, insert=False)
+                    if state is None:
+                        state = self.state_for(origin)
+                yield origin, state
+                state = None
+                i += 1
+            held.clear()
+            for _o, _s in pending:  # defensive: keep miss accounting exact
+                self._misses += 1
 
     def stats(self) -> CacheStats:
         return CacheStats(

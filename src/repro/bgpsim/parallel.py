@@ -300,12 +300,15 @@ def propagate_origins(
             for result in batches:
                 if result._graph is None:  # returned from a pool worker
                     result.bind_graph(graph)
-                yield from result.views()
-                # break the view-cache cycle (view._batch <-> batch._views)
-                # so a streaming consumer that drops its views frees the
-                # whole batch by refcount alone, without waiting for gc —
-                # this is what keeps full-origin-set sweeps at O(batch)
-                result._views.clear()
+                # Yield view-by-view and drop each from the batch's cache
+                # as soon as it is handed over: a streaming consumer that
+                # releases its view after folding it frees that view's
+                # materialized arrays immediately (refcount alone, no gc),
+                # and the batch masks are all that stays live.  This is
+                # what keeps full-origin-set sweeps at O(batch) memory.
+                for bit, origin in enumerate(result.origins):
+                    yield origin, result.view_at(bit)
+                    result._views.pop(bit, None)
 
         return _views()
     states = propagate_many(

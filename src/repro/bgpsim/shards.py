@@ -601,6 +601,13 @@ def precompute_shards(
     marks the corpus complete); an existing complete corpus covering the
     requested origins is reused unless ``force``.
 
+    A valid corpus that covers only *part* of the request is **resumed**,
+    not discarded: its shard files are kept, only the missing origins are
+    propagated (into new shards appended after the existing ones), and
+    the merged manifest covers both — so extending a precomputed corpus
+    to more origins costs only the new origins' sweeps.  ``force``
+    rebuilds from scratch either way.
+
     Returns the content-addressed directory.
     """
     if shard_size < 1:
@@ -617,6 +624,8 @@ def precompute_shards(
     origin_list = (
         sorted(cg.asns) if origins is None else list(dict.fromkeys(origins))
     )
+    existing_infos: list[dict[str, Any]] = []
+    covered = 0
     if not force and (target / MANIFEST_NAME).exists():
         try:
             store = ShardStore.open(target)
@@ -624,12 +633,16 @@ def precompute_shards(
             pass  # stale/torn corpus: rebuild below
         else:
             have = set(store.origins())
+            existing_infos = list(store.manifest.get("shards", ()))
+            covered = len(have)
             store.close()
             if set(origin_list) <= have:
                 return target
+            # resume: keep the existing shards, compute only the gap
+            origin_list = [o for o in origin_list if o not in have]
     target.mkdir(parents=True, exist_ok=True)
 
-    shard_infos: list[dict[str, Any]] = []
+    shard_infos: list[dict[str, Any]] = list(existing_infos)
     writer: Optional[ShardWriter] = None
     done = 0
     try:
@@ -664,7 +677,7 @@ def precompute_shards(
         "version": _VERSION,
         "graph_digest": digest,
         "n_nodes": cg.n,
-        "origins": len(origin_list),
+        "origins": covered + len(origin_list),
         "engine": resolve_engine(engine),
         "workers": resolve_workers(workers),
         "batch": resolve_batch(batch),

@@ -340,6 +340,8 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         argv += ["--engine", args.engine]
     if args.batch is not None:
         argv += ["--batch", str(args.batch)]
+    if args.stream is not None:
+        argv += ["--stream", args.stream]
     return runner_main(argv)
 
 
@@ -365,6 +367,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="shared-memory payload transport for parallel sweeps "
         "(default: $REPRO_SHM or auto)",
+    )
+    parser.add_argument(
+        "--stream",
+        choices=("auto", "on", "off"),
+        default=None,
+        help="O(batch)-memory streaming sweep aggregations "
+        "(default: $REPRO_STREAM or auto; 'auto' streams once the graph "
+        "reaches the paper-scale threshold, $REPRO_STREAM_THRESHOLD)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -612,6 +622,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         os.environ["REPRO_VECTOR"] = args.vector
     if args.shm is not None:
         os.environ["REPRO_SHM"] = args.shm
+    if args.stream is not None:
+        os.environ["REPRO_STREAM"] = args.stream
     return args.func(args)
 
 

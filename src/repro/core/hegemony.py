@@ -223,6 +223,8 @@ def global_hegemony(
     cache_size: Optional[int] = None,
     engine: Optional[str] = None,
     batch: Optional[int] = None,
+    stream: bool | str | None = None,
+    cache: Optional[RoutingStateCache] = None,
 ) -> dict[int, float]:
     """``H(target)`` for each target, averaged over sampled origins.
 
@@ -235,9 +237,17 @@ def global_hegemony(
     through ``REPRO_BATCH`` and is ignored on the reference engine.
     ``cache_size`` is kept for API compatibility — the sweep streams one
     state at a time and retains none.
+
+    ``stream`` (``REPRO_STREAM``; auto-on at paper scale) folds each
+    origin's hegemony row as its view is computed and drops the view
+    before the next arrives, so an all-origin sweep peaks at O(batch)
+    memory instead of one window of materialized views; scores are
+    bit-identical (the fold visits origins in the same order either
+    way).  ``cache`` (optional) supplies warm/precomputed states to the
+    streaming path.
     """
     del cache_size  # the streaming sweep holds no state cache
-    from ..bgpsim.engine import resolve_engine
+    from ..bgpsim.engine import resolve_engine, resolve_stream
     from ..bgpsim.multiorigin import resolve_batch
 
     rng = rng or random.Random(0)
@@ -250,7 +260,26 @@ def global_hegemony(
     except ValueError:
         resolved = "reference"  # unknown engine: let the task raise
     width = resolve_batch(batch)
-    if width > 1 and resolved in ("compiled", "incremental") and origins:
+    if (
+        resolve_stream(stream, len(graph))
+        and resolved in ("compiled", "incremental")
+        and origins
+    ):
+        if cache is None:
+            cache = RoutingStateCache(graph, engine=engine, batch=batch)
+        states = cache.states_for_many(
+            list(origins), workers=workers, batch=batch, stream=True
+        )
+
+        def _stream_rows() -> Iterable[array]:
+            for origin, state in states:
+                yield _hegemony_values(state, origin, targets, trim)
+                # release this view (and its cached path counts) before
+                # pulling the next one
+                del state
+
+        rows: Iterable[array] = _stream_rows()
+    elif width > 1 and resolved in ("compiled", "incremental") and origins:
         origin_list = list(origins)
         chunks = [
             tuple(origin_list[i : i + width])

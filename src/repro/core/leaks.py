@@ -20,7 +20,7 @@ from typing import Optional
 
 from ..bgpsim.cache import RoutingStateCache
 from ..bgpsim.compiled import CompiledRoutingState
-from ..bgpsim.engine import propagate, resolve_engine
+from ..bgpsim.engine import propagate, resolve_engine, resolve_stream
 from ..bgpsim.incremental import propagate_delta
 from ..bgpsim.parallel import graph_map
 from ..bgpsim.policies import LeakMode, hierarchy_only_seed, peer_lock_set
@@ -434,6 +434,7 @@ def average_resilience_curve(
     engine: Optional[str] = None,
     cache: Optional[RoutingStateCache] = None,
     batch: Optional[int] = None,
+    stream: bool | str | None = None,
 ) -> list[float]:
     """The paper's *average resilience* baseline: random legitimate origins
     against random misconfigured ASes, announce-to-all, no locking.
@@ -449,6 +450,16 @@ def average_resilience_curve(
     per-origin baseline map ships to the pool workers alongside the CSR
     graph, so the historical ``origins × leakers`` full propagations
     collapse to ``origins`` baselines plus one delta pass per pair.
+
+    ``stream`` (``REPRO_STREAM``; auto-on at paper scale) bounds the
+    baseline footprint: instead of prefetching and holding *every*
+    distinct origin's baseline for the whole sweep, origins are consumed
+    in batch-width windows — one
+    :meth:`~repro.bgpsim.cache.RoutingStateCache.states_for_many`
+    streaming window of baselines lives at a time, its pairs run their
+    delta passes, and the window is dropped before the next is computed.
+    The curve is bit-identical (it is sorted, so per-window reordering
+    of pairs cannot change it).
     """
     nodes = sorted(graph.nodes())
     pairs: list[tuple[int, int]] = []
@@ -463,6 +474,33 @@ def average_resilience_curve(
         and mode is not LeakMode.SUBPREFIX
     ):
         unique_origins = list(dict.fromkeys(origin for origin, _ in pairs))
+        if resolve_stream(stream, len(graph)):
+            if cache is None:
+                cache = RoutingStateCache(graph, engine=engine, batch=batch)
+            width = cache._batch_width(batch, cap=False)
+            by_origin: dict[int, list[tuple[int, int]]] = {}
+            for pair in pairs:
+                by_origin.setdefault(pair[0], []).append(pair)
+            fractions: list[float] = []
+            for i in range(0, len(unique_origins), width):
+                window = unique_origins[i : i + width]
+                baselines = dict(
+                    cache.states_for_many(
+                        window, workers=workers, batch=batch, stream=True
+                    )
+                )
+                window_pairs = [
+                    pair for origin in window for pair in by_origin[origin]
+                ]
+                for outcome in graph_map(
+                    graph, _pair_delta_task, window_pairs, workers=workers,
+                    baselines=baselines, mode=mode, engine=engine,
+                ):
+                    if outcome is not None:
+                        fractions.append(outcome.fraction_detoured)
+                # drop this window's baselines before the next window
+                baselines.clear()
+            return sorted(fractions)
         if cache is None or (
             cache.maxsize is not None and cache.maxsize < len(unique_origins)
         ):

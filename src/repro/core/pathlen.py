@@ -201,6 +201,27 @@ def path_length_distribution(
 _FIG13_SERIES = ("ases", "eyeball_ases", "population")
 
 
+def _fig13_weightings(
+    users: Mapping[int, int],
+) -> tuple[tuple[Mapping[int, float] | None, frozenset[int] | None], ...]:
+    """The three (weights, restrict_to) pairs of one Fig. 13 bar group."""
+    eyeballs = frozenset(asn for asn, count in users.items() if count > 0)
+    population = {a: float(c) for a, c in users.items()}
+    return ((None, None), (None, eyeballs), (population, None))
+
+
+def _fig13_triples_from_state(
+    state: RoutingState,
+    weightings: tuple,
+) -> tuple[tuple[float, float, float], ...]:
+    """All three Fig. 13 weightings of an already-propagated state."""
+    triples = []
+    for weights, restrict_to in weightings:
+        totals = path_length_weights_from_state(state, weights, restrict_to)
+        triples.append((totals["1"], totals["2"], totals["3+"]))
+    return tuple(triples)
+
+
 def _fig13_task(
     graph: ASGraph,
     origin: int,
@@ -209,17 +230,27 @@ def _fig13_task(
 ) -> tuple[tuple[float, float, float], ...]:
     """All three Fig. 13 weightings from a single propagation."""
     state = propagate(graph, Seed(asn=origin, key="origin"), engine=engine)
-    eyeballs = frozenset(asn for asn, count in users.items() if count > 0)
-    population = {a: float(c) for a, c in users.items()}
-    triples = []
-    for weights, restrict_to in (
-        (None, None),
-        (None, eyeballs),
-        (population, None),
-    ):
-        totals = path_length_weights_from_state(state, weights, restrict_to)
-        triples.append((totals["1"], totals["2"], totals["3+"]))
-    return tuple(triples)
+    return _fig13_triples_from_state(state, _fig13_weightings(users))
+
+
+def _fig13_batch_task(
+    graph: ASGraph,
+    origins: tuple[int, ...],
+    users: Mapping[int, int] = {},
+    engine: Optional[str] = None,
+) -> list[tuple[tuple[float, float, float], ...]]:
+    """:func:`_fig13_task` rows for a batch of origins from one
+    bit-parallel sweep (the views feed the same histogram kernel, so
+    every float is bit-identical to the per-origin path)."""
+    from ..bgpsim.multiorigin import propagate_batch
+
+    del engine  # the batch kernel is the compiled engine
+    weightings = _fig13_weightings(users)
+    batch_state = propagate_batch(graph, origins)
+    return [
+        _fig13_triples_from_state(state, weightings)
+        for _, state in batch_state.views()
+    ]
 
 
 def _bars_from_triples(
@@ -252,13 +283,72 @@ def fig13_bars_sweep(
     users: Mapping[int, int],
     workers: int | str | None = None,
     engine: Optional[str] = None,
+    batch: Optional[int] = None,
+    stream: bool | str | None = None,
+    cache=None,
 ) -> list[dict[str, PathLengthMix]]:
     """:func:`fig13_bars` for many origins; workers return compact bin
-    triples (3 weightings × 3 bins per origin)."""
+    triples (3 weightings × 3 bins per origin).
+
+    ``batch`` groups origins into bit-parallel multi-origin sweeps;
+    ``stream`` (``REPRO_STREAM``; auto-on at paper scale) folds each
+    origin's triples as its view arrives and drops the view before the
+    next one — O(batch) peak memory with bit-identical mixes either
+    way.  ``cache`` (optional) supplies warm/precomputed states to the
+    streaming path.
+    """
+    from ..bgpsim.engine import resolve_engine, resolve_stream
+    from ..bgpsim.multiorigin import resolve_batch
+
+    origin_list = list(origins)
+    try:
+        resolved = resolve_engine(engine)
+    except ValueError:
+        resolved = "reference"  # unknown engine: let the task raise
+    width = resolve_batch(batch)
+    if (
+        resolve_stream(stream, len(graph))
+        and resolved in ("compiled", "incremental")
+        and origin_list
+    ):
+        from ..bgpsim.cache import RoutingStateCache
+
+        if cache is None:
+            cache = RoutingStateCache(graph, engine=engine, batch=batch)
+        weightings = _fig13_weightings(users)
+        bars = []
+        for _, state in cache.states_for_many(
+            origin_list, workers=workers, batch=batch, stream=True
+        ):
+            bars.append(
+                _bars_from_triples(
+                    _fig13_triples_from_state(state, weightings)
+                )
+            )
+            del state  # release this view before pulling the next
+        return bars
+    if width > 1 and resolved in ("compiled", "incremental") and origin_list:
+        chunks = [
+            tuple(origin_list[i : i + width])
+            for i in range(0, len(origin_list), width)
+        ]
+        row_lists = graph_map(
+            graph,
+            _fig13_batch_task,
+            chunks,
+            workers=workers,
+            users=dict(users),
+            engine=engine,
+        )
+        return [
+            _bars_from_triples(triples)
+            for rows_ in row_lists
+            for triples in rows_
+        ]
     rows = graph_map(
         graph,
         _fig13_task,
-        list(origins),
+        list(origin_list),
         workers=workers,
         users=dict(users),
         engine=engine,

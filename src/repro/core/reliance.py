@@ -374,6 +374,8 @@ def reliance_summary_sweep(
     workers: int | str | None = None,
     engine: Optional[str] = None,
     batch: Optional[int] = None,
+    stream: bool | str | None = None,
+    cache=None,
 ) -> list[RelianceSummary]:
     """:class:`RelianceSummary` per (origin, excluded) pair, in input order.
 
@@ -388,8 +390,18 @@ def reliance_summary_sweep(
     set costs ``ceil(N / batch)`` propagations instead of ``N``.  It
     defaults through ``REPRO_BATCH`` and is ignored on the reference
     engine; results are identical either way.
+
+    ``stream`` (``REPRO_STREAM``; auto-on at paper scale) folds each
+    per-origin view through the summary kernel as it is computed and
+    drops it before the next arrives —
+    :meth:`~repro.bgpsim.cache.RoutingStateCache.states_for_many`'s
+    O(batch)-memory tier — instead of retaining a whole batch window of
+    views at once.  Summaries are bit-identical to the eager path
+    (asserted in ``tests/test_streaming_sweeps.py`` and in-bench).  A
+    ``cache`` with an attached shard store lets precomputed corpora
+    serve the no-excluded-set sweeps.
     """
-    from ..bgpsim.engine import resolve_engine
+    from ..bgpsim.engine import resolve_engine, resolve_stream
     from ..bgpsim.multiorigin import resolve_batch
 
     items = [
@@ -400,6 +412,35 @@ def reliance_summary_sweep(
     except ValueError:
         resolved = "reference"  # unknown engine: let the task raise
     width = resolve_batch(batch)
+    if (
+        resolve_stream(stream, len(graph))
+        and resolved in ("compiled", "incremental")
+        and items
+    ):
+        from ..bgpsim.cache import RoutingStateCache
+
+        if cache is None:
+            cache = RoutingStateCache(graph, engine=engine, batch=batch)
+        groups: dict[frozenset[int], list[int]] = {}
+        for position, (_, excluded) in enumerate(items):
+            groups.setdefault(excluded, []).append(position)
+        results: list[Optional[RelianceSummary]] = [None] * len(items)
+        for excluded, positions in groups.items():
+            states = cache.states_for_many(
+                (items[p][0] for p in positions),
+                workers=workers,
+                batch=batch,
+                stream=True,
+                excluded=excluded,
+            )
+            for position, (_, state) in zip(positions, states):
+                results[position] = summarize_reliance_from_state(
+                    state, bin_width=bin_width, top_n=top_n
+                )
+                # release this view before pulling the next: the fold
+                # keeps one live view, not a window of them
+                del state
+        return results
     if width > 1 and resolved in ("compiled", "incremental") and items:
         groups: dict[frozenset[int], list[int]] = {}
         for position, (_, excluded) in enumerate(items):
@@ -449,6 +490,8 @@ def hierarchy_free_reliance_summaries(
     workers: int | str | None = None,
     engine: Optional[str] = None,
     batch: Optional[int] = None,
+    stream: bool | str | None = None,
+    cache=None,
 ) -> list[RelianceSummary]:
     """:func:`reliance_summary_sweep` under hierarchy-free constraints."""
     return reliance_summary_sweep(
@@ -462,4 +505,6 @@ def hierarchy_free_reliance_summaries(
         workers=workers,
         engine=engine,
         batch=batch,
+        stream=stream,
+        cache=cache,
     )

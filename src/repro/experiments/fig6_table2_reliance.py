@@ -91,6 +91,7 @@ def run(
     workers: int | str | None = None,
     engine: str | None = None,
     batch: int | None = None,
+    stream: bool | str | None = None,
 ) -> Fig6Table2Result:
     graph, tiers = ctx.graph, ctx.tiers
     names = list(ctx.clouds.items())
@@ -102,6 +103,7 @@ def run(
         workers=workers,
         engine=engine,
         batch=batch,
+        stream=stream,
     )
     clouds = [
         CloudReliance(name=name, asn=asn, summary=summary)

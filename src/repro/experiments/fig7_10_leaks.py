@@ -128,6 +128,7 @@ def run(
     include_facebook: bool = True,
     workers: int | str | None = None,
     engine: Optional[str] = None,
+    stream: bool | str | None = None,
 ) -> LeakResult:
     """Figs. 7 and 8 for every cloud (and Facebook).
 
@@ -155,6 +156,7 @@ def run(
         workers=workers,
         engine=engine,
         cache=cache,
+        stream=stream,
     )
     return LeakResult(origins=curves, average_resilience=baseline)
 

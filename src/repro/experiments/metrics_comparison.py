@@ -74,6 +74,7 @@ def run(
     workers: int | str | None = None,
     engine: str | None = None,
     batch: int | None = None,
+    stream: bool | str | None = None,
 ) -> MetricsComparisonResult:
     graph, tiers = ctx.graph, ctx.tiers
     targets: list[tuple[str, int, str]] = [
@@ -93,6 +94,7 @@ def run(
         workers=workers,
         engine=engine,
         batch=batch,
+        stream=stream,
     )
     rows = [
         MetricsRow(

@@ -4,6 +4,11 @@ Every AS announces one prefix (the paper's supplemental campaign selects
 one prefix per origin AS [19]); IXP LANs get /24s, a configurable fraction
 of which are *not* announced in BGP — reproducing the NL-IX situation in
 §4.1 where peering interfaces resolve only through PeeringDB/whois.
+
+The first 16,384 ASes get /16s — IPv4 simply does not hold 70,000 /16s —
+so the paper-scale ``full`` profile spills into a second, contiguous tier
+of /20s.  Legacy indices keep their historical /16s byte-for-byte, so
+every pre-existing profile's addressing is unchanged.
 """
 
 from __future__ import annotations
@@ -15,26 +20,56 @@ from collections.abc import Sequence
 AS_PREFIX_BASE = int(ipaddress.IPv4Address("16.0.0.0"))
 #: IXP LANs are /24s carved from this block (homage to NL-IX's 193.238/22).
 IXP_LAN_BASE = int(ipaddress.IPv4Address("193.238.0.0"))
-MAX_AS_PREFIXES = 16384  # 16.0.0.0-79.255.255.255, clear of the IXP pool
+MAX_AS_PREFIXES = 16384  # /16 tier: 16.0.0.0-79.255.255.255
+#: ASes past the /16 tier get sequential /20s from 80.0.0.0 (where the
+#: /16 tier ends), still clear of the 193.238/16 IXP pool.
+AS_PREFIX_EXT_BASE = AS_PREFIX_BASE + (MAX_AS_PREFIXES << 16)
+#: /20s available before running into 160.0.0.0 (comfortable headroom
+#: under the IXP pool): enough for ~1.3M extra ASes — every profile fits.
+MAX_AS_PREFIXES_EXT = (
+    int(ipaddress.IPv4Address("160.0.0.0")) - AS_PREFIX_EXT_BASE
+) >> 12
 MAX_IXP_LANS = 1024
+#: Paper-scale profiles put thousands of members on one metro exchange —
+#: far past a /24's 252 usable slots — so their LANs are /18s, carved
+#: from 11.0.0.0 (below the AS-prefix space, which owns 16.0.0.0 up),
+#: mirroring how the largest real exchanges outgrew /24 peering LANs.
+IXP_LAN_WIDE_BASE = int(ipaddress.IPv4Address("11.0.0.0"))
+MAX_IXP_LANS_WIDE = 256
 
 
 def as_prefix(index: int) -> ipaddress.IPv4Network:
-    """The /16 announced by the ``index``-th AS (allocation order)."""
-    if not 0 <= index < MAX_AS_PREFIXES:
+    """The prefix announced by the ``index``-th AS (allocation order).
+
+    Indices below :data:`MAX_AS_PREFIXES` map to the historical /16s;
+    higher indices map to the /20 extension tier.
+    """
+    if 0 <= index < MAX_AS_PREFIXES:
+        return ipaddress.IPv4Network((AS_PREFIX_BASE + (index << 16), 16))
+    ext = index - MAX_AS_PREFIXES
+    if not 0 <= ext < MAX_AS_PREFIXES_EXT:
         raise ValueError(f"AS prefix index out of range: {index}")
-    return ipaddress.IPv4Network((AS_PREFIX_BASE + (index << 16), 16))
+    return ipaddress.IPv4Network((AS_PREFIX_EXT_BASE + (ext << 12), 20))
 
 
-def ixp_lan(index: int) -> ipaddress.IPv4Network:
-    """The /24 peering LAN of the ``index``-th IXP."""
+def ixp_lan(index: int, wide: bool = False) -> ipaddress.IPv4Network:
+    """The peering LAN of the ``index``-th IXP.
+
+    ``wide=False`` (every seed profile) keeps the historical /24s;
+    ``wide=True`` (paper-scale profiles, where one metro exchange holds
+    thousands of members) allocates /18s instead.
+    """
+    if wide:
+        if not 0 <= index < MAX_IXP_LANS_WIDE:
+            raise ValueError(f"wide IXP LAN index out of range: {index}")
+        return ipaddress.IPv4Network((IXP_LAN_WIDE_BASE + (index << 14), 18))
     if not 0 <= index < MAX_IXP_LANS:
         raise ValueError(f"IXP LAN index out of range: {index}")
     return ipaddress.IPv4Network((IXP_LAN_BASE + (index << 8), 24))
 
 
 def allocate_as_prefixes(asns: Sequence[int]) -> dict[int, ipaddress.IPv4Network]:
-    """Deterministically assign one /16 per AS, in the given order."""
+    """Deterministically assign one prefix per AS, in the given order."""
     return {asn: as_prefix(i) for i, asn in enumerate(asns)}
 
 

@@ -235,6 +235,23 @@ def large(seed: int = 20200901) -> ScenarioConfig:
     )
 
 
+def full(seed: int = 20200901) -> ScenarioConfig:
+    """~70k ASes — the paper's true September-2020 scale (69,999 ASes).
+
+    Class counts follow the same edge-heavy mix as :func:`large` scaled
+    ~7×: the access + enterprise edge dominates (as in the real
+    AS-level topology), with the curated Tier-1/Tier-2 sets used in
+    full.  Generating this profile takes minutes and the experiment
+    sweeps at this scale should run with ``stream`` aggregation
+    (``REPRO_STREAM=auto`` turns it on at this size).
+    """
+    return ScenarioConfig(
+        name="full", seed=seed, n_tier1=16, n_tier2=21, n_regional=1800,
+        n_access=40600, n_content=7800, n_enterprise=19756, n_ixps=120,
+        n_bgp_monitors=200, clouds=_clouds_2020(),
+    )
+
+
 def year2020(seed: int = 20200901) -> ScenarioConfig:
     """The default benchmark scenario (~2000 ASes), September-2020-like."""
     return ScenarioConfig(name="year2020", seed=seed, clouds=_clouds_2020())
@@ -309,6 +326,12 @@ def large2015(seed: int = 20150901) -> ScenarioConfig:
     return _scale_to_2015(large(), "large2015", seed)
 
 
+def full2015(seed: int = 20150901) -> ScenarioConfig:
+    """2015 companion of :func:`full` (~51.8k ASes vs the paper's
+    51,801)."""
+    return _scale_to_2015(full(), "full2015", seed)
+
+
 PROFILES = {
     "tiny": tiny,
     "tiny2015": tiny2015,
@@ -318,6 +341,8 @@ PROFILES = {
     "mid2015": mid2015,
     "large": large,
     "large2015": large2015,
+    "full": full,
+    "full2015": full2015,
     "year2020": year2020,
     "year2015": year2015,
 }
@@ -328,6 +353,7 @@ COMPANION_2015 = {
     "small": "small2015",
     "mid": "mid2015",
     "large": "large2015",
+    "full": "full2015",
     "year2020": "year2015",
 }
 

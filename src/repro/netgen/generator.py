@@ -178,6 +178,13 @@ DEFAULT_T2_REGIONAL_PEERING = 0.12
 DURAND_NAME = "Durand do Brasil"
 DURAND_ASN = 22356
 
+#: Synthetic ASN block bases (regional, access, content, enterprise).
+#: Legacy 10k-stride bases serve every profile whose classes fit their
+#: stride; paper-scale profiles use the wide bases, clear of the 60000+
+#: synthetic-name pool, the 61000+ IXP ASNs, and all real ASNs (< 65536).
+LEGACY_BLOCK_BASES = (20_000, 30_000, 40_000, 50_000)
+WIDE_BLOCK_BASES = (100_000, 200_000, 400_000, 600_000)
+
 _REGION_WEIGHTS = {
     Continent.NORTH_AMERICA: 0.26,
     Continent.EUROPE: 0.25,
@@ -296,6 +303,19 @@ class _Builder:
             city = self._weighted_city()
             self.tier2.append(self._register(asn, name, ASKind.TIER2, city))
             self.transit_labels[name] = asn
+        # Synthetic block bases.  The legacy 10k-stride bases are kept
+        # verbatim while every class fits its stride (so the seed
+        # profiles stay byte-identical); the paper-scale ``full`` profile
+        # (40k+ access ASes) switches to wide, well-separated bases that
+        # can never run into each other, the 60000+ synthetic-name pool,
+        # the 61000+ IXP route-server ASNs, or any curated real ASN
+        # (all < 65536).
+        counts = (cfg.n_regional, cfg.n_access, cfg.n_content, cfg.n_enterprise)
+        if max(counts) + 256 <= 10_000:
+            block_bases = LEGACY_BLOCK_BASES
+        else:
+            block_bases = WIDE_BLOCK_BASES
+        regional_base, access_base, content_base, enterprise_base = block_bases
         # Durand-like small transit (Google's odd third provider)
         self.durand = self._register(
             DURAND_ASN, DURAND_NAME, ASKind.REGIONAL,
@@ -303,7 +323,7 @@ class _Builder:
         )
         self.regional.append(self.durand)
         for i, asn in enumerate(
-            self._block_asns(20000, cfg.n_regional, reserved)
+            self._block_asns(regional_base, cfg.n_regional, reserved)
         ):
             continent = self._pick_continent()
             city = self._weighted_city(continent)
@@ -313,7 +333,7 @@ class _Builder:
                 )
             )
         for i, asn in enumerate(
-            self._block_asns(30000, cfg.n_access, reserved)
+            self._block_asns(access_base, cfg.n_access, reserved)
         ):
             city = self._weighted_city(self._pick_continent())
             self.access.append(
@@ -322,7 +342,7 @@ class _Builder:
                 )
             )
         for i, asn in enumerate(
-            self._block_asns(40000, cfg.n_content, reserved)
+            self._block_asns(content_base, cfg.n_content, reserved)
         ):
             city = self._weighted_city()
             self.content.append(
@@ -331,7 +351,7 @@ class _Builder:
                 )
             )
         for i, asn in enumerate(
-            self._block_asns(50000, cfg.n_enterprise, reserved)
+            self._block_asns(enterprise_base, cfg.n_enterprise, reserved)
         ):
             city = self._weighted_city(self._pick_continent())
             self.enterprise.append(
@@ -355,6 +375,9 @@ class _Builder:
     def make_ixps(self) -> None:
         cfg = self.config
         metros = largest_cities(max(cfg.n_ixps, 1))
+        # paper-scale profiles concentrate thousands of members on the big
+        # metro exchanges, overflowing a /24 LAN's 252 usable slots
+        wide_lans = cfg.total_ases >= 20_000
         for i in range(cfg.n_ixps):
             city = metros[i % len(metros)]
             announced = self.rng.random() >= cfg.artifacts.ixp_unannounced
@@ -367,7 +390,7 @@ class _Builder:
                 name=f"{city.name} IX",
                 asn=asn,
                 city=city,
-                lan=ixp_lan(i),
+                lan=ixp_lan(i, wide=wide_lans),
                 announced=announced,
                 members=frozenset(),
             )

@@ -1,0 +1,221 @@
+"""Structural validator + the paper-scale ``full`` profile.
+
+The seed ``mid``/``large`` profiles calibrate one tolerance band
+(degree, assortativity, clustering, joint-degree); the ~70k-AS ``full``
+profile must pass the *same* band.  Generating ``full`` takes ~40 s on
+one core, so its end-to-end test is opt-in via ``REPRO_FULL_PROFILE=1``
+(CI's 1-CPU runner skips it); everything the cheap tests can pin —
+config arithmetic, the /20 addressing extension tier, wide IXP LANs,
+the adaptive synthetic-ASN blocks — runs unconditionally.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import os
+
+import pytest
+
+from repro.netgen import build_scenario, profile, validate_scenario
+from repro.netgen.addressing import (
+    AS_PREFIX_EXT_BASE,
+    IXP_LAN_WIDE_BASE,
+    MAX_AS_PREFIXES,
+    MAX_AS_PREFIXES_EXT,
+    as_prefix,
+    ixp_lan,
+)
+from repro.netgen.validate import (
+    average_clustering,
+    degree_assortativity,
+    edge_count,
+    neighbor_degree_correlation,
+)
+from repro.topology import ASGraph
+
+
+def _star(leaves: int) -> ASGraph:
+    graph = ASGraph()
+    for leaf in range(1, leaves + 1):
+        graph.add_p2c(1000, leaf)
+    return graph
+
+
+def _triangle() -> ASGraph:
+    graph = ASGraph()
+    graph.add_p2p(1, 2)
+    graph.add_p2p(2, 3)
+    graph.add_p2p(1, 3)
+    return graph
+
+
+class TestMetricKernels:
+    def test_star_is_maximally_disassortative(self):
+        assert degree_assortativity(_star(10)) == pytest.approx(-1.0)
+
+    def test_clique_is_degree_uncorrelated(self):
+        # all degrees equal -> zero variance -> defined as 0
+        assert degree_assortativity(_triangle()) == 0.0
+
+    def test_triangle_clustering_is_one(self):
+        assert average_clustering(_triangle()) == pytest.approx(1.0)
+
+    def test_star_clustering_is_zero(self):
+        assert average_clustering(_star(10)) == 0.0
+
+    def test_star_neighbor_degree_anticorrelated(self):
+        assert neighbor_degree_correlation(_star(10)) == pytest.approx(-1.0)
+
+    def test_edge_count(self):
+        assert edge_count(_triangle()) == 3
+        assert edge_count(_star(7)) == 7
+
+    def test_clustering_sampling_is_deterministic(self):
+        graph = _triangle()
+        assert average_clustering(graph, sample=2) == average_clustering(
+            graph, sample=2
+        )
+
+
+class TestSeedProfilesPass:
+    @pytest.mark.parametrize("name", ["mid", "large"])
+    def test_profile_in_band(self, name):
+        report = validate_scenario(build_scenario(profile(name)))
+        assert report.ok, report.violations
+        assert report.profile == name
+        assert report.n_ases == pytest.approx(
+            profile(name).total_ases, rel=0.02
+        )
+
+    def test_report_dict_roundtrip(self):
+        report = validate_scenario(build_scenario(profile("mid")))
+        data = report.as_dict()
+        assert data["violations"] == []
+        assert data["n_ases"] == report.n_ases
+
+    def test_wrong_expectation_is_flagged(self):
+        report = validate_scenario(
+            build_scenario(profile("mid")), expected_ases=10
+        )
+        assert not report.ok
+        assert any("expected 10" in v for v in report.violations)
+
+
+class TestFullProfileConfig:
+    def test_full_counts(self):
+        cfg = profile("full")
+        # the paper simulates the ~70k-AS Sep-2020 Internet
+        assert cfg.total_ases == 69_999
+        assert (cfg.n_tier1, cfg.n_tier2) == (16, 21)
+
+    def test_full2015_companion(self):
+        from repro.netgen import COMPANION_2015
+
+        assert COMPANION_2015["full"] == "full2015"
+        # paper's Sep-2015 snapshot: 51,801 ASes
+        assert profile("full2015").total_ases == pytest.approx(
+            51_801, rel=0.01
+        )
+
+
+class TestAddressingExtensionTier:
+    def test_legacy_slash16s_unchanged(self):
+        assert as_prefix(0) == ipaddress.IPv4Network("16.0.0.0/16")
+        assert as_prefix(MAX_AS_PREFIXES - 1) == ipaddress.IPv4Network(
+            "79.255.0.0/16"
+        )
+
+    def test_extension_tier_starts_where_slash16s_end(self):
+        first_ext = as_prefix(MAX_AS_PREFIXES)
+        assert first_ext == ipaddress.IPv4Network("80.0.0.0/20")
+        assert int(first_ext.network_address) == AS_PREFIX_EXT_BASE
+
+    def test_tiers_disjoint_and_ordered(self):
+        assert as_prefix(MAX_AS_PREFIXES - 1).broadcast_address < (
+            as_prefix(MAX_AS_PREFIXES).network_address
+        )
+        assert not as_prefix(MAX_AS_PREFIXES).overlaps(
+            as_prefix(MAX_AS_PREFIXES + 1)
+        )
+
+    def test_full_profile_fits(self):
+        index = profile("full").total_ases - 1
+        prefix = as_prefix(index)
+        assert prefix.prefixlen == 20
+
+    def test_out_of_range_still_raises(self):
+        with pytest.raises(ValueError):
+            as_prefix(MAX_AS_PREFIXES + MAX_AS_PREFIXES_EXT)
+        with pytest.raises(ValueError):
+            as_prefix(10**6)
+
+    def test_wide_ixp_lans(self):
+        assert ixp_lan(0) == ipaddress.IPv4Network("193.238.0.0/24")
+        wide = ixp_lan(0, wide=True)
+        assert wide.prefixlen == 18
+        assert int(wide.network_address) == IXP_LAN_WIDE_BASE
+        # wide LANs live below the AS-prefix space entirely
+        assert ixp_lan(255, wide=True).broadcast_address < (
+            as_prefix(0).network_address
+        )
+        with pytest.raises(ValueError):
+            ixp_lan(256, wide=True)
+
+
+class TestAdaptiveAsnBlocks:
+    def test_seed_profiles_keep_legacy_blocks(self):
+        from repro.netgen.scenario import ASKind
+
+        scenario = build_scenario(profile("tiny"))
+        regionals = scenario.ases_of_kind(ASKind.REGIONAL)
+        assert any(20_000 <= asn < 30_000 for asn in regionals)
+
+    def test_wide_blocks_clear_reserved_pools(self):
+        from repro.netgen.generator import (
+            LEGACY_BLOCK_BASES,
+            WIDE_BLOCK_BASES,
+        )
+
+        assert LEGACY_BLOCK_BASES == (20_000, 30_000, 40_000, 50_000)
+        # the wide bases must dodge the 60000+ synth pool, the 61000+
+        # IXP ASNs, and every curated real ASN (all < 65536), and be
+        # spaced so no class can run into the next
+        bases = WIDE_BLOCK_BASES
+        assert all(base > 65_536 for base in bases)
+        full = profile("full")
+        counts = dict(
+            zip(
+                bases,
+                (
+                    full.n_regional,
+                    full.n_access,
+                    full.n_content,
+                    full.n_enterprise,
+                ),
+            )
+        )
+        spans = sorted((b, b + counts[b]) for b in bases)
+        for (_, end), (nxt, _) in zip(spans, spans[1:]):
+            assert end <= nxt
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    os.environ.get("REPRO_FULL_PROFILE") != "1",
+    reason="~40s single-core generation; set REPRO_FULL_PROFILE=1",
+)
+class TestFullProfileGeneration:
+    def test_full_generates_and_validates(self):
+        scenario = build_scenario(profile("full"))
+        assert len(scenario.graph) == 69_999
+        report = validate_scenario(scenario)
+        assert report.ok, report.violations
+        # paper-scale synthetic ASNs land in the wide blocks, clear of
+        # every real curated ASN
+        synth = [
+            asn
+            for asn, info in scenario.as_info.items()
+            if info.name.split("-")[0]
+            in {"Regional", "Access", "Content", "Enterprise"}
+        ]
+        assert synth and all(asn >= 100_000 for asn in synth)

@@ -384,3 +384,77 @@ def test_streaming_sweep_memory_is_o_batch():
     finally:
         tracemalloc.stop()
     assert held and full < hold_all / 2, (full, hold_all)
+
+
+# ---------------------------------------------------------------------------
+# resuming a partial corpus
+# ---------------------------------------------------------------------------
+
+
+def test_precompute_resumes_partial_corpus(tmp_path):
+    graph = netgen_graph("tiny")
+    every = sorted(graph.nodes())
+    half = every[: len(every) // 2]
+    target = precompute_shards(
+        graph, tmp_path / "corpus", origins=half, workers=1, shard_size=16
+    )
+    manifest = json.loads((target / "manifest.json").read_text())
+    base_shards = [s["file"] for s in manifest["shards"]]
+    stamps = {f: (target / f).stat().st_mtime_ns for f in base_shards}
+
+    # extending to the full origin set keeps every existing shard file
+    # untouched and appends only the missing origins
+    again = precompute_shards(
+        graph, tmp_path / "corpus", workers=1, shard_size=16
+    )
+    assert again == target
+    merged = json.loads((target / "manifest.json").read_text())
+    assert merged["origins"] == len(every)
+    merged_files = [s["file"] for s in merged["shards"]]
+    assert merged_files[: len(base_shards)] == base_shards
+    assert len(merged_files) > len(base_shards)
+    for f, stamp in stamps.items():
+        assert (target / f).stat().st_mtime_ns == stamp
+
+    # and the merged corpus answers every origin bit-identically
+    with ShardStore.open(target, graph=graph) as store:
+        assert sorted(store.origins()) == every
+        for origin in sample_origins(graph, 8, seed=21):
+            live = propagate_compiled(graph, (Seed(asn=origin),))
+            assert_states_equal(
+                store.state_for(origin), live, f"(resumed origin={origin})"
+            )
+
+
+def test_partial_corpus_streams_mixed_tiers(tmp_path):
+    graph = netgen_graph("tiny")
+    every = sorted(graph.nodes())
+    half = every[: len(every) // 2]
+    target = precompute_shards(
+        graph, tmp_path / "corpus", origins=half, workers=1
+    )
+    with ShardStore.open(target, graph=graph) as store:
+        cache = RoutingStateCache(graph, shards=store)
+        out = dict(cache.states_for_many(every, batch=16, stream=True))
+        stats = cache.stats()
+        # precomputed origins come off the map, the rest are propagated
+        assert stats.disk_hits == len(half)
+        assert stats.misses == len(every) - len(half)
+        for origin in sample_origins(graph, 8, seed=22):
+            live = propagate_compiled(graph, (Seed(asn=origin),))
+            assert_states_equal(
+                out[origin], live, f"(mixed-tier origin={origin})"
+            )
+
+
+def test_precompute_force_rebuilds_partial(tmp_path):
+    graph = netgen_graph("tiny")
+    every = sorted(graph.nodes())
+    target = precompute_shards(
+        graph, tmp_path / "corpus", origins=every[:8], workers=1
+    )
+    first = json.loads((target / "manifest.json").read_text())["origins"]
+    assert first == 8
+    precompute_shards(graph, tmp_path / "corpus", workers=1, force=True)
+    rebuilt = json.loads((target / "manifest.json").read_text())
+    assert rebuilt["origins"] == len(every)
