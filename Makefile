@@ -69,8 +69,12 @@ bench-scale:
 
 # Query-serving tiers: cold propagation vs warm LRU vs precomputed mmap
 # shards, plus an HTTP load-generator leg against the real `repro serve`
-# server; asserts bit-identical answers across tiers and the >=10x
-# precomputed-vs-cold speedup; writes benchmarks/bench_serve.json.
+# server; asserts bit-identical answers across tiers, the >=10x
+# precomputed-vs-cold speedup, and the >=10x metric-shard win on
+# /reliance and /hegemony vs the live kernels; also races 1 vs 2
+# SO_REUSEPORT serve workers (parallel win asserted on multi-CPU hosts)
+# and stamps per-endpoint latency histograms; writes
+# benchmarks/bench_serve.json.
 bench-serve:
 	pytest benchmarks/test_bench_serve.py --benchmark-only
 

@@ -56,15 +56,20 @@ def write_bench_json(
     engine: Optional[str] = None,
     workers: Optional[int] = None,
     batch: Optional[int] = None,
+    **extra: Any,
 ) -> dict[str, Any]:
     """Stamp ``record`` with :func:`bench_metadata` and write it to ``path``.
 
     Explicit keys in ``record`` win over the stamped defaults, so a
     benchmark comparing several engines can still record its own view.
+    Keyword ``extra`` lands in the stamp too — bench-serve uses it to
+    record whether metric shards were mapped and how many serve worker
+    processes ran, so a reviewed record says which tiers were live.
     Returns the record as written.
     """
     merged = {
         **bench_metadata(engine=engine, workers=workers, batch=batch),
+        **extra,
         **record,
     }
     path.write_text(json.dumps(merged, indent=2) + "\n")

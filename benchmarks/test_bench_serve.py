@@ -17,6 +17,18 @@ must match exactly.  The record then asserts the precomputed tier is
 drives the real HTTP server over localhost to record end-to-end
 queries/sec and tail latency.
 
+Two further legs cover PR 10:
+
+* ``metric`` — ``/reliance`` and ``/hegemony`` answered off precomputed
+  metric shards (``repro precompute --metrics``) vs the same service
+  recomputing the kernels per query.  Answers must be bit-identical
+  (exact ``float.hex()``) and the metric tier must be ≥10× faster than
+  the pure-Python kernel baseline (``REPRO_VECTOR=off``); the
+  vectorized-kernel baseline is recorded unasserted.
+* ``multi-worker`` — a threaded client load against ``WorkerSupervisor``
+  with 1 and 2 ``SO_REUSEPORT`` workers; the parallel win is asserted
+  only on multi-CPU hosts.
+
 Run via ``make bench-serve``; the record lands in
 ``benchmarks/bench_serve.json``.
 """
@@ -25,7 +37,9 @@ from __future__ import annotations
 
 import http.client
 import json
+import os
 import statistics
+import threading
 import time
 from pathlib import Path
 
@@ -36,15 +50,26 @@ from repro.bgpsim import (
     precompute_shards,
     propagate,
 )
-from repro.bgpsim.shards import ShardStore
+from repro.bgpsim.shards import (
+    ShardStore,
+    default_metric_targets,
+    precompute_metric_shards,
+)
 from repro.core.hegemony import local_hegemony
 from repro.core.reliance import reliance_from_state
-from repro.serve import QueryService, start_server_thread
+from repro.serve import (
+    QueryService,
+    ServiceSpec,
+    WorkerSupervisor,
+    start_server_thread,
+)
 
 BENCH_JSON = Path(__file__).resolve().parent / "bench_serve.json"
 N_ORIGINS = 48
 QUERIES = 192
 HTTP_QUERIES = 300
+WORKER_CLIENTS = 4
+WORKER_QUERIES_PER_CLIENT = 60
 
 
 def _workload(graph):
@@ -88,6 +113,71 @@ def _drive(state_of, origins, target, queries=QUERIES):
     return timings, answers
 
 
+def _drive_endpoint(service, path, origins, target, queries=QUERIES):
+    """Per-query ns timings + answers through ``QueryService.answer``."""
+    key = path.lstrip("/")
+    timings = []
+    answers = {}
+    for k in range(queries):
+        origin = origins[k % len(origins)]
+        started = time.perf_counter_ns()
+        status, payload = service.answer(
+            path, {"origin": str(origin), "target": str(target)}
+        )
+        timings.append(time.perf_counter_ns() - started)
+        assert status == 200
+        answers[origin] = payload[key]
+    return timings, answers
+
+
+def _worker_load(graph, corpus, origins, target, expected, workers):
+    """Threaded keep-alive clients against a worker fleet; returns
+    (qps, one worker's /stats payload)."""
+    spec = ServiceSpec(graph=graph, shards=str(corpus))
+    errors: list[Exception] = []
+
+    def client(idx: int, port: int) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        try:
+            for k in range(WORKER_QUERIES_PER_CLIENT):
+                origin = origins[(idx + k) % len(origins)]
+                conn.request(
+                    "GET", f"/reliance?origin={origin}&target={target}"
+                )
+                response = conn.getresponse()
+                payload = json.loads(response.read())
+                assert response.status == 200
+                assert (
+                    float(payload["reliance"]).hex()
+                    == float(expected[origin]).hex()
+                ), f"worker answer diverged for AS{origin}"
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+        finally:
+            conn.close()
+
+    with WorkerSupervisor(spec, workers=workers) as sup:
+        threads = [
+            threading.Thread(target=client, args=(i, sup.port))
+            for i in range(WORKER_CLIENTS)
+        ]
+        started = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - started
+        conn = http.client.HTTPConnection("127.0.0.1", sup.port, timeout=120)
+        try:
+            conn.request("GET", "/stats")
+            stats = json.loads(conn.getresponse().read())
+        finally:
+            conn.close()
+    if errors:
+        raise errors[0]
+    return (WORKER_CLIENTS * WORKER_QUERIES_PER_CLIENT) / wall, stats
+
+
 def test_bench_serving_tiers(benchmark, ctx2020, tmp_path):
     graph = ctx2020.graph
     graph.compile()
@@ -101,7 +191,16 @@ def test_bench_serving_tiers(benchmark, ctx2020, tmp_path):
     precompute_started = time.perf_counter()
     corpus = precompute_shards(graph, tmp_path, workers=1)
     precompute_s = time.perf_counter() - precompute_started
+    # metric rows too (`repro precompute --metrics`), with the workload
+    # target guaranteed a fused hegemony column
+    metric_targets = tuple(
+        sorted(set(default_metric_targets(graph)) | {target})
+    )
+    metric_started = time.perf_counter()
+    precompute_metric_shards(graph, tmp_path, targets=metric_targets)
+    metric_precompute_s = time.perf_counter() - metric_started
     store = ShardStore.open(corpus, graph=graph)
+    assert store.metrics is not None
 
     # -- cold: one propagation per query ---------------------------------
     cold_ns, cold_answers = _drive(
@@ -168,6 +267,84 @@ def test_bench_serving_tiers(benchmark, ctx2020, tmp_path):
                 )
         finally:
             conn.close()
+
+    # -- metric tier: /reliance & /hegemony off precomputed rows ---------
+    m_origins = [o for o in origins if o != target]
+    metric_service = QueryService(graph, shards=store)
+    assert metric_service.metrics is not None
+    baseline = QueryService(graph, shards=store, metrics=None)
+    baseline.cache.prefetch(m_origins, workers=1)  # time the kernel, not
+    # the propagation: the baseline reads warm states and recomputes the
+    # reliance/hegemony kernels on every request
+    rel_metric_ns, rel_metric = _drive_endpoint(
+        metric_service, "/reliance", m_origins, target
+    )
+    heg_metric_ns, heg_metric = _drive_endpoint(
+        metric_service, "/hegemony", m_origins, target
+    )
+    metric_stats = metric_service.answer("/stats", {})[1]
+    assert metric_stats["tiers"]["metric"] == len(rel_metric_ns) + len(
+        heg_metric_ns
+    ), "metric queries leaked past the metric tier"
+
+    # asserted baseline: the pure-Python kernels (REPRO_VECTOR=off);
+    # the vectorized kernels are recorded too, unasserted
+    saved_vector = os.environ.get("REPRO_VECTOR")
+    os.environ["REPRO_VECTOR"] = "off"
+    try:
+        rel_loop_ns, rel_loop = _drive_endpoint(
+            baseline, "/reliance", m_origins, target
+        )
+        heg_loop_ns, heg_loop = _drive_endpoint(
+            baseline, "/hegemony", m_origins, target
+        )
+    finally:
+        if saved_vector is None:
+            os.environ.pop("REPRO_VECTOR", None)
+        else:
+            os.environ["REPRO_VECTOR"] = saved_vector
+    rel_vec_ns, rel_vec = _drive_endpoint(
+        baseline, "/reliance", m_origins, target
+    )
+    heg_vec_ns, heg_vec = _drive_endpoint(
+        baseline, "/hegemony", m_origins, target
+    )
+    for origin in m_origins:
+        assert (
+            float(rel_metric[origin]).hex()
+            == float(rel_loop[origin]).hex()
+            == float(rel_vec[origin]).hex()
+        ), f"reliance floats diverged for AS{origin}"
+        assert (
+            float(heg_metric[origin]).hex()
+            == float(heg_loop[origin]).hex()
+            == float(heg_vec[origin]).hex()
+        ), f"hegemony floats diverged for AS{origin}"
+
+    metric_legs = {
+        "reliance": {
+            "metric": _tier_record(rel_metric_ns),
+            "kernel_loop": _tier_record(rel_loop_ns),
+            "kernel_vector": _tier_record(rel_vec_ns),
+        },
+        "hegemony": {
+            "metric": _tier_record(heg_metric_ns),
+            "kernel_loop": _tier_record(heg_loop_ns),
+            "kernel_vector": _tier_record(heg_vec_ns),
+        },
+    }
+    metric_speedups = {
+        endpoint: legs["kernel_loop"]["mean_us"] / legs["metric"]["mean_us"]
+        for endpoint, legs in metric_legs.items()
+    }
+
+    # -- multi-worker serving: 1 vs 2 SO_REUSEPORT processes -------------
+    qps_one, _ = _worker_load(
+        graph, corpus, m_origins, target, rel_metric, workers=1
+    )
+    qps_two, worker_stats = _worker_load(
+        graph, corpus, m_origins, target, rel_metric, workers=2
+    )
     store.close()
 
     tiers = {
@@ -194,12 +371,50 @@ def test_bench_serving_tiers(benchmark, ctx2020, tmp_path):
             "clients": 1,
             "keep_alive": True,
         },
+        "metric": {
+            "precompute_s": metric_precompute_s,
+            "hegemony_targets": len(metric_targets),
+            "queries_per_endpoint": QUERIES,
+            "endpoints": metric_legs,
+            "speedup_metric_vs_kernel_loop": metric_speedups,
+        },
+        "latency_histograms": metric_stats["latency"],
+        "multi_worker": {
+            "clients": WORKER_CLIENTS,
+            "queries_per_run": WORKER_CLIENTS * WORKER_QUERIES_PER_CLIENT,
+            "endpoint": "reliance",
+            "qps_1_worker": qps_one,
+            "qps_2_workers": qps_two,
+            "speedup_2_workers": qps_two / qps_one,
+            "parallel_win_asserted": (os.cpu_count() or 1) >= 2,
+            "worker_latency_histograms": worker_stats["latency"],
+        },
         "answers_bit_identical": True,
     }
-    write_bench_json(BENCH_JSON, record, engine="compiled", workers=1)
+    write_bench_json(
+        BENCH_JSON,
+        record,
+        engine="compiled",
+        workers=1,
+        metric_shards=True,
+        serve_worker_runs=[1, 2],
+    )
 
     assert speedup_disk >= 10.0, (
         f"precomputed tier ({tiers['precomputed']['mean_us']:.1f} us/query) "
         f"is only {speedup_disk:.1f}x faster than cold propagation "
         f"({tiers['cold']['mean_us']:.1f} us/query); expected >=10x"
     )
+    for endpoint, speedup in metric_speedups.items():
+        legs = metric_legs[endpoint]
+        assert speedup >= 10.0, (
+            f"metric tier /{endpoint} ({legs['metric']['mean_us']:.1f} "
+            f"us/query) is only {speedup:.1f}x faster than the live "
+            f"kernel ({legs['kernel_loop']['mean_us']:.1f} us/query); "
+            f"expected >=10x"
+        )
+    if (os.cpu_count() or 1) >= 2:
+        assert qps_two > qps_one, (
+            f"2 workers ({qps_two:.0f} qps) did not beat 1 worker "
+            f"({qps_one:.0f} qps) on a {os.cpu_count()}-CPU host"
+        )

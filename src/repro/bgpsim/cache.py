@@ -66,6 +66,46 @@ class CacheStats:
         }
 
 
+class DigestGate:
+    """Memoized "does this graph still match that corpus digest?" check.
+
+    Every tier built on precomputed shards — the cache's disk tier, the
+    query service's metric tier — must refuse to serve once the live
+    topology diverges from the corpus the shards were computed for.
+    Hashing the graph per lookup would dominate the fast path, so the
+    gate memoizes the verdict on the graph's *compiled-snapshot
+    identity*: ``ASGraph.compile()`` returns a cached object until a
+    mutation invalidates it, making the steady-state consult two ``is``
+    checks.  Each topology change forces exactly one re-hash — closing
+    the gate on mismatch, reopening it when an inverse event brings the
+    digest back.
+    """
+
+    __slots__ = ("graph", "digest", "_ok_cg", "_bad_cg")
+
+    def __init__(self, graph: ASGraph, digest: str, verified: bool = False):
+        self.graph = graph
+        self.digest = digest
+        #: compiled snapshot the digest matched / mismatched
+        self._ok_cg = graph.compile() if verified else None
+        self._bad_cg = None
+
+    def ready(self) -> bool:
+        """Whether the current topology still matches the digest."""
+        cg = self.graph.compile()
+        if cg is self._ok_cg:
+            return True
+        if cg is self._bad_cg:
+            return False
+        from .shards import graph_digest
+
+        if graph_digest(cg) == self.digest:
+            self._ok_cg, self._bad_cg = cg, None
+            return True
+        self._bad_cg, self._ok_cg = cg, None
+        return False
+
+
 class RoutingStateCache:
     """Memoized ``propagate(graph, Seed(origin))`` per origin, LRU-bounded.
 
@@ -123,8 +163,7 @@ class RoutingStateCache:
         self._disk_hits = 0
         self._disk_misses = 0
         self.shards = None
-        self._shards_ok_cg = None  # compiled snapshot the digest matched
-        self._shards_bad_cg = None  # compiled snapshot it mismatched
+        self._gate: Optional[DigestGate] = None
         if shards is not None:
             self.attach_shards(shards)
 
@@ -137,39 +176,21 @@ class RoutingStateCache:
         """
         store.verify(self.graph)
         self.shards = store
-        self._shards_ok_cg = self.graph.compile()
-        self._shards_bad_cg = None
+        self._gate = DigestGate(self.graph, store.digest, verified=True)
 
     def detach_shards(self):
         """Drop the disk tier; returns the store (not closed)."""
         store, self.shards = self.shards, None
-        self._shards_ok_cg = self._shards_bad_cg = None
+        self._gate = None
         return store
 
     def _disk_ready(self) -> bool:
         """Whether the disk tier may serve the *current* topology.
 
-        Digest checks are memoized on the graph's compiled-snapshot
-        identity — ``ASGraph.compile()`` returns a cached object until a
-        mutation invalidates it — so steady-state consults cost two
-        ``is`` checks, while every topology change forces exactly one
-        re-hash (disabling the tier on mismatch, restoring it when an
-        inverse event brings the digest back).
+        Delegates to the :class:`DigestGate`, so steady-state consults
+        cost two ``is`` checks and each topology change one re-hash.
         """
-        if self.shards is None:
-            return False
-        cg = self.graph.compile()
-        if cg is self._shards_ok_cg:
-            return True
-        if cg is self._shards_bad_cg:
-            return False
-        from .shards import graph_digest
-
-        if graph_digest(cg) == self.shards.digest:
-            self._shards_ok_cg = cg
-            return True
-        self._shards_bad_cg = cg
-        return False
+        return self.shards is not None and self._gate.ready()
 
     def _on_disk(self, origin: int) -> bool:
         """Uncounted peek: could the disk tier serve ``origin``?"""

@@ -171,7 +171,12 @@ def cmd_infer(args: argparse.Namespace) -> int:
 
 
 def cmd_precompute(args: argparse.Namespace) -> int:
-    from .bgpsim.shards import ShardStore, precompute_shards
+    from .bgpsim.shards import (
+        ShardError,
+        ShardStore,
+        precompute_metric_shards,
+        precompute_shards,
+    )
     from .topology import load_graph
 
     graph = load_graph(args.file)
@@ -184,6 +189,14 @@ def cmd_precompute(args: argparse.Namespace) -> int:
                 f"error: AS{unknown[0]} not in {args.file}", file=sys.stderr
             )
             return 1
+    targets = None
+    if args.metric_targets:
+        if args.metric_targets.isdigit():
+            from .bgpsim.shards import default_metric_targets
+
+            targets = default_metric_targets(graph, int(args.metric_targets))
+        else:
+            targets = [int(t) for t in args.metric_targets.split(",") if t]
 
     total = len(origins) if origins is not None else len(graph)
     last = [-1]
@@ -205,12 +218,39 @@ def cmd_precompute(args: argparse.Namespace) -> int:
         force=args.force,
         progress=progress if not args.quiet else None,
     )
+    if args.metrics:
+        if not args.quiet:
+            print("  metric pass:", file=sys.stderr)
+        last[0] = -1
+        try:
+            precompute_metric_shards(
+                graph,
+                args.output,
+                origins=origins,
+                targets=targets,
+                trim=args.trim,
+                workers=args.workers,
+                batch=args.batch,
+                engine=args.engine,
+                shard_size=args.shard_size,
+                force=args.force,
+                progress=progress if not args.quiet else None,
+            )
+        except ShardError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     with ShardStore.open(target) as store:
         manifest = store.manifest
+        metric = ""
+        if store.metrics is not None:
+            metric = (
+                f" + {len(store.metrics)} metric rows × "
+                f"{len(store.metrics.targets)} hegemony targets"
+            )
         print(
             f"precomputed {len(store)}/{total} origins into "
             f"{len(manifest['shards'])} shard(s) under {target} "
-            f"(graph {manifest['graph_digest'][:16]})"
+            f"(graph {manifest['graph_digest'][:16]}){metric}"
         )
     return 0
 
@@ -219,17 +259,96 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from .bgpsim.shards import ShardError, ShardStore
-    from .serve import QueryService, serve, smoke_check
+    from .serve import (
+        QueryService,
+        ServiceSpec,
+        WorkerSupervisor,
+        run_smoke_queries,
+        serve,
+        smoke_check,
+        smoke_expected,
+    )
     from .topology import load_graph
 
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 1
     graph = load_graph(args.file)
     store = None
     if args.shards:
         try:
-            store = ShardStore.open(args.shards, graph=graph)
+            store = ShardStore.open(args.shards, graph=graph, lease=True)
         except ShardError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
+
+    if args.workers > 1:
+        # multi-process fan-out: each worker rebuilds the service from
+        # the spec and mmaps the (page-cache-shared) corpus itself; the
+        # parent's own store handle only validated the flags above
+        spec = ServiceSpec(
+            graph_file=args.file,
+            shards=None if store is None else str(store.directory),
+            maxsize=args.maxsize,
+            engine=args.engine,
+            batch=args.batch,
+        )
+        if args.smoke:
+            service = QueryService(
+                graph,
+                shards=store,
+                maxsize=args.maxsize,
+                engine=args.engine,
+                batch=args.batch,
+            )
+            expected = smoke_expected(service)
+            with WorkerSupervisor(
+                spec, workers=args.workers, host=args.host
+            ) as supervisor:
+                failures = run_smoke_queries(
+                    supervisor.base_url,
+                    expected,
+                    require_metric_tier=service.metrics is not None,
+                )
+            store_close = service.cache.shards
+            if store_close is not None:
+                store_close.close()
+            if failures:
+                for failure in failures:
+                    print(f"smoke FAIL: {failure}", file=sys.stderr)
+                return 1
+            print(
+                "smoke ok: every endpoint matches live propagation "
+                f"({len(graph)} ASes, shards={'yes' if store else 'no'}, "
+                f"workers={args.workers})"
+            )
+            return 0
+        if store is not None:
+            store.close()  # workers hold their own leases
+        tier = f" + precomputed corpus {args.shards}" if args.shards else ""
+        with WorkerSupervisor(
+            spec, workers=args.workers, host=args.host, port=args.port
+        ) as supervisor:
+            print(
+                f"serving {len(graph)} ASes on {supervisor.base_url} "
+                f"across {args.workers} workers "
+                f"(SO_REUSEPORT{tier}); Ctrl-C stops"
+            )
+            try:
+                while supervisor.pids():
+                    import time
+
+                    time.sleep(1.0)
+                print(
+                    "error: every worker exited "
+                    f"(restarts exhausted at {supervisor.restarts})",
+                    file=sys.stderr,
+                )
+                return 1
+            except KeyboardInterrupt:
+                pass
+        return 0
+
     service = QueryService(
         graph,
         shards=store,
@@ -239,6 +358,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.smoke:
         failures = smoke_check(service, host=args.host)
+        if store is not None:
+            store.close()
         if failures:
             for failure in failures:
                 print(f"smoke FAIL: {failure}", file=sys.stderr)
@@ -249,15 +370,79 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         return 0
     tier = f" + {len(store)} precomputed origins" if store else ""
+    metric = (
+        f", {len(store.metrics)} metric rows"
+        if store is not None and store.metrics is not None
+        else ""
+    )
     print(
         f"serving {len(graph)} ASes on http://{args.host}:{args.port} "
-        f"(warm LRU maxsize={args.maxsize}{tier}); Ctrl-C stops"
+        f"(warm LRU maxsize={args.maxsize}{tier}{metric}); Ctrl-C stops"
     )
     try:
         asyncio.run(serve(service, host=args.host, port=args.port))
     except KeyboardInterrupt:
         pass
+    finally:
+        if store is not None:
+            store.close()
     return 0
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bgpsim.shards import (
+        MANIFEST_NAME,
+        ShardError,
+        ShardStore,
+        gc_corpora,
+        graph_digest,
+    )
+
+    root = Path(args.root)
+    kept = sorted(p.parent for p in root.glob(f"*/{MANIFEST_NAME}"))
+    if args.keep:
+        from .topology import load_graph
+
+        digests = []
+        for path in args.keep:
+            digests.append(graph_digest(load_graph(path).compile()))
+        removed, kept, refused = gc_corpora(root, digests)
+        for corpus in removed:
+            print(f"removed {corpus} (no retained graph matches)")
+        for corpus in refused:
+            print(
+                f"refused to remove {corpus}: live process leases",
+                file=sys.stderr,
+            )
+    status = 0
+    for corpus in kept:
+        try:
+            store = ShardStore.open(corpus, lease=True)
+        except ShardError as exc:
+            print(f"skipping {corpus}: {exc}", file=sys.stderr)
+            continue
+        try:
+            stats = store.compact(shard_size=args.shard_size)
+        except ShardError as exc:
+            print(f"refused to compact {corpus}: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        finally:
+            store.close()
+        if stats["merged"]:
+            files = (
+                stats["routing_files_before"] + stats["metric_files_before"],
+                stats["routing_files_after"] + stats["metric_files_after"],
+            )
+            print(
+                f"compacted {corpus}: {files[0]} -> {files[1]} files, "
+                f"{stats['bytes_before']} -> {stats['bytes_after']} bytes"
+            )
+        else:
+            print(f"{corpus}: already compact")
+    return status
 
 
 def cmd_timeline(args: argparse.Namespace) -> int:
@@ -281,7 +466,7 @@ def cmd_timeline(args: argparse.Namespace) -> int:
         from .bgpsim.shards import ShardError, ShardStore
 
         try:
-            shards = ShardStore.open(args.shards, graph=graph)
+            shards = ShardStore.open(args.shards, graph=graph, lease=True)
         except ShardError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
@@ -544,8 +729,51 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="rebuild even if a complete corpus already exists",
     )
+    precompute.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also write metric shards (per-origin reliance vectors + "
+        "fused hegemony rows) so /reliance and /hegemony skip their "
+        "kernels entirely",
+    )
+    precompute.add_argument(
+        "--metric-targets",
+        help="hegemony targets for the metric shards: an integer N "
+        "(top-N ASes by degree) or a comma-separated ASN list "
+        "(default: top-64)",
+    )
+    precompute.add_argument(
+        "--trim",
+        type=float,
+        default=None,
+        help="trimmed-mean fraction for stored hegemony rows "
+        "(default: 0.1, the paper's)",
+    )
     precompute.add_argument("-q", "--quiet", action="store_true")
     precompute.set_defaults(func=cmd_precompute)
+
+    compact = sub.add_parser(
+        "compact",
+        help="merge rolling shard files and garbage-collect superseded "
+        "corpora under a shard root",
+    )
+    compact.add_argument(
+        "root", help="corpus root (the -o passed to repro precompute)"
+    )
+    compact.add_argument(
+        "--keep",
+        action="append",
+        help="topology file whose corpus must be retained; corpora "
+        "matching no --keep graph are deleted (omit to only merge, "
+        "never delete)",
+    )
+    compact.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        help="origins per merged shard file (default: the corpus's own)",
+    )
+    compact.set_defaults(func=cmd_compact)
 
     serve = sub.add_parser(
         "serve",
@@ -575,6 +803,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="bit-parallel width for batched request warming",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="serving processes sharing the address via SO_REUSEPORT "
+        "(default: 1, in-process; each worker mmaps the same corpus "
+        "and a supervisor restarts dead workers)",
     )
     serve.add_argument(
         "--smoke",

@@ -29,7 +29,23 @@ Endpoints (GET, JSON responses):
 ``/rib?origin=A&asn=B``
     B's RIB entry for A's prefix: class, length, tied parent set
 ``/stats`` · ``/health``
-    cache tier counters (lru/disk/computed) and liveness
+    tier counters (lru/metric/disk/computed), per-endpoint latency
+    histograms, and liveness
+
+``/reliance`` and ``/hegemony`` consult a fourth tier first when the
+attached corpus carries **metric shards** (``repro precompute
+--metrics``): the answer becomes a zero-copy float64 read off the mmap —
+no routing state is touched at all — and falls back to the live kernels
+for origins/targets the shards do not cover.  Stored values are written
+by the same kernels that serve live queries, so the tiers are
+bit-identical (asserted in tests and in-bench via ``float.hex()``).
+
+:func:`serve` can also fan out across processes: ``repro serve
+--workers N`` runs one asyncio server per worker process, each bound to
+the same address via ``SO_REUSEPORT`` (the kernel load-balances
+connections) and each mmapping the same content-addressed corpus — the
+page cache is shared, so N workers cost one copy of the data.  A parent
+:class:`WorkerSupervisor` restarts workers that die.
 
 Every answer is derived from the same states live propagation produces —
 the serve benchmark (``make bench-serve``) and the CI smoke leg assert
@@ -41,21 +57,35 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import json
+import math
+import multiprocessing
+import multiprocessing.connection
+import os
+import signal
+import socket
 import threading
+import time
+from bisect import bisect_left
 from typing import Any, Optional
 from urllib.parse import parse_qs, urlsplit
 
-from .bgpsim.cache import RoutingStateCache
+from .bgpsim.cache import DigestGate, RoutingStateCache
 from .core.hegemony import TRIM, local_hegemony
 from .core.reliance import reliance_from_state
 from .topology.asgraph import ASGraph
 
 __all__ = [
     "DEFAULT_MAXSIZE",
+    "LatencyHistogram",
     "QueryError",
     "QueryService",
     "ServerHandle",
+    "ServiceSpec",
+    "WorkerSupervisor",
+    "run_smoke_queries",
     "serve",
+    "smoke_check",
+    "smoke_expected",
     "start_server_thread",
 ]
 
@@ -65,6 +95,58 @@ DEFAULT_MAXSIZE = 1024
 
 #: how long the batcher waits to coalesce concurrent cold origins
 DEFAULT_BATCH_WINDOW = 0.002
+
+
+class LatencyHistogram:
+    """Fixed log-spaced latency buckets (stdlib only, GIL-atomic).
+
+    Bounds span 1 µs – 10 s at 8 buckets per decade (57 bounds + one
+    overflow bucket); a recorded duration lands in the first bucket
+    whose upper bound covers it, so a reported percentile is the upper
+    bound of its bucket — at most one bucket-width (~33%) above the true
+    value, which is plenty for p50/p99 serving dashboards.  ``record``
+    is a list-index increment and two adds, cheap enough for every
+    request, and needs no lock under the GIL.
+    """
+
+    #: bucket upper bounds in seconds: 10^(k/8) µs for k = 0 .. 56
+    BOUNDS = tuple(10.0 ** (k / 8 - 6.0) for k in range(57))
+
+    __slots__ = ("counts", "total", "sum")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(self.BOUNDS) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.counts[bisect_left(self.BOUNDS, seconds)] += 1
+        self.total += 1
+        self.sum += seconds
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile bucket bound in seconds (None when empty)."""
+        if not self.total:
+            return None
+        rank = max(1, math.ceil(q * self.total))
+        cumulative = 0
+        for i, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= rank:
+                return self.BOUNDS[min(i, len(self.BOUNDS) - 1)]
+        return self.BOUNDS[-1]
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready summary: count, mean/p50/p99 in microseconds."""
+        if not self.total:
+            return {"count": 0, "mean_us": None, "p50_us": None,
+                    "p99_us": None}
+        return {
+            "count": self.total,
+            "mean_us": self.sum / self.total * 1e6,
+            "p50_us": self.percentile(0.50) * 1e6,
+            "p99_us": self.percentile(0.99) * 1e6,
+        }
 
 
 class QueryError(Exception):
@@ -85,6 +167,16 @@ class QueryService:
     (mmap disk tier) — and answers one query per method call.  The HTTP
     layer is a thin wrapper over :meth:`answer`; tests and benchmarks
     call the service directly.
+
+    ``metrics`` selects the metric-shard tier for ``/reliance`` and
+    ``/hegemony``: the default ``"auto"`` adopts the attached shard
+    store's :class:`~repro.bgpsim.shards.MetricShardStore` when the
+    corpus carries metric shards, an explicit store overrides it, and
+    ``None`` disables the tier (every metric query runs its live
+    kernel).  Metric-tier answers are digest-gated exactly like the disk
+    tier — a mutated topology falls back to the kernels — and
+    hegemony rows are only served when the stored trim matches this
+    service's ``trim``.
     """
 
     def __init__(
@@ -92,6 +184,7 @@ class QueryService:
         graph: ASGraph,
         cache: Optional[RoutingStateCache] = None,
         shards=None,
+        metrics="auto",
         maxsize: Optional[int] = DEFAULT_MAXSIZE,
         engine: Optional[str] = None,
         batch: Optional[int] = None,
@@ -103,10 +196,22 @@ class QueryService:
             )
         if shards is not None:
             cache.attach_shards(shards)
+        if metrics == "auto":
+            store = cache.shards
+            metrics = store.metrics if store is not None else None
         self.graph = graph
         self.cache = cache
         self.trim = trim
+        self.metrics = metrics
+        self._metric_gate = (
+            None
+            if metrics is None
+            else DigestGate(graph, metrics.digest)
+        )
+        self.metric_hits = 0
+        self.metric_misses = 0
         self.requests = 0
+        self.latency: dict[str, LatencyHistogram] = {}
         self._routes = {
             "/health": self._ep_health,
             "/stats": self._ep_stats,
@@ -133,6 +238,41 @@ class QueryService:
     def _state(self, origin: int):
         return self.cache.state_for(origin)
 
+    def _metric_lookup(self, kind: str, origin: int, target: int):
+        """Consult the metric-shard tier; ``None`` means fall back.
+
+        A miss (uncovered origin, non-node target, NaN diagonal, stale
+        digest, trim mismatch) returns ``None`` and the caller runs the
+        live kernel — ``0.0`` is a perfectly valid *hit*.
+        """
+        store = self.metrics
+        if store is None:
+            return None
+        if kind == "hegemony" and store.trim != self.trim:
+            self.metric_misses += 1
+            return None
+        if not self._metric_gate.ready():
+            self.metric_misses += 1
+            return None
+        lookup = store.reliance if kind == "reliance" else store.hegemony
+        value = lookup(origin, target)
+        if value is None:
+            self.metric_misses += 1
+        else:
+            self.metric_hits += 1
+        return value
+
+    def metric_covers(self, path: str, origin: int) -> bool:
+        """Whether the metric tier can answer ``path`` for ``origin``
+        without a routing state — lets the HTTP batcher skip warming
+        the LRU for queries the shards will serve anyway (uncounted)."""
+        endpoint = path.rstrip("/")
+        if endpoint not in ("/reliance", "/hegemony") or self.metrics is None:
+            return False
+        if endpoint == "/hegemony" and self.metrics.trim != self.trim:
+            return False
+        return origin in self.metrics and self._metric_gate.ready()
+
     def warm(self, origins) -> int:
         """Batched warm-up for the request batcher: one bit-parallel
         prefetch sweep over the origins that are in the graph (unknown
@@ -145,26 +285,50 @@ class QueryService:
     def answer(self, path: str, params: dict[str, str]) -> tuple[int, dict]:
         """Dispatch one query; returns ``(http_status, json_payload)``."""
         self.requests += 1
-        handler = self._routes.get(path.rstrip("/") or "/health")
+        endpoint = path.rstrip("/") or "/health"
+        handler = self._routes.get(endpoint)
         if handler is None:
             return 404, {
                 "error": f"unknown endpoint {path!r}",
                 "endpoints": sorted(self._routes),
             }
+        histogram = self.latency.get(endpoint)
+        if histogram is None:
+            histogram = self.latency.setdefault(endpoint, LatencyHistogram())
+        start = time.perf_counter()
         try:
             return 200, handler(params)
         except QueryError as exc:
             return exc.status, {"error": exc.message}
+        finally:
+            histogram.record(time.perf_counter() - start)
 
     # -- endpoints ------------------------------------------------------
     def _ep_health(self, params: dict[str, str]) -> dict[str, Any]:
-        return {"status": "ok", "nodes": len(self.graph.nodes())}
+        return {
+            "status": "ok",
+            "nodes": len(self.graph.nodes()),
+            "pid": os.getpid(),
+        }
 
     def _ep_stats(self, params: dict[str, str]) -> dict[str, Any]:
         stats = self.cache.stats()
         payload: dict[str, Any] = dataclasses.asdict(stats)
-        payload["tiers"] = stats.tiers
+        tiers = stats.tiers
+        payload["tiers"] = {
+            "lru": tiers["lru"],
+            "metric": self.metric_hits,
+            "disk": tiers["disk"],
+            "computed": tiers["computed"],
+        }
+        payload["metric_hits"] = self.metric_hits
+        payload["metric_misses"] = self.metric_misses
         payload["requests"] = self.requests
+        payload["pid"] = os.getpid()
+        payload["latency"] = {
+            endpoint: histogram.snapshot()
+            for endpoint, histogram in sorted(self.latency.items())
+        }
         store = self.cache.shards
         payload["shards"] = (
             None
@@ -173,6 +337,15 @@ class QueryService:
                 "directory": str(store.directory),
                 "origins": len(store),
                 "graph_digest": store.digest[:16],
+            }
+        )
+        payload["metrics"] = (
+            None
+            if self.metrics is None
+            else {
+                "origins": len(self.metrics),
+                "targets": len(self.metrics.targets),
+                "trim": self.metrics.trim,
             }
         )
         return payload
@@ -202,19 +375,24 @@ class QueryService:
     def _ep_reliance(self, params: dict[str, str]) -> dict[str, Any]:
         origin = self._asn(params, "origin")
         target = self._asn(params, "target")
-        mass = reliance_from_state(self._state(origin))
+        value = self._metric_lookup("reliance", origin, target)
+        if value is None:
+            mass = reliance_from_state(self._state(origin))
+            value = mass.get(target, 0.0)
         return {
             "origin": origin,
             "target": target,
-            "reliance": mass.get(target, 0.0),
+            "reliance": value,
         }
 
     def _ep_hegemony(self, params: dict[str, str]) -> dict[str, Any]:
         origin = self._asn(params, "origin")
         target = self._asn(params, "target")
-        value = local_hegemony(
-            self.graph, origin, target, cache=self.cache, trim=self.trim
-        )
+        value = self._metric_lookup("hegemony", origin, target)
+        if value is None:
+            value = local_hegemony(
+                self.graph, origin, target, cache=self.cache, trim=self.trim
+            )
         return {
             "origin": origin,
             "target": target,
@@ -372,7 +550,11 @@ class _HttpServer:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,  # loop shutdown beat the FIN
+            ):
                 pass
 
     async def _answer(
@@ -381,9 +563,12 @@ class _HttpServer:
         raw_origin = params.get("origin")
         if raw_origin is not None:
             try:
-                await self.batcher.warm(int(raw_origin))
+                origin = int(raw_origin)
             except ValueError:
                 pass  # the service will map this to a 400
+            else:
+                if not self.service.metric_covers(path, origin):
+                    await self.batcher.warm(origin)
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
             None, self.service.answer, path, params
@@ -419,6 +604,7 @@ async def serve(
     ready: Optional[threading.Event] = None,
     bound: Optional[dict] = None,
     stop: Optional[asyncio.Event] = None,
+    sock: Optional[socket.socket] = None,
 ) -> None:
     """Serve ``service`` over HTTP until cancelled (or ``stop`` is set).
 
@@ -426,9 +612,16 @@ async def serve(
     into ``bound`` (``{"host":…, "port":…}``) before ``ready`` is set —
     the hooks :func:`start_server_thread` uses to run the server in a
     background thread for tests, benchmarks, and the smoke check.
+
+    ``sock`` serves on a pre-bound socket instead of binding
+    ``host``/``port`` — how :class:`WorkerSupervisor` workers share one
+    address via ``SO_REUSEPORT``.
     """
     http = _HttpServer(service, window=window)
-    server = await asyncio.start_server(http.handle, host, port)
+    if sock is not None:
+        server = await asyncio.start_server(http.handle, sock=sock)
+    else:
+        server = await asyncio.start_server(http.handle, host, port)
     address = server.sockets[0].getsockname()
     if bound is not None:
         bound["host"], bound["port"] = address[0], address[1]
@@ -521,26 +714,253 @@ def start_server_thread(
     )
 
 
-def smoke_check(service: QueryService, host: str = "127.0.0.1") -> list[str]:
-    """One HTTP query per endpoint, diffed against live propagation.
+# ---------------------------------------------------------------------------
+# multi-process serving: SO_REUSEPORT workers under a supervisor
+# ---------------------------------------------------------------------------
 
-    Starts the server on an ephemeral port, issues a real request per
-    endpoint, and recomputes every expected answer from a **fresh**
-    ``propagate`` (bypassing the service's tiers).  Returns the list of
-    mismatches — empty means the serve stack is answer-identical to the
-    live engine.  This is the CI ``tests-serve`` leg.
+
+def _reuseport_socket(host: str, port: int) -> socket.socket:
+    """A bound (not listening) ``SO_REUSEPORT`` TCP socket.
+
+    Every worker binds its own socket to the same address; the kernel
+    hashes each incoming connection's 4-tuple to one of them, which is
+    the entire load balancer — no shared accept lock, no parent proxy.
     """
-    import urllib.request
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    sock.bind((host, port))
+    return sock
 
+
+@dataclasses.dataclass
+class ServiceSpec:
+    """A picklable recipe for building a :class:`QueryService`.
+
+    Worker processes are spawned (not forked), so they cannot inherit a
+    live service; each worker rebuilds its own from this spec — loading
+    ``graph_file`` when no in-memory ``graph`` is given, and mmapping
+    the corpus at ``shards`` under its own lease.  The mappings are
+    content-addressed and read-only, so N workers share one page-cache
+    copy of the data with zero coordination.
+    """
+
+    graph: Optional[ASGraph] = None
+    graph_file: Optional[str] = None
+    shards: Optional[str] = None
+    maxsize: Optional[int] = DEFAULT_MAXSIZE
+    engine: Optional[str] = None
+    batch: Optional[int] = None
+    trim: float = TRIM
+
+    def build(self) -> QueryService:
+        graph = self.graph
+        if graph is None:
+            if self.graph_file is None:
+                raise ValueError("ServiceSpec needs graph or graph_file")
+            from .topology import load_graph
+
+            graph = load_graph(self.graph_file)
+        store = None
+        if self.shards is not None:
+            from .bgpsim.shards import ShardStore
+
+            store = ShardStore.open(self.shards, graph=graph, lease=True)
+        return QueryService(
+            graph,
+            shards=store,
+            maxsize=self.maxsize,
+            engine=self.engine,
+            batch=self.batch,
+            trim=self.trim,
+        )
+
+
+def _worker_main(
+    spec: ServiceSpec,
+    host: str,
+    port: int,
+    window: float,
+    ready,
+) -> None:
+    """One worker process: build the service, serve on a reuseport
+    socket until SIGTERM/SIGINT, then release the corpus lease."""
+    service = spec.build()
+    sock = _reuseport_socket(host, port)
+
+    async def _main() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await serve(
+            service, window=window, ready=ready, stop=stop, sock=sock
+        )
+
+    try:
+        asyncio.run(_main())
+    finally:
+        store = service.cache.shards
+        if store is not None:
+            store.close()
+
+
+class WorkerSupervisor:
+    """N serving processes on one address, restarted when they die.
+
+    The parent holds a bound-but-never-listening ``SO_REUSEPORT`` guard
+    socket: it reserves the port (letting ``port=0`` pick an ephemeral
+    one that every worker then binds) and keeps the address claimed
+    across worker restarts, but never accepts — the kernel only
+    dispatches connections to *listening* sockets.  A monitor thread
+    waits on process sentinels and respawns dead workers up to
+    ``max_restarts`` (a crash-loop fuse, not a normal-operation limit).
+    """
+
+    def __init__(
+        self,
+        spec: ServiceSpec,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        window: float = DEFAULT_BATCH_WINDOW,
+        max_restarts: int = 16,
+        start_timeout: float = 60.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.spec = spec
+        self.host = host
+        self.window = window
+        self.max_restarts = max_restarts
+        self.restarts = 0
+        self._start_timeout = start_timeout
+        self._guard = _reuseport_socket(host, port)
+        self.port = self._guard.getsockname()[1]
+        # spawn, not fork: the parent may hold live threads and event
+        # loops, and everything a worker needs travels via the spec
+        self._ctx = multiprocessing.get_context("spawn")
+        self._procs: list = []
+        self._closing = False
+        self._lock = threading.Lock()
+        try:
+            events = [self._spawn() for _ in range(workers)]
+            for _, ready in events:
+                if not ready.wait(timeout=self._start_timeout):
+                    raise RuntimeError(
+                        f"serve worker failed to bind within "
+                        f"{self._start_timeout:.0f}s"
+                    )
+        except BaseException:
+            self.close()
+            raise
+        self._monitor = threading.Thread(
+            target=self._watch, daemon=True, name="repro-serve-supervisor"
+        )
+        self._monitor.start()
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def pids(self) -> list[int]:
+        with self._lock:
+            return [p.pid for p, _ in self._procs if p.is_alive()]
+
+    def _spawn(self):
+        ready = self._ctx.Event()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(self.spec, self.host, self.port, self.window, ready),
+            daemon=True,
+            name="repro-serve-worker",
+        )
+        proc.start()
+        entry = (proc, ready)
+        self._procs.append(entry)
+        return entry
+
+    def _watch(self) -> None:
+        while True:
+            with self._lock:
+                if self._closing:
+                    return
+                sentinels = {p.sentinel: p for p, _ in self._procs}
+            if not sentinels:
+                return
+            dead = multiprocessing.connection.wait(
+                list(sentinels), timeout=0.25
+            )
+            for sentinel in dead:
+                proc = sentinels[sentinel]
+                proc.join()  # reap
+                with self._lock:
+                    if self._closing:
+                        return
+                    self._procs = [
+                        (p, r) for p, r in self._procs if p is not proc
+                    ]
+                    if self.restarts >= self.max_restarts:
+                        continue
+                    self.restarts += 1
+                    _, ready = self._spawn()
+                ready.wait(timeout=self._start_timeout)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            procs = [p for p, _ in self._procs]
+            self._procs = []
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()  # SIGTERM → graceful asyncio shutdown
+        for proc in procs:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=10)
+        monitor = getattr(self, "_monitor", None)
+        if monitor is not None and monitor.is_alive():
+            monitor.join(timeout=5)
+        self._guard.close()
+
+    def __enter__(self) -> "WorkerSupervisor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# the differential smoke check
+# ---------------------------------------------------------------------------
+
+
+def smoke_expected(service: QueryService) -> dict[str, dict]:
+    """Expected answers per smoke query, from a **fresh** propagation.
+
+    Every value is recomputed outside the service's tiers — a fresh
+    ``propagate`` and a fresh cache — so comparing them against served
+    answers is a true differential check.  When the service carries a
+    metric-shard tier, the hegemony query targets a shard target (the
+    highest-degree ASes), exercising the zero-copy read path.
+    """
     from .bgpsim.engine import propagate
     from .bgpsim.routes import Seed
 
     nodes = sorted(service.graph.nodes())
     origin, target = nodes[0], nodes[-1]
+    heg_target = target
+    if service.metrics is not None:
+        covered = [t for t in service.metrics.targets if t != origin]
+        if covered:
+            heg_target = covered[-1]
     live = propagate(service.graph, Seed(asn=origin))
     live_mass = reliance_from_state(live)
     fresh_cache = RoutingStateCache(service.graph)
-    expected = {
+    return {
         "/health": {"status": "ok", "nodes": len(nodes)},
         f"/reachable?origin={origin}&target={target}": {
             "reachable": live.has_route(target),
@@ -555,9 +975,13 @@ def smoke_check(service: QueryService, host: str = "127.0.0.1") -> list[str]:
         f"/reliance?origin={origin}&target={target}": {
             "reliance": live_mass.get(target, 0.0)
         },
-        f"/hegemony?origin={origin}&target={target}": {
+        f"/hegemony?origin={origin}&target={heg_target}": {
             "hegemony": local_hegemony(
-                service.graph, origin, target, cache=fresh_cache
+                service.graph,
+                origin,
+                heg_target,
+                cache=fresh_cache,
+                trim=service.trim,
             )
         },
         f"/rib?origin={origin}&asn={target}": {
@@ -571,15 +995,67 @@ def smoke_check(service: QueryService, host: str = "127.0.0.1") -> list[str]:
             }
         },
     }
+
+
+def run_smoke_queries(
+    base_url: str,
+    expected: dict[str, dict],
+    require_metric_tier: bool = False,
+) -> list[str]:
+    """Drive the smoke queries over HTTP; returns the mismatch list.
+
+    All queries ride **one keep-alive connection** — under multi-worker
+    serving the kernel pins a connection to a single worker, so the
+    closing ``/stats`` read reports the same process that answered the
+    queries, making the ``require_metric_tier`` attribution assertion
+    (both metric queries served off the shard tier) valid per-worker.
+    """
+    import http.client
+
+    url = urlsplit(base_url)
     failures: list[str] = []
-    with start_server_thread(service, host=host) as handle:
+    conn = http.client.HTTPConnection(url.hostname, url.port, timeout=60)
+    try:
         for query, want in expected.items():
-            with urllib.request.urlopen(handle.base_url + query) as response:
-                got = json.loads(response.read())
+            conn.request("GET", query)
+            got = json.loads(conn.getresponse().read())
             for key, value in want.items():
                 if got.get(key) != value:
                     failures.append(
                         f"{query}: {key} = {got.get(key)!r}, "
                         f"live propagation says {value!r}"
                     )
+        if require_metric_tier:
+            conn.request("GET", "/stats")
+            stats = json.loads(conn.getresponse().read())
+            metric_hits = stats.get("tiers", {}).get("metric", 0)
+            if metric_hits < 2:
+                failures.append(
+                    f"/stats: tiers['metric'] = {metric_hits}, expected the "
+                    f"reliance + hegemony queries to be served from metric "
+                    f"shards"
+                )
+    finally:
+        conn.close()
     return failures
+
+
+def smoke_check(service: QueryService, host: str = "127.0.0.1") -> list[str]:
+    """One HTTP query per endpoint, diffed against live propagation.
+
+    Starts the server on an ephemeral port, issues a real request per
+    endpoint over one keep-alive connection, and recomputes every
+    expected answer from a **fresh** ``propagate`` (bypassing the
+    service's tiers).  When the service has a metric-shard tier, the
+    ``/reliance`` + ``/hegemony`` answers must additionally be
+    *attributed* to that tier in ``/stats``.  Returns the list of
+    mismatches — empty means the serve stack is answer-identical to the
+    live engine.  This is the CI ``tests-serve`` leg.
+    """
+    expected = smoke_expected(service)
+    with start_server_thread(service, host=host) as handle:
+        return run_smoke_queries(
+            handle.base_url,
+            expected,
+            require_metric_tier=service.metrics is not None,
+        )

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import os
 import threading
 import urllib.error
 import urllib.request
@@ -121,9 +122,18 @@ def test_stats_endpoint_reports_tiers(tiny, tmp_path):
         )
         status, stats = service.answer("/stats", {})
         assert status == 200
-        assert stats["tiers"] == {"lru": 0, "disk": 1, "computed": 0}
+        assert stats["tiers"] == {
+            "lru": 0,
+            "metric": 0,
+            "disk": 1,
+            "computed": 0,
+        }
         assert stats["shards"]["origins"] == len(graph)
         assert stats["requests"] == 2
+        assert stats["pid"] == os.getpid()
+        hist = stats["latency"]["/path_length"]
+        assert hist["count"] == 1
+        assert hist["p50_us"] is not None and hist["p99_us"] >= hist["p50_us"]
 
 
 # ---------------------------------------------------------------------------

@@ -458,3 +458,128 @@ def test_precompute_force_rebuilds_partial(tmp_path):
     precompute_shards(graph, tmp_path / "corpus", workers=1, force=True)
     rebuilt = json.loads((target / "manifest.json").read_text())
     assert rebuilt["origins"] == len(every)
+
+
+# ---------------------------------------------------------------------------
+# corpus discovery, compaction, GC
+# ---------------------------------------------------------------------------
+
+
+def test_open_discovers_renamed_corpus(tmp_path):
+    graph = netgen_graph("tiny")
+    target = precompute_shards(graph, tmp_path, workers=1)
+    renamed = tmp_path / "nightly-2020-09-01"
+    target.rename(renamed)
+    with ShardStore.open(tmp_path, graph=graph) as store:
+        assert store.directory == renamed
+        origin = sorted(graph.nodes())[0]
+        live = propagate_compiled(graph, (Seed(asn=origin),))
+        assert_states_equal(store.state_for(origin), live, "(discovered)")
+
+
+def test_open_picks_newest_matching_corpus(tmp_path):
+    import os as _os
+    import shutil as _shutil
+
+    graph = netgen_graph("tiny")
+    target = precompute_shards(graph, tmp_path, workers=1)
+    older = tmp_path / "older"
+    newer = tmp_path / "newer"
+    _shutil.copytree(target, older)
+    target.rename(newer)
+    stale = (newer / MANIFEST_NAME).stat().st_mtime - 3600
+    _os.utime(older / MANIFEST_NAME, (stale, stale))
+    with ShardStore.open(tmp_path, graph=graph) as store:
+        assert store.directory == newer
+
+
+def test_open_without_matching_corpus_names_digests(tmp_path):
+    graph = netgen_graph("tiny")
+    other = netgen_graph("tiny", seed=7)
+    precompute_shards(other, tmp_path, workers=1)
+    with pytest.raises(ShardError) as exc:
+        ShardStore.open(tmp_path, graph=graph)
+    message = str(exc.value)
+    # names both the digest the graph needs and the one that was found
+    assert graph_digest(graph)[:16] in message
+    assert graph_digest(other)[:16] in message
+    assert "repro precompute" in message
+
+
+def test_compact_merges_rolling_files_bit_identical(tmp_path):
+    from repro.bgpsim.shards import precompute_metric_shards
+
+    graph = netgen_graph("tiny")
+    target = precompute_shards(graph, tmp_path, shard_size=4, workers=1)
+    precompute_metric_shards(graph, tmp_path, shard_size=4)
+    with ShardStore.open(target, graph=graph, lease=True) as store:
+        assert len(store.manifest["shards"]) > 1
+        assert len(store.manifest["metric_shards"]) > 1
+        origins = sample_origins(graph, 6, seed=31)
+        heg_target = store.metrics.targets[0]
+        before = {
+            o: (
+                store.metrics.reliance(o, sorted(graph.nodes())[-1]),
+                store.metrics.hegemony(o, heg_target),
+            )
+            for o in origins
+        }
+        stats = store.compact(shard_size=10_000)
+        assert stats["merged"]
+        assert stats["routing_files_after"] == 1
+        assert stats["metric_files_after"] == 1
+        assert stats["routing_files_before"] > 1
+        # superseded files are gone from disk, not just the manifest
+        assert len(list(target.glob("*.shard"))) == 1
+        assert len(list(target.glob("*.mshard"))) == 1
+        for origin in origins:
+            live = propagate_compiled(graph, (Seed(asn=origin),))
+            assert_states_equal(
+                store.state_for(origin), live, f"(compacted {origin})"
+            )
+            rel, heg = before[origin]
+            got_rel = store.metrics.reliance(
+                origin, sorted(graph.nodes())[-1]
+            )
+            assert float(got_rel).hex() == float(rel).hex()
+            got_heg = store.metrics.hegemony(origin, heg_target)
+            if heg is None:
+                assert got_heg is None
+            else:
+                assert float(got_heg).hex() == float(heg).hex()
+
+
+def test_compact_refuses_while_other_store_is_live(tmp_path):
+    graph = netgen_graph("tiny")
+    target = precompute_shards(graph, tmp_path, shard_size=4, workers=1)
+    holder = ShardStore.open(target, graph=graph, lease=True)
+    try:
+        compactor = ShardStore.open(target, graph=graph, lease=True)
+        try:
+            with pytest.raises(ShardError, match="live lease"):
+                compactor.compact()
+        finally:
+            compactor.close()
+    finally:
+        holder.close()
+    # once the holder releases its lease the same compaction goes through
+    with ShardStore.open(target, graph=graph, lease=True) as store:
+        assert store.compact(shard_size=10_000)["merged"]
+
+
+def test_gc_corpora_keep_remove_refuse(tmp_path):
+    from repro.bgpsim.shards import gc_corpora
+
+    g1 = netgen_graph("tiny")
+    g2 = netgen_graph("tiny", seed=7)
+    c1 = precompute_shards(g1, tmp_path, workers=1)
+    c2 = precompute_shards(g2, tmp_path, workers=1)
+    holder = ShardStore.open(c2, graph=g2, lease=True)
+    try:
+        removed, kept, refused = gc_corpora(tmp_path, [graph_digest(g1)])
+        assert (removed, kept, refused) == ([], [c1], [c2])
+    finally:
+        holder.close()
+    removed, kept, refused = gc_corpora(tmp_path, [graph_digest(g1)])
+    assert (removed, kept, refused) == ([c2], [c1], [])
+    assert c1.exists() and not c2.exists()
